@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's evaluation (Tables 2-6 and
+// Figures 1-2) on the synthetic dataset analogs and prints markdown tables
+// pairing measured values with the paper's reported numbers.
+//
+// Usage:
+//
+//	experiments [-quick] [-table all|2|3|4|5|6|fig1|fig2] [-tmp DIR]
+//
+// -quick runs the ~1/10-scale dataset variants (minutes instead of tens of
+// minutes); the shapes of all results are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use ~1/10-scale dataset variants")
+	table := flag.String("table", "all", "which table to run: all, 2, 3, 4, 5, 6, fig1, fig2")
+	tmp := flag.String("tmp", os.TempDir(), "directory for external-memory spools")
+	mr := flag.String("mr", "", "comma-separated datasets for TD-MR (default \"P2P,HEP\"); \"none\" disables")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Quick:   *quick,
+		TempDir: *tmp,
+		Out:     os.Stdout,
+	}
+	switch *mr {
+	case "":
+	case "none":
+		opts.MRDatasets = []string{}
+	default:
+		opts.MRDatasets = splitComma(*mr)
+	}
+
+	fmt.Printf("# Truss decomposition evaluation (quick=%v) — %s\n\n", *quick, time.Now().Format(time.RFC3339))
+	var err error
+	switch *table {
+	case "all":
+		err = experiments.All(opts)
+	case "2":
+		err = experiments.Table2(opts)
+	case "3":
+		err = experiments.Table3(opts)
+	case "4":
+		err = experiments.Table4(opts)
+	case "5":
+		err = experiments.Table5(opts)
+	case "6":
+		err = experiments.Table6(opts)
+	case "fig1":
+		err = experiments.Figure1(opts)
+	case "fig2":
+		err = experiments.Figure2(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

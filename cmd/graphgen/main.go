@@ -1,0 +1,106 @@
+// Command graphgen writes synthetic graphs to disk: either one of the
+// paper's nine dataset analogs by name, or a raw generator with explicit
+// parameters.
+//
+// Usage:
+//
+//	graphgen -dataset LJ -out lj.txt                 # paper analog
+//	graphgen -model rmat -scale 16 -factor 6 -out g.bin
+//	graphgen -model ba -n 10000 -deg 8 -out ba.txt
+//	graphgen -model er|ws|collab|community ...
+//
+// Output format is SNAP text unless the path ends in ".bin".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	truss "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "paper analog name (P2P, HEP, Amazon, Wiki, Skitter, Blog, LJ, BTC, Web)")
+	quick := flag.Bool("quick", false, "use the ~1/10-scale variant of -dataset")
+	model := flag.String("model", "", "raw generator: er, ba, rmat, ws, collab, community")
+	n := flag.Int("n", 10000, "vertices (er, ba, ws, collab)")
+	m := flag.Int("m", 50000, "edges (er)")
+	deg := flag.Int("deg", 8, "attachment degree (ba) / ring degree (ws)")
+	scale := flag.Uint("scale", 14, "rmat: n = 2^scale")
+	factor := flag.Int("factor", 8, "rmat: edges ~ factor * n")
+	beta := flag.Float64("beta", 0.1, "ws rewiring probability")
+	papers := flag.Int("papers", 5000, "collab: number of papers")
+	maxAuthors := flag.Int("maxauthors", 20, "collab: max authors per paper")
+	blocks := flag.Int("blocks", 100, "community: number of blocks")
+	blockSize := flag.Int("blocksize", 16, "community: vertices per block")
+	pin := flag.Float64("pin", 0.6, "community: intra-block edge probability")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (required; .bin selects binary)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -out is required")
+		os.Exit(2)
+	}
+	g, err := build(*dataset, *quick, *model, buildParams{
+		n: *n, m: *m, deg: *deg, scale: *scale, factor: *factor, beta: *beta,
+		papers: *papers, maxAuthors: *maxAuthors,
+		blocks: *blocks, blockSize: *blockSize, pin: *pin, seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := truss.SaveGraph(*out, g); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+}
+
+type buildParams struct {
+	n, m, deg          int
+	scale              uint
+	factor             int
+	beta               float64
+	papers, maxAuthors int
+	blocks, blockSize  int
+	pin                float64
+	seed               int64
+}
+
+func build(dataset string, quick bool, model string, p buildParams) (*graph.Graph, error) {
+	if dataset != "" {
+		list := gen.Datasets()
+		if quick {
+			list = gen.QuickDatasets()
+		}
+		for _, d := range list {
+			if d.Name == dataset {
+				return d.Build(), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	switch model {
+	case "er":
+		return gen.ErdosRenyi(p.n, p.m, p.seed), nil
+	case "ba":
+		return gen.BarabasiAlbert(p.n, p.deg, p.seed), nil
+	case "rmat":
+		return gen.RMAT(p.scale, p.factor, 0.57, 0.19, 0.19, p.seed), nil
+	case "ws":
+		return gen.WattsStrogatz(p.n, p.deg, p.beta, p.seed), nil
+	case "collab":
+		return gen.Collaboration(p.n, p.papers, p.maxAuthors, p.seed), nil
+	case "community":
+		return gen.Community(p.blocks, p.blockSize, p.pin, 2.0, p.seed), nil
+	case "":
+		return nil, fmt.Errorf("one of -dataset or -model is required")
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

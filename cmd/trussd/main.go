@@ -1,0 +1,223 @@
+// Command trussd decomposes a graph file with any of the reproduced
+// algorithms and reports the k-class histogram (optionally the per-edge
+// truss numbers).
+//
+// Usage:
+//
+//	trussd -in graph.txt [-algo inmem|baseline|bottomup|topdown|mr]
+//	       [-top t] [-budget N] [-out classes.txt] [-v]
+//
+// The input is a SNAP-format edge list ("u v" per line, '#' comments) or a
+// binary edge file when the path ends in ".bin".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	truss "repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph file (SNAP text, or .bin)")
+	algo := flag.String("algo", "inmem", "algorithm: inmem, baseline, bottomup, topdown, mr")
+	topT := flag.Int("top", 0, "topdown only: compute the top-t k-classes (0 = all)")
+	budget := flag.Int64("budget", 0, "memory budget in adjacency entries for external algorithms (0 = default)")
+	outPath := flag.String("out", "", "write per-edge classes 'u v k' to this file")
+	dotPath := flag.String("dot", "", "write a Graphviz rendering colored by class (in-memory algorithms only)")
+	communitiesAt := flag.Int("communities", 0, "list the k-truss communities at this k (in-memory algorithms only)")
+	tmp := flag.String("tmp", os.TempDir(), "temp directory for external algorithms")
+	verbose := flag.Bool("v", false, "print I/O statistics and traces")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "trussd: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *algo, *topT, *budget, *outPath, *dotPath, *communitiesAt, *tmp, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "trussd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, algo string, topT int, budget int64, outPath, dotPath string, communitiesAt int, tmp string, verbose bool) error {
+	start := time.Now()
+	var sizes map[int32]int64
+	var kmax int32
+	var edges func(emit func(u, v uint32, k int32) error) error
+
+	var st truss.IOStats
+	opts := truss.ExternalOptions{MemoryBudget: budget, TempDir: tmp, Stats: &st}
+
+	switch algo {
+	case "inmem", "baseline":
+		g, err := truss.LoadGraph(in)
+		if err != nil {
+			return err
+		}
+		var res *truss.Result
+		if algo == "inmem" {
+			res = truss.Decompose(g)
+		} else {
+			res = truss.DecomposeBaseline(g)
+		}
+		kmax = res.KMax
+		sizes = map[int32]int64{}
+		for k, n := range res.ClassSizes() {
+			if n > 0 {
+				sizes[int32(k)] = n
+			}
+		}
+		edges = func(emit func(u, v uint32, k int32) error) error {
+			for id, p := range res.Phi {
+				e := g.Edge(int32(id))
+				if err := emit(e.U, e.V, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if dotPath != "" {
+			f, err := os.Create(dotPath)
+			if err != nil {
+				return err
+			}
+			if err := truss.WriteDOT(f, res, in); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("graphviz rendering written to %s\n", dotPath)
+		}
+		if communitiesAt >= 3 {
+			comms := truss.Communities(res, int32(communitiesAt))
+			fmt.Printf("%d-truss communities: %d\n", communitiesAt, len(comms))
+			for i, c := range comms {
+				if i >= 10 {
+					fmt.Printf("  ... and %d more\n", len(comms)-10)
+					break
+				}
+				fmt.Printf("  #%d: %d edges over %d vertices\n", i+1, len(c.Edges), len(c.Vertices))
+			}
+		}
+	case "bottomup":
+		res, err := truss.BottomUpFile(in, opts)
+		if err != nil {
+			return err
+		}
+		defer res.Close()
+		kmax = res.KMax
+		sizes = res.ClassSizes
+		edges = func(emit func(u, v uint32, k int32) error) error {
+			m, err := res.PhiMap()
+			if err != nil {
+				return err
+			}
+			return emitMap(m, emit)
+		}
+		if verbose {
+			fmt.Printf("trace: %+v\n", res.Trace)
+		}
+	case "topdown":
+		res, err := truss.TopDownFile(in, topT, opts)
+		if err != nil {
+			return err
+		}
+		defer res.Close()
+		kmax = res.KMax
+		sizes = res.ClassSizes
+		edges = func(emit func(u, v uint32, k int32) error) error {
+			m, err := res.PhiMap()
+			if err != nil {
+				return err
+			}
+			return emitMap(m, emit)
+		}
+		if verbose {
+			fmt.Printf("trace: %+v\n", res.Trace)
+		}
+	case "mr":
+		g, err := truss.LoadGraph(in)
+		if err != nil {
+			return err
+		}
+		res := truss.MapReduceDecompose(g)
+		kmax = res.KMax
+		sizes = map[int32]int64{}
+		for _, p := range res.Phi {
+			sizes[p]++
+		}
+		edges = func(emit func(u, v uint32, k int32) error) error {
+			return emitMap(res.Phi, emit)
+		}
+		if verbose {
+			fmt.Printf("cluster work: %s\n", res.Counters.String())
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	elapsed := time.Since(start)
+	fmt.Printf("algorithm:  %s\n", algo)
+	fmt.Printf("elapsed:    %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("kmax:       %d\n", kmax)
+	var ks []int32
+	for k := range sizes {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	for _, k := range ks {
+		fmt.Printf("|Phi_%d| = %d\n", k, sizes[k])
+	}
+	if verbose && (algo == "bottomup" || algo == "topdown") {
+		fmt.Printf("io: %s\n", st.String())
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		err = edges(func(u, v uint32, k int32) error {
+			_, werr := fmt.Fprintf(w, "%d\t%d\t%d\n", u, v, k)
+			return werr
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("classes written to %s\n", outPath)
+	}
+	return nil
+}
+
+func emitMap(m map[uint64]int32, emit func(u, v uint32, k int32) error) error {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		u := uint32(key >> 32)
+		v := uint32(key)
+		if err := emit(u, v, m[key]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

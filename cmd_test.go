@@ -1,0 +1,116 @@
+package truss_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's binaries into dir and returns
+// its path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the three user-facing binaries end to end:
+// generate a graph, inspect it, decompose it with every algorithm, render
+// it, and check the outputs agree.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	graphgen := buildCmd(t, dir, "graphgen")
+	graphstat := buildCmd(t, dir, "graphstat")
+	trussd := buildCmd(t, dir, "trussd")
+
+	gpath := filepath.Join(dir, "g.txt")
+	out := runCmd(t, graphgen, "-model", "community", "-blocks", "12", "-blocksize", "10",
+		"-pin", "0.7", "-seed", "5", "-out", gpath)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+
+	out = runCmd(t, graphstat, "-in", gpath, "-core")
+	if !strings.Contains(out, "kmax:") || !strings.Contains(out, "cmax-core:") {
+		t.Fatalf("graphstat output: %s", out)
+	}
+	// Extract kmax for cross-checking trussd runs.
+	var kmaxLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "kmax:") {
+			kmaxLine = strings.TrimSpace(strings.TrimPrefix(line, "kmax:"))
+		}
+	}
+	if kmaxLine == "" {
+		t.Fatalf("no kmax in graphstat output: %s", out)
+	}
+
+	for _, algo := range []string{"inmem", "baseline", "bottomup", "topdown", "mr"} {
+		out = runCmd(t, trussd, "-in", gpath, "-algo", algo, "-v")
+		if !strings.Contains(out, "kmax:       "+kmaxLine) {
+			t.Fatalf("algo %s: kmax mismatch (want %s):\n%s", algo, kmaxLine, out)
+		}
+	}
+
+	// Per-edge output and DOT rendering.
+	classes := filepath.Join(dir, "classes.txt")
+	dot := filepath.Join(dir, "g.dot")
+	out = runCmd(t, trussd, "-in", gpath, "-algo", "inmem",
+		"-out", classes, "-dot", dot, "-communities", "4")
+	if !strings.Contains(out, "communities") {
+		t.Fatalf("missing communities output: %s", out)
+	}
+	cdata, err := os.ReadFile(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(string(cdata)), "\n")) < 100 {
+		t.Fatalf("classes file too small:\n%.200s", cdata)
+	}
+	ddata, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ddata), "graph ") {
+		t.Fatal("dot file malformed")
+	}
+
+	// Dataset-analog generation (quick variant for speed).
+	apath := filepath.Join(dir, "p2p.bin")
+	runCmd(t, graphgen, "-dataset", "P2P", "-quick", "-out", apath)
+	out = runCmd(t, graphstat, "-in", apath)
+	if !strings.Contains(out, "|E|:") {
+		t.Fatalf("graphstat on analog: %s", out)
+	}
+
+	// Error handling: bad flags exit non-zero.
+	if _, err := exec.Command(trussd, "-in", gpath, "-algo", "nope").CombinedOutput(); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if _, err := exec.Command(graphgen, "-out", filepath.Join(dir, "x.txt")).CombinedOutput(); err == nil {
+		t.Fatal("graphgen without model should fail")
+	}
+	if _, err := exec.Command(graphstat, "-in", filepath.Join(dir, "missing.txt")).CombinedOutput(); err == nil {
+		t.Fatal("graphstat on missing file should fail")
+	}
+}

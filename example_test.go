@@ -1,0 +1,87 @@
+package truss_test
+
+import (
+	"fmt"
+
+	truss "repro"
+)
+
+// ExampleDecompose decomposes a small graph: a 4-clique with a pendant
+// triangle hanging off it.
+func ExampleDecompose() {
+	b := truss.NewBuilder(8)
+	// 4-clique on 0..3.
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	// Pendant triangle 3-4-5.
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g := b.Build()
+
+	res := truss.Decompose(g)
+	fmt.Println("kmax:", res.KMax)
+	for k := int32(3); k <= res.KMax; k++ {
+		fmt.Printf("|Phi_%d| = %d\n", k, len(res.Class(k)))
+	}
+	// Output:
+	// kmax: 4
+	// |Phi_3| = 3
+	// |Phi_4| = 6
+}
+
+// ExampleResult_Truss extracts the innermost truss of a graph.
+func ExampleResult_Truss() {
+	g := truss.FromEdges([]truss.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, // triangle
+		{U: 2, V: 3}, // tail
+	})
+	res := truss.Decompose(g)
+	t3 := res.Truss(3)
+	fmt.Println("3-truss edges:", t3.NumEdges())
+	fmt.Println("tail kept:", t3.HasEdge(2, 3))
+	// Output:
+	// 3-truss edges: 3
+	// tail kept: false
+}
+
+// ExampleCommunities splits two cliques bridged by one edge into separate
+// triangle-connected communities.
+func ExampleCommunities() {
+	b := truss.NewBuilder(21)
+	for i := uint32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)       // clique A: 0..4
+			b.AddEdge(10+i, 10+j) // clique B: 10..14
+		}
+	}
+	b.AddEdge(4, 10) // bridge
+	res := truss.Decompose(b.Build())
+	comms := truss.Communities(res, 4)
+	fmt.Println("communities:", len(comms))
+	fmt.Println("sizes:", len(comms[0].Vertices), len(comms[1].Vertices))
+	// Output:
+	// communities: 2
+	// sizes: 5 5
+}
+
+// ExampleCoreDecompose contrasts the core and truss numbers of a graph
+// where they differ.
+func ExampleCoreDecompose() {
+	// A 6-cycle: every vertex has degree 2 (cmax = 2) but there are no
+	// triangles at all (kmax = 2): the truss sees through the cycle.
+	b := truss.NewBuilder(6)
+	for i := uint32(0); i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g := b.Build()
+	fmt.Println("cmax:", truss.CoreDecompose(g).CMax)
+	fmt.Println("kmax:", truss.Decompose(g).KMax)
+	// Output:
+	// cmax: 2
+	// kmax: 2
+}

@@ -1,0 +1,76 @@
+// Community analysis: the paper's Section 7.4 use case. On a social
+// network with planted communities, compare the kmax-truss against the
+// cmax-core: the truss is smaller, denser, and far more clustered — a
+// better "core" of the network — and k-trusses at decreasing k reveal the
+// community hierarchy.
+//
+// Run with: go run ./examples/community
+package main
+
+import (
+	"fmt"
+
+	truss "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	// A planted-partition social network: 40 communities of 18 members
+	// with dense intra-community ties plus random cross ties.
+	g := gen.Community(40, 18, 0.6, 2.0, 7)
+	fmt.Printf("social network: %d vertices, %d edges, CC %.3f\n\n",
+		g.NumVertices(), g.NumEdges(), truss.ClusteringCoefficient(g))
+
+	// Table 6 comparison: extremal truss vs extremal core.
+	ts, cs := truss.MaxTrussVsMaxCore(g)
+	fmt.Println("kmax-truss vs cmax-core (paper Table 6):")
+	fmt.Printf("  %-12s %8s %8s %6s %6s\n", "", "vertices", "edges", "k", "CC")
+	fmt.Printf("  %-12s %8d %8d %6d %6.2f\n", "kmax-truss", ts.V, ts.E, ts.K, ts.CC)
+	fmt.Printf("  %-12s %8d %8d %6d %6.2f\n", "cmax-core", cs.V, cs.E, cs.K, cs.CC)
+	fmt.Printf("\nthe truss keeps %.0f%% of the core's edges at %.1fx its clustering\n\n",
+		100*float64(ts.E)/float64(cs.E), ts.CC/cs.CC)
+
+	// Community structure through the truss hierarchy: as k rises, the
+	// k-truss splits into tightly-knit components — the communities.
+	res := truss.Decompose(g)
+	fmt.Println("truss hierarchy (communities emerge as k rises):")
+	for k := int32(3); k <= res.KMax; k++ {
+		tk := res.Truss(k)
+		if tk.NumEdges() == 0 {
+			break
+		}
+		comps := componentCount(tk)
+		fmt.Printf("  T_%-2d: %5d edges in %3d components, CC %.2f\n",
+			k, tk.NumEdges(), comps, truss.ClusteringCoefficient(tk))
+	}
+
+	// The paper's closing observation: kmax bounds the maximum clique
+	// size more tightly than cmax+1 does.
+	fmt.Printf("\nmax-clique size bounds: kmax = %d  vs  cmax+1 = %d\n", res.KMax, cs.K+1)
+}
+
+// componentCount counts connected components among non-isolated vertices.
+func componentCount(g *truss.Graph) int {
+	seen := make([]bool, g.NumVertices())
+	count := 0
+	var stack []uint32
+	for v := 0; v < g.NumVertices(); v++ {
+		if seen[v] || g.Degree(uint32(v)) == 0 {
+			continue
+		}
+		count++
+		stack = append(stack[:0], uint32(v))
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(x) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,82 @@
+// Fingerprinting: the paper's introduction cites "visualization and
+// fingerprinting of large-scale networks" as a k-truss application. The
+// truss profile — the fraction of edges in each k-class — is a compact
+// structural signature: random graphs concentrate near k=2-3,
+// collaboration graphs trail far to the right, community graphs sit in
+// between. This example fingerprints graphs from four generator families
+// and shows the profile identifies the family of an unseen graph.
+//
+// Run with: go run ./examples/fingerprint
+package main
+
+import (
+	"fmt"
+
+	truss "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+type family struct {
+	name  string
+	build func(seed int64) *graph.Graph
+}
+
+var families = []family{
+	{"erdos-renyi", func(s int64) *graph.Graph { return gen.ErdosRenyi(800, 4800, s) }},
+	{"barabasi-albert", func(s int64) *graph.Graph { return gen.BarabasiAlbert(800, 6, s) }},
+	{"community", func(s int64) *graph.Graph { return gen.Community(50, 16, 0.6, 1.5, s) }},
+	{"collaboration", func(s int64) *graph.Graph { return gen.Collaboration(800, 280, 14, s) }},
+}
+
+func profileOf(g *graph.Graph) []float64 {
+	return metrics.TrussProfile(truss.Decompose(g))
+}
+
+func sparkline(p []float64) string {
+	const blocks = " .:-=+*#%@"
+	out := ""
+	for k := 2; k < len(p); k++ {
+		idx := int(p[k] * float64(len(blocks)-1))
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		out += string(blocks[idx])
+	}
+	return out
+}
+
+func main() {
+	fmt.Println("truss-profile fingerprints (mass per k-class, k = 2..kmax):")
+	refs := map[string][]float64{}
+	for _, f := range families {
+		p := profileOf(f.build(1))
+		refs[f.name] = p
+		fmt.Printf("  %-16s kmax=%-3d [%s]\n", f.name, len(p)-1, sparkline(p))
+	}
+
+	fmt.Println("\nclassifying unseen graphs (new seeds) by nearest fingerprint:")
+	correct, total := 0, 0
+	for _, f := range families {
+		for seed := int64(10); seed < 13; seed++ {
+			p := profileOf(f.build(seed))
+			bestName, bestSim := "", -1.0
+			for name, ref := range refs {
+				if s := metrics.ProfileSimilarity(p, ref); s > bestSim {
+					bestSim, bestName = s, name
+				}
+			}
+			status := "✓"
+			if bestName != f.name {
+				status = "✗"
+			} else {
+				correct++
+			}
+			total++
+			fmt.Printf("  %-16s seed %2d -> %-16s (similarity %.3f) %s\n",
+				f.name, seed, bestName, bestSim, status)
+		}
+	}
+	fmt.Printf("\n%d/%d unseen graphs matched to their generator family\n", correct, total)
+}

@@ -1,0 +1,125 @@
+// Package community derives community structure from a truss
+// decomposition — the application the paper's introduction motivates
+// (visualization, fingerprinting, and cluster analysis of networks).
+//
+// A k-truss community is a maximal set of T_k edges connected through
+// shared triangles: two edges are adjacent when some triangle of T_k
+// contains both. Triangle connectivity (rather than plain edge
+// connectivity) keeps communities cohesive and lets them overlap on
+// vertices, which follow-up work (Huang et al., SIGMOD 2014) developed
+// into full community search; the detection core implemented here falls
+// out of the decomposition directly.
+package community
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// Community is one triangle-connected component of the k-truss.
+type Community struct {
+	// Edges lists the member edges by parent-graph edge ID.
+	Edges []int32
+	// Vertices lists the vertices covered, ascending.
+	Vertices []uint32
+}
+
+// unionFind is a standard disjoint-set forest with path halving.
+type unionFind struct {
+	parent []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// Detect returns the k-truss communities of r.G: the triangle-connected
+// components of T_k = {e : phi(e) >= k}, sorted by decreasing edge count.
+// k must be >= 3 (T_2 imposes no triangle structure).
+func Detect(r *core.Result, k int32) []Community {
+	g := r.G
+	m := g.NumEdges()
+	if m == 0 || k < 3 {
+		return nil
+	}
+	inTruss := make([]bool, m)
+	any := false
+	for id, p := range r.Phi {
+		if p >= k {
+			inTruss[id] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	uf := newUnionFind(m)
+	triangle.ForEach(g, func(e1, e2, e3 int32) {
+		if inTruss[e1] && inTruss[e2] && inTruss[e3] {
+			uf.union(e1, e2)
+			uf.union(e1, e3)
+		}
+	})
+
+	// Group truss edges by root. Edges of T_k in no T_k triangle cannot
+	// exist for k >= 3 (each needs k-2 >= 1 triangles), so every truss
+	// edge lands in a triangle-connected group.
+	groups := map[int32][]int32{}
+	for id := int32(0); id < int32(m); id++ {
+		if inTruss[id] {
+			root := uf.find(id)
+			groups[root] = append(groups[root], id)
+		}
+	}
+	out := make([]Community, 0, len(groups))
+	for _, edges := range groups {
+		vs := map[uint32]bool{}
+		for _, id := range edges {
+			e := g.Edge(id)
+			vs[e.U] = true
+			vs[e.V] = true
+		}
+		vertices := make([]uint32, 0, len(vs))
+		for v := range vs {
+			vertices = append(vertices, v)
+		}
+		sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		out = append(out, Community{Edges: edges, Vertices: vertices})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Edges) != len(out[j].Edges) {
+			return len(out[i].Edges) > len(out[j].Edges)
+		}
+		return out[i].Edges[0] < out[j].Edges[0]
+	})
+	return out
+}
+
+// Graph materializes a community as a standalone graph (vertex IDs
+// preserved).
+func (c Community) Graph(parent *graph.Graph) *graph.Graph {
+	return graph.EdgeInducedSubgraph(parent, c.Edges)
+}

@@ -1,0 +1,167 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// twoCliques builds two disjoint K5s plus a bridge edge between them.
+func twoCliques() *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, graph.Edge{U: uint32(i), V: uint32(j)})
+			edges = append(edges, graph.Edge{U: uint32(10 + i), V: uint32(10 + j)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 4, V: 10}) // bridge
+	return graph.FromEdges(edges)
+}
+
+func TestDetectSeparatesCliques(t *testing.T) {
+	g := twoCliques()
+	r := core.Decompose(g)
+	if r.KMax != 5 {
+		t.Fatalf("kmax = %d", r.KMax)
+	}
+	comms := Detect(r, 5)
+	if len(comms) != 2 {
+		t.Fatalf("communities at k=5: %d, want 2", len(comms))
+	}
+	for _, c := range comms {
+		if len(c.Edges) != 10 || len(c.Vertices) != 5 {
+			t.Fatalf("community size: %d edges %d vertices", len(c.Edges), len(c.Vertices))
+		}
+		cg := c.Graph(g)
+		if cg.NumEdges() != 10 {
+			t.Fatalf("materialized community edges = %d", cg.NumEdges())
+		}
+	}
+	// The bridge edge belongs to no community at k>=3.
+	id, _ := g.EdgeID(4, 10)
+	for _, c := range comms {
+		for _, e := range c.Edges {
+			if e == id {
+				t.Fatal("bridge edge in a community")
+			}
+		}
+	}
+}
+
+func TestDetectOverlappingOnVertex(t *testing.T) {
+	// Two K4s sharing one vertex but no edge: triangle connectivity keeps
+	// them separate communities, overlapping on the shared vertex.
+	var edges []graph.Edge
+	a := []uint32{0, 1, 2, 3}
+	b := []uint32{3, 4, 5, 6}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: a[i], V: a[j]})
+			edges = append(edges, graph.Edge{U: b[i], V: b[j]})
+		}
+	}
+	g := graph.FromEdges(edges)
+	r := core.Decompose(g)
+	comms := Detect(r, 4)
+	if len(comms) != 2 {
+		t.Fatalf("communities = %d, want 2", len(comms))
+	}
+	shared := 0
+	for _, c := range comms {
+		for _, v := range c.Vertices {
+			if v == 3 {
+				shared++
+			}
+		}
+	}
+	if shared != 2 {
+		t.Fatalf("vertex 3 should appear in both communities, got %d", shared)
+	}
+}
+
+func TestDetectEdgeCases(t *testing.T) {
+	empty := core.Decompose(graph.NewBuilder(0).Build())
+	if got := Detect(empty, 3); got != nil {
+		t.Fatal("empty graph should have no communities")
+	}
+	tri := core.Decompose(graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}))
+	if got := Detect(tri, 2); got != nil {
+		t.Fatal("k=2 must be rejected")
+	}
+	if got := Detect(tri, 3); len(got) != 1 || len(got[0].Edges) != 3 {
+		t.Fatalf("triangle at k=3: %+v", got)
+	}
+	if got := Detect(tri, 4); got != nil {
+		t.Fatal("k above kmax should be empty")
+	}
+}
+
+func TestDetectCoversAllTrussEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 15 + r.Intn(30)
+		var edges []graph.Edge
+		for i := 0; i < 5*n; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		res := core.Decompose(g)
+		for k := int32(3); k <= res.KMax; k++ {
+			comms := Detect(res, k)
+			seen := map[int32]bool{}
+			total := 0
+			for _, c := range comms {
+				for _, e := range c.Edges {
+					if seen[e] {
+						t.Fatalf("edge %d in two communities", e)
+					}
+					seen[e] = true
+					if res.Phi[e] < k {
+						t.Fatalf("edge %d with phi=%d in k=%d community", e, res.Phi[e], k)
+					}
+					total++
+				}
+			}
+			want := len(res.TrussEdges(k))
+			if total != want {
+				t.Fatalf("k=%d: communities cover %d edges, truss has %d", k, total, want)
+			}
+		}
+	}
+}
+
+func TestDetectTriangleConnectivityInvariant(t *testing.T) {
+	// Within a community, every edge shares a T_k triangle with another
+	// member (for communities larger than a single triangle's worth).
+	g := gen.Community(4, 10, 0.7, 0.5, 9)
+	res := core.Decompose(g)
+	k := res.KMax
+	comms := Detect(res, k)
+	if len(comms) == 0 {
+		t.Skip("no communities at kmax")
+	}
+	inTruss := make([]bool, g.NumEdges())
+	for id, p := range res.Phi {
+		if p >= k {
+			inTruss[id] = true
+		}
+	}
+	commOf := map[int32]int{}
+	for ci, c := range comms {
+		for _, e := range c.Edges {
+			commOf[e] = ci
+		}
+	}
+	triangle.ForEach(g, func(e1, e2, e3 int32) {
+		if inTruss[e1] && inTruss[e2] && inTruss[e3] {
+			if commOf[e1] != commOf[e2] || commOf[e2] != commOf[e3] {
+				t.Fatalf("T_k triangle spans communities: %d %d %d", e1, e2, e3)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// DecomposeNaive computes truss numbers straight from Definition 2: for
+// each k starting at 3, repeatedly delete edges with fewer than k-2
+// surviving triangles until a fixpoint, assigning phi = k-1 to edges
+// deleted in phase k. It is O(kmax * m^1.5)-ish and exists purely as the
+// test oracle for the optimized algorithms.
+func DecomposeNaive(g *graph.Graph) *Result {
+	m := g.NumEdges()
+	res := &Result{G: g, Phi: make([]int32, m)}
+	if m == 0 {
+		return res
+	}
+	p := NewPeeler(g, triangle.Supports(g))
+	remaining := m
+	k := int32(2)
+	for remaining > 0 {
+		// Edges with support <= k-2 at this stage cannot be in T_{k+1};
+		// they are exactly the k-class (all lower classes are gone).
+		removed := p.PeelTo(k - 2)
+		for _, e := range removed {
+			res.Phi[e] = k
+			remaining--
+		}
+		if remaining > 0 {
+			k++
+		}
+	}
+	res.KMax = k
+	return res
+}
+
+// supportsWithin recomputes supports counting only triangles whose three
+// edges are all in the live set.
+func supportsWithin(g *graph.Graph, live []bool) []int32 {
+	sup := make([]int32, g.NumEdges())
+	triangle.ForEach(g, func(e1, e2, e3 int32) {
+		if live[e1] && live[e2] && live[e3] {
+			sup[e1]++
+			sup[e2]++
+			sup[e3]++
+		}
+	})
+	return sup
+}
+
+// Verify checks a decomposition against the k-truss definition for every
+// k in [3, KMax]:
+//
+//  1. Membership: in the subgraph T_k = {e : phi(e) >= k}, every edge is
+//     contained in at least k-2 triangles of T_k.
+//  2. Maximality: for every edge e with phi(e) = k-1 (i.e. excluded from
+//     T_k), adding nothing — the peeling fixpoint from the full graph at
+//     threshold k-2 must retain exactly T_k.
+//
+// It returns nil if the decomposition is a correct truss decomposition of
+// r.G.
+func Verify(r *Result) error {
+	g := r.G
+	m := g.NumEdges()
+	if len(r.Phi) != m {
+		return fmt.Errorf("core: phi has %d entries for %d edges", len(r.Phi), m)
+	}
+	for id, p := range r.Phi {
+		if m > 0 && p < 2 {
+			return fmt.Errorf("core: edge %d has phi %d < 2", id, p)
+		}
+		if p > r.KMax {
+			return fmt.Errorf("core: edge %d has phi %d > kmax %d", id, p, r.KMax)
+		}
+	}
+	for k := int32(3); k <= r.KMax; k++ {
+		live := make([]bool, m)
+		cnt := 0
+		for id, p := range r.Phi {
+			if p >= k {
+				live[id] = true
+				cnt++
+			}
+		}
+		if k == r.KMax && cnt == 0 {
+			return fmt.Errorf("core: kmax-class empty at k=%d", k)
+		}
+		sup := supportsWithin(g, live)
+		for id := range live {
+			if live[id] && sup[id] < k-2 {
+				return fmt.Errorf("core: edge %v in T_%d has support %d < %d",
+					g.Edge(int32(id)), k, sup[id], k-2)
+			}
+		}
+		// Maximality: peel the whole graph at threshold k-2; the fixpoint
+		// must equal T_k exactly.
+		p := NewPeeler(g, triangle.Supports(g))
+		p.PeelTo(k - 3)
+		for id := range live {
+			if p.Alive(int32(id)) != live[id] {
+				return fmt.Errorf("core: edge %v: peeling fixpoint %v but phi=%d at k=%d",
+					g.Edge(int32(id)), p.Alive(int32(id)), r.Phi[id], k)
+			}
+		}
+	}
+	return nil
+}
+
+// EqualResults reports whether two decompositions (possibly of graphs built
+// with different edge ID orders) assign the same truss number to every
+// canonical edge.
+func EqualResults(a, b *Result) error {
+	if a.G.NumEdges() != b.G.NumEdges() {
+		return fmt.Errorf("core: edge counts differ: %d vs %d", a.G.NumEdges(), b.G.NumEdges())
+	}
+	if a.KMax != b.KMax {
+		return fmt.Errorf("core: kmax differs: %d vs %d", a.KMax, b.KMax)
+	}
+	bm := b.ClassMap()
+	for id, p := range a.Phi {
+		e := a.G.Edge(int32(id))
+		q, ok := bm[e.Key()]
+		if !ok {
+			return fmt.Errorf("core: edge %v missing from second result", e)
+		}
+		if p != q {
+			return fmt.Errorf("core: edge %v: phi %d vs %d", e, p, q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package embu
+
+import (
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/partition"
+)
+
+// TestBucketByPartWaves exercises the multi-wave path (more parts than
+// simultaneously open bucket writers) and checks exact routing: every edge
+// lands in the bucket of each incident part, once.
+func TestBucketByPartWaves(t *testing.T) {
+	const nParts = maxOpenBuckets + 40 // forces two waves
+	const n = 2 * nParts
+	partOf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		partOf[v] = int32(v % nParts)
+	}
+	dir := t.TempDir()
+	cur, err := gio.NewSpool[gio.EdgeAux2](dir, "cur", gio.EdgeAux2Codec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: (i, i+1) for even i -> parts i%nParts and (i+1)%nParts, and a
+	// few same-part edges (i, i+nParts).
+	var recs []gio.EdgeAux2
+	for i := 0; i+1 < n; i += 2 {
+		recs = append(recs, gio.EdgeAux2{U: uint32(i), V: uint32(i + 1), A: int32(i)})
+	}
+	for i := 0; i < 20; i++ {
+		recs = append(recs, gio.EdgeAux2{U: uint32(i), V: uint32(i + nParts), A: -1})
+	}
+	if err := cur.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	buckets, err := bucketByPart(cur, nParts, partOf, Config{TempDir: dir}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64][]int{}
+	for pi, b := range buckets {
+		rs, err := b.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			got[r.Key()] = append(got[r.Key()], pi)
+		}
+		b.Remove()
+	}
+	for _, r := range recs {
+		want := map[int]bool{int(partOf[r.U]): true, int(partOf[r.V]): true}
+		places := got[r.Key()]
+		if len(places) != len(want) {
+			t.Fatalf("edge (%d,%d) routed to %v, want parts %v", r.U, r.V, places, want)
+		}
+		for _, p := range places {
+			if !want[p] {
+				t.Fatalf("edge (%d,%d) routed to wrong part %d", r.U, r.V, p)
+			}
+		}
+	}
+}
+
+// TestRemoveKeysChunked forces the chunked path of removeKeys: more keys
+// than the budget allows in one chunk.
+func TestRemoveKeysChunked(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := gio.NewSpool[gio.EdgeAux2](dir, "sp", gio.EdgeAux2Codec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []gio.EdgeAux2
+	for i := 0; i < 500; i++ {
+		recs = append(recs, gio.EdgeAux2{U: uint32(i), V: uint32(i + 1000)})
+	}
+	if err := sp.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := gio.NewSpool[gio.EdgeRec](dir, "keys", gio.EdgeCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove every third edge: 167 keys with a budget of 64 -> 3 chunks.
+	var del []gio.EdgeRec
+	for i := 0; i < 500; i += 3 {
+		del = append(del, gio.EdgeRec{U: uint32(i), V: uint32(i + 1000)})
+	}
+	if err := keys.WriteAll(del); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Budget: 64, TempDir: dir, Strategy: partition.Randomized}.withDefaults()
+	if err := removeKeys(sp, keys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	left, err := sp.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 500-len(del) {
+		t.Fatalf("left %d records, want %d", len(left), 500-len(del))
+	}
+	for _, r := range left {
+		if r.U%3 == 0 {
+			t.Fatalf("edge (%d,%d) should have been removed", r.U, r.V)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package embu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// checkMatchesInMemory decomposes g both in memory and bottom-up external
+// with the given config and requires identical truss numbers.
+func checkMatchesInMemory(t *testing.T, g *graph.Graph, cfg Config) *Result {
+	t.Helper()
+	cfg.TempDir = t.TempDir()
+	res, err := DecomposeGraph(g, cfg)
+	if err != nil {
+		t.Fatalf("external decompose: %v", err)
+	}
+	want := core.Decompose(g)
+	got, err := res.PhiMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != g.NumEdges() {
+		t.Fatalf("classified %d of %d edges", len(got), g.NumEdges())
+	}
+	for id, p := range want.Phi {
+		e := g.Edge(int32(id))
+		if got[e.Key()] != p {
+			t.Fatalf("edge %v: external phi=%d, in-memory phi=%d", e, got[e.Key()], p)
+		}
+	}
+	if res.KMax != want.KMax {
+		t.Fatalf("kmax: external %d, in-memory %d", res.KMax, want.KMax)
+	}
+	// Class sizes must agree too.
+	sizes := want.ClassSizes()
+	for k, n := range res.ClassSizes {
+		if int(k) >= len(sizes) || sizes[k] != n {
+			t.Fatalf("|Phi_%d| = %d externally, want %d", k, n, sizes[k])
+		}
+	}
+	return res
+}
+
+func TestPaperExampleBottomUp(t *testing.T) {
+	g := gen.PaperExample()
+	res := checkMatchesInMemory(t, g, Config{Budget: 1 << 20})
+	want := gen.PaperExamplePhi()
+	got, err := res.PhiMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range want {
+		if got[k] != p {
+			t.Fatalf("edge key %d: phi=%d want %d", k, got[k], p)
+		}
+	}
+	res.Close()
+}
+
+func TestPaperExampleTinyBudget(t *testing.T) {
+	// Budget of 64 adjacency entries forces multi-part LowerBounding on
+	// even the 26-edge example (sum of degrees is 52 but parts split).
+	g := gen.PaperExample()
+	res := checkMatchesInMemory(t, g, Config{Budget: 64, Seed: 5})
+	if res.Trace.LBIterations == 0 {
+		t.Fatal("expected at least one lower-bounding iteration")
+	}
+	res.Close()
+}
+
+func TestEmptyAndTriangleFree(t *testing.T) {
+	res := checkMatchesInMemory(t, graph.NewBuilder(0).Build(), Config{})
+	if res.KMax != 0 {
+		t.Fatalf("empty kmax = %d", res.KMax)
+	}
+	res.Close()
+
+	// Star graph: all edges in Phi2.
+	var edges []graph.Edge
+	for i := 1; i <= 10; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(i)})
+	}
+	res = checkMatchesInMemory(t, graph.FromEdges(edges), Config{})
+	if res.KMax != 2 || res.ClassSizes[2] != 10 {
+		t.Fatalf("star: kmax=%d sizes=%v", res.KMax, res.ClassSizes)
+	}
+	res.Close()
+}
+
+func TestRandomGraphsAcrossBudgets(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	budgets := []int64{0 /* default: everything in memory */, 4096, 256, 64}
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + r.Intn(60)
+		m := 2*n + r.Intn(4*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		for _, b := range budgets {
+			res := checkMatchesInMemory(t, g, Config{Budget: b, Seed: int64(trial)})
+			res.Close()
+		}
+	}
+}
+
+func TestAllPartitionStrategies(t *testing.T) {
+	g := gen.Community(6, 10, 0.6, 1.0, 9)
+	for _, s := range []partition.Strategy{partition.Sequential, partition.Randomized, partition.DominatingSet} {
+		res := checkMatchesInMemory(t, g, Config{Budget: 200, Strategy: s, Seed: 11})
+		res.Close()
+	}
+}
+
+func TestProcedure9Path(t *testing.T) {
+	// A dense-ish community graph with a budget small enough that some
+	// candidate subgraph cannot fit: forces Procedure 9.
+	g := gen.Community(4, 14, 0.7, 1.0, 33)
+	res := checkMatchesInMemory(t, g, Config{Budget: 80, Seed: 3})
+	if res.Trace.OversizeRounds == 0 {
+		t.Skipf("budget did not force Procedure 9 (candidates all fit); trace=%+v", res.Trace)
+	}
+	if res.Trace.Proc9Passes == 0 {
+		t.Fatal("oversize round without Procedure 9 passes")
+	}
+	res.Close()
+}
+
+func TestSmallDatasetAnalogs(t *testing.T) {
+	for _, d := range gen.SmallDatasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g := d.Build()
+			// Budget sized to force several partitions.
+			budget := int64(g.NumEdges() / 2)
+			res := checkMatchesInMemory(t, g, Config{Budget: budget, Seed: 1})
+			res.Close()
+		})
+	}
+}
+
+func TestDecomposeFromSpoolDerivesN(t *testing.T) {
+	g := gen.PaperExample()
+	dir := t.TempDir()
+	sp, err := gio.NewSpool[gio.EdgeRec](dir, "in", gio.EdgeCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sp.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if err := w.Write(gio.EdgeRec{U: e.U, V: e.V}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(sp, 0, Config{TempDir: dir}) // n derived
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumVertices != 12 {
+		t.Fatalf("derived n = %d, want 12", res.NumVertices)
+	}
+	if res.KMax != 5 {
+		t.Fatalf("kmax = %d", res.KMax)
+	}
+	res.Close()
+}
+
+func TestIOAccounting(t *testing.T) {
+	var st gio.Stats
+	g := gen.PaperExample()
+	cfg := Config{Budget: 64, Stats: &st, TempDir: t.TempDir()}
+	res, err := DecomposeGraph(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if st.BytesRead() == 0 || st.BytesWritten() == 0 {
+		t.Fatal("expected I/O traffic to be recorded")
+	}
+	if st.IOs(4096) <= 0 {
+		t.Fatal("expected positive I/O count")
+	}
+}

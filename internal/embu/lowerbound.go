@@ -1,0 +1,373 @@
+package embu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/extsort"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/triangle"
+)
+
+// Residual record layout during LowerBounding and in Gnew:
+// A = phi(e), the lower bound on the truss number (>= 2);
+// B = accumulated exact triangle count of e (support in the original G).
+
+// maxFruitlessIters bounds the number of consecutive LowerBounding
+// iterations allowed to make no progress before the run is aborted. With
+// the randomized partitioner (re-seeded every iteration) the probability of
+// hitting this is negligible; it exists to turn a logic bug into an error
+// instead of an infinite loop.
+const maxFruitlessIters = 64
+
+// LowerBound runs Algorithm 3 on the disk-resident edge stream `input`
+// (records assumed canonical and deduplicated, endpoints < n): it computes,
+// for every edge, a lower bound phi(e) on the truss number and the exact
+// support sup(e) in the input graph, emits the 2-class to cw, and returns
+// the residual graph Gnew as a stream of (u, v, phi, sup) records.
+func LowerBound(input *gio.Spool[gio.EdgeRec], n int, cfg Config, cw *classWriter, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
+	return lowerBoundEmit(input, n, cfg, func(u, v uint32) error { return cw.emit(u, v, 2) }, trace)
+}
+
+// Prepare is the exported form of the LowerBounding stage used by the
+// top-down algorithm (Algorithm 7, Step 1 calls Algorithm 3): phi2 receives
+// every 2-class edge, and the returned Gnew carries (phi, sup) per edge.
+// The returned trace reports the iteration count.
+func Prepare(input *gio.Spool[gio.EdgeRec], n int, cfg Config, phi2 func(u, v uint32) error) (*gio.Spool[gio.EdgeAux2], Trace, error) {
+	var trace Trace
+	gnew, err := lowerBoundEmit(input, n, cfg, phi2, &trace)
+	return gnew, trace, err
+}
+
+func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 func(u, v uint32) error, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
+	cfg = cfg.withDefaults()
+
+	// Initialize the residual: phi = 2, accumulated support = 0.
+	cur, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, "residual", gio.EdgeAux2Codec{}, cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	{
+		w, err := cur.Create()
+		if err != nil {
+			return nil, err
+		}
+		err = input.ForEach(func(rec gio.EdgeRec) error {
+			e := rec.Edge().Canon()
+			return w.Write(gio.EdgeAux2{U: e.U, V: e.V, A: 2, B: 0})
+		})
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	gnew, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, "gnew", gio.EdgeAux2Codec{}, cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := gnew.Create()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if gw != nil {
+			gw.Close()
+		}
+	}()
+
+	fruitless := 0
+	strategy := cfg.Strategy
+	for iter := 0; cur.Count() > 0; iter++ {
+		trace.LBIterations++
+
+		// Fast path: a residual that fits in the budget is one part whose
+		// neighborhood subgraph is the residual itself; every edge is
+		// internal, so the iteration finishes in memory.
+		if cur.Count()*2 <= cfg.Budget {
+			recs, err := cur.ReadAll()
+			if err != nil {
+				return nil, err
+			}
+			sg, recOf := buildSubgraph(recs)
+			localPhi := core.Decompose(sg)
+			localSup := triangle.Supports(sg)
+			for id, e := range sg.Edges() {
+				rec := recs[recOf[id]]
+				sup := rec.B + localSup[id]
+				if sup == 0 {
+					if err := emitPhi2(e.U, e.V); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				phi := maxI32(rec.A, localPhi.Phi[id])
+				if err := gw.Write(gio.EdgeAux2{U: e.U, V: e.V, A: phi, B: sup}); err != nil {
+					return nil, err
+				}
+			}
+			if err := cur.WriteAll(nil); err != nil {
+				return nil, err
+			}
+			break
+		}
+
+		// Degrees of the residual graph.
+		deg := make([]int32, n)
+		if err := cur.ForEach(func(r gio.EdgeAux2) error {
+			deg[r.U]++
+			deg[r.V]++
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		parts := partition.Partition(
+			partition.Input{Degree: deg},
+			partition.Config{Strategy: strategy, Budget: cfg.Budget, Seed: cfg.Seed + int64(iter)},
+		)
+		partOf := makePartIndex(n, parts)
+
+		buckets, err := bucketByPart(cur, len(parts), partOf, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Lower-bound updates for external (cross-part) edges: the copy in
+		// the lower endpoint's part carries the previous state, the other
+		// carries only local deltas; a sort-merge combines the two.
+		sorter := extsort.NewSorter[gio.EdgeAux2](gio.EdgeAux2Codec{}, recLess, extsort.Config{
+			Budget: int(cfg.Budget),
+			Dir:    cfg.TempDir,
+			Stats:  cfg.Stats,
+		})
+
+		progress := false
+		for pi := range parts {
+			recs, err := buckets[pi].ReadAll()
+			if err != nil {
+				return nil, err
+			}
+			if err := buckets[pi].Remove(); err != nil {
+				return nil, err
+			}
+			if len(recs) == 0 {
+				continue
+			}
+			sg, recOf := buildSubgraph(recs)
+			localPhi := core.Decompose(sg)
+			localSup := triangle.Supports(sg)
+			for id, e := range sg.Edges() {
+				rec := recs[recOf[id]]
+				internal := partOf[e.U] == int32(pi) && partOf[e.V] == int32(pi)
+				if internal {
+					sup := rec.B + localSup[id]
+					if sup == 0 {
+						if err := emitPhi2(e.U, e.V); err != nil {
+							return nil, err
+						}
+					} else {
+						phi := maxI32(rec.A, localPhi.Phi[id])
+						if err := gw.Write(gio.EdgeAux2{U: e.U, V: e.V, A: phi, B: sup}); err != nil {
+							return nil, err
+						}
+					}
+					progress = true
+					continue
+				}
+				// External edge: emit an update record.
+				up := gio.EdgeAux2{U: e.U, V: e.V, A: localPhi.Phi[id], B: localSup[id]}
+				if partOf[e.U] == int32(pi) {
+					// The lower endpoint's copy carries the previous state.
+					up.A = maxI32(rec.A, up.A)
+					up.B += rec.B
+				}
+				if err := sorter.Push(up); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Merge the per-part updates (exactly two per surviving edge) into
+		// the next residual.
+		next, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, "residual", gio.EdgeAux2Codec{}, cfg.Stats)
+		if err != nil {
+			return nil, err
+		}
+		nw, err := next.Create()
+		if err != nil {
+			return nil, err
+		}
+		it, err := sorter.Sort()
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		var pending *gio.EdgeAux2
+		mergeErr := it.ForEach(func(rec gio.EdgeAux2) error {
+			if pending != nil && pending.U == rec.U && pending.V == rec.V {
+				merged := gio.EdgeAux2{
+					U: rec.U, V: rec.V,
+					A: maxI32(pending.A, rec.A),
+					B: pending.B + rec.B,
+				}
+				pending = nil
+				return nw.Write(merged)
+			}
+			if pending != nil {
+				// Defensive: an unpaired update would mean a bucketing bug.
+				return fmt.Errorf("embu: unpaired update for edge (%d,%d)", pending.U, pending.V)
+			}
+			r := rec
+			pending = &r
+			return nil
+		})
+		if mergeErr != nil {
+			nw.Close()
+			return nil, mergeErr
+		}
+		if pending != nil {
+			nw.Close()
+			return nil, fmt.Errorf("embu: unpaired trailing update for edge (%d,%d)", pending.U, pending.V)
+		}
+		if err := nw.Close(); err != nil {
+			return nil, err
+		}
+		if err := cur.ReplaceWith(next); err != nil {
+			return nil, err
+		}
+
+		if progress {
+			fruitless = 0
+		} else {
+			fruitless++
+			// A fruitless iteration means no part had an internal edge.
+			// Switch to (re-seeded) randomized partitioning, which makes
+			// progress with high probability on any residual.
+			strategy = partition.Randomized
+			if fruitless >= maxFruitlessIters {
+				return nil, fmt.Errorf("embu: lower-bounding stalled after %d fruitless iterations", fruitless)
+			}
+		}
+	}
+	if err := cur.Remove(); err != nil {
+		return nil, err
+	}
+	w := gw
+	gw = nil
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return gnew, nil
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func recLess(a, b gio.EdgeAux2) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// makePartIndex inverts a partition into a vertex -> part-ID array (-1 for
+// vertices outside every part).
+func makePartIndex(n int, parts partition.Parts) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for pi, p := range parts {
+		for _, v := range p {
+			idx[v] = int32(pi)
+		}
+	}
+	return idx
+}
+
+// maxOpenBuckets bounds simultaneously open bucket writers; when a
+// partition has more parts, the residual is scanned once per wave of
+// buckets (the file-handle analog of the memory budget).
+const maxOpenBuckets = 256
+
+// bucketByPart routes each residual edge to the bucket of every part it is
+// incident to: at most two writes per edge, one residual scan per wave of
+// maxOpenBuckets parts.
+func bucketByPart(cur *gio.Spool[gio.EdgeAux2], nParts int, partOf []int32, cfg Config) ([]*gio.Spool[gio.EdgeAux2], error) {
+	buckets := make([]*gio.Spool[gio.EdgeAux2], nParts)
+	for i := range buckets {
+		sp, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, fmt.Sprintf("bucket%d", i), gio.EdgeAux2Codec{}, cfg.Stats)
+		if err != nil {
+			return nil, err
+		}
+		buckets[i] = sp
+	}
+	for lo := 0; lo < nParts; lo += maxOpenBuckets {
+		hi := lo + maxOpenBuckets
+		if hi > nParts {
+			hi = nParts
+		}
+		writers := make([]*gio.SpoolWriter[gio.EdgeAux2], hi-lo)
+		for i := range writers {
+			w, err := buckets[lo+i].Create()
+			if err != nil {
+				return nil, err
+			}
+			writers[i] = w
+		}
+		inWave := func(p int32) bool { return p >= int32(lo) && p < int32(hi) }
+		err := cur.ForEach(func(r gio.EdgeAux2) error {
+			pu, pv := partOf[r.U], partOf[r.V]
+			if pu >= 0 && inWave(pu) {
+				if err := writers[pu-int32(lo)].Write(r); err != nil {
+					return err
+				}
+			}
+			if pv >= 0 && pv != pu && inWave(pv) {
+				if err := writers[pv-int32(lo)].Write(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		for _, w := range writers {
+			if cerr := w.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buckets, nil
+}
+
+// buildSubgraph materializes the records of one neighborhood subgraph and
+// returns the graph plus a mapping from its edge IDs back to record
+// indices.
+func buildSubgraph(recs []gio.EdgeAux2) (*graph.Graph, []int32) {
+	edges := make([]graph.Edge, len(recs))
+	for i, r := range recs {
+		edges[i] = graph.Edge{U: r.U, V: r.V}
+	}
+	g := graph.FromEdges(edges)
+	recOf := make([]int32, g.NumEdges())
+	byKey := make(map[uint64]int32, len(recs))
+	for i, r := range recs {
+		byKey[r.Key()] = int32(i)
+	}
+	for id, e := range g.Edges() {
+		recOf[id] = byKey[e.Key()]
+	}
+	return g, recOf
+}

@@ -1,0 +1,181 @@
+package embu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// TestLowerBoundInvariants checks the three guarantees LowerBound provides
+// on a random graph under a tiny budget (many iterations): the emitted
+// 2-class is exactly {e : sup(e,G)=0}, every Gnew bound is a true lower
+// bound, and the accumulated support equals the exact support in G.
+func TestLowerBoundInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	var g *graph.Graph
+	for trial := 0; trial <= 4; trial++ {
+		n := 20 + r.Intn(60)
+		m := 2*n + r.Intn(4*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g = graph.FromEdges(edges)
+	}
+	want := core.Decompose(g)
+	origSup := triangle.Supports(g)
+
+	dir := t.TempDir()
+	cfg := Config{Budget: 64, Seed: 4, TempDir: dir}.withDefaults()
+	input, err := gio.NewSpool[gio.EdgeRec](dir, "in", gio.EdgeCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := input.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if err := w.Write(gio.EdgeRec{U: e.U, V: e.V}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	classes, err := gio.NewSpool[gio.EdgeAux](dir, "cl", gio.EdgeAuxCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwr, err := classes.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &classWriter{w: cwr, sizes: map[int32]int64{}}
+	var trace Trace
+	gnew, err := LowerBound(input, g.NumVertices(), cfg, cw, &trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cwr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if trace.LBIterations < 2 {
+		t.Fatalf("budget 64 should force multiple iterations, got %d", trace.LBIterations)
+	}
+
+	truePhi2 := int64(0)
+	for _, s := range origSup {
+		if s == 0 {
+			truePhi2++
+		}
+	}
+	if cw.sizes[2] != truePhi2 {
+		t.Fatalf("|Phi2| = %d, want %d", cw.sizes[2], truePhi2)
+	}
+	if err := classes.ForEach(func(rec gio.EdgeAux) error {
+		id, ok := g.EdgeID(rec.U, rec.V)
+		if !ok {
+			t.Errorf("class edge (%d,%d) not in G", rec.U, rec.V)
+			return nil
+		}
+		if origSup[id] != 0 {
+			t.Errorf("edge (%d,%d) emitted as Phi2 but sup(G)=%d", rec.U, rec.V, origSup[id])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[uint64]int{}
+	if err := gnew.ForEach(func(rec gio.EdgeAux2) error {
+		seen[rec.Key()]++
+		id, ok := g.EdgeID(rec.U, rec.V)
+		if !ok {
+			t.Errorf("gnew edge (%d,%d) not in G", rec.U, rec.V)
+			return nil
+		}
+		if rec.A > want.Phi[id] {
+			t.Errorf("edge (%d,%d): phi_lb=%d > true phi=%d", rec.U, rec.V, rec.A, want.Phi[id])
+		}
+		if rec.A < 2 {
+			t.Errorf("edge (%d,%d): phi_lb=%d < 2", rec.U, rec.V, rec.A)
+		}
+		if rec.B != origSup[id] {
+			t.Errorf("edge (%d,%d): acc=%d != sup=%d", rec.U, rec.V, rec.B, origSup[id])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range seen {
+		if c > 1 {
+			t.Errorf("edge key %d appears %d times in gnew", k, c)
+		}
+	}
+	if int64(len(seen))+cw.sizes[2] != int64(g.NumEdges()) {
+		t.Fatalf("gnew (%d) + Phi2 (%d) != m (%d)", len(seen), cw.sizes[2], g.NumEdges())
+	}
+}
+
+// TestExactSupportsMatchesInMemory validates the partitioned support
+// accumulation against the in-memory triangle counter.
+func TestExactSupportsMatchesInMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		n := 15 + r.Intn(40)
+		m := 2*n + r.Intn(3*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		want := triangle.Supports(g)
+
+		dir := t.TempDir()
+		h, err := gio.NewSpool[gio.EdgeAux2](dir, "h", gio.EdgeAux2Codec{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := h.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if err := w.Write(gio.EdgeAux2{U: e.U, V: e.V}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sups, err := ExactSupports(h, g.NumVertices(), Config{Budget: 48, Seed: int64(trial), TempDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		if err := sups.ForEach(func(rec gio.EdgeAux) error {
+			count++
+			id, ok := g.EdgeID(rec.U, rec.V)
+			if !ok {
+				t.Errorf("support record for non-edge (%d,%d)", rec.U, rec.V)
+				return nil
+			}
+			if rec.Aux != want[id] {
+				t.Errorf("edge (%d,%d): sup=%d want %d", rec.U, rec.V, rec.Aux, want[id])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != g.NumEdges() {
+			t.Fatalf("got %d support records for %d edges", count, g.NumEdges())
+		}
+		sups.Remove()
+	}
+}

@@ -1,0 +1,92 @@
+package emtd
+
+import (
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// TestClassifyEdgesChunked forces the multi-chunk rewrite path: more edges
+// to classify than the budget admits per chunk.
+func TestClassifyEdgesChunked(t *testing.T) {
+	dir := t.TempDir()
+	gnew, err := gio.NewSpool[gio.EdgeRec5](dir, "gnew", gio.EdgeRec5Codec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []gio.EdgeRec5
+	for i := 0; i < 400; i++ {
+		recs = append(recs, gio.EdgeRec5{U: uint32(i), V: uint32(i + 1000), Sup: 1, Psi: 5})
+	}
+	if err := gnew.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	var toClassify []graph.Edge
+	for i := 0; i < 400; i += 2 {
+		toClassify = append(toClassify, graph.Edge{U: uint32(i), V: uint32(i + 1000)})
+	}
+	cfg := Config{Budget: 64, TempDir: dir}.withDefaults() // 200 keys, 64-cap chunks
+	if err := classifyEdges(gnew, toClassify, 7, cfg); err != nil {
+		t.Fatal(err)
+	}
+	classified, unclassified := 0, 0
+	if err := gnew.ForEach(func(r gio.EdgeRec5) error {
+		if r.U%2 == 0 {
+			if r.Phi != 7 {
+				t.Fatalf("edge (%d,%d) phi=%d, want 7", r.U, r.V, r.Phi)
+			}
+			classified++
+		} else {
+			if r.Phi != 0 {
+				t.Fatalf("edge (%d,%d) unexpectedly classified", r.U, r.V)
+			}
+			unclassified++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if classified != 200 || unclassified != 200 {
+		t.Fatalf("classified=%d unclassified=%d", classified, unclassified)
+	}
+}
+
+// TestPruneClassified checks both prune outcomes: a classified edge whose
+// endpoints touch no unclassified edge is dropped; one sharing a vertex
+// with an unclassified edge stays.
+func TestPruneClassified(t *testing.T) {
+	dir := t.TempDir()
+	gnew, err := gio.NewSpool[gio.EdgeRec5](dir, "gnew", gio.EdgeRec5Codec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []gio.EdgeRec5{
+		{U: 0, V: 1, Phi: 5}, // classified, isolated from unclassified -> prune
+		{U: 2, V: 3, Phi: 5}, // classified, shares vertex 3 with unclassified -> keep
+		{U: 3, V: 4, Phi: 0}, // unclassified -> keep
+	}
+	if err := gnew.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	var trace Trace
+	cfg := Config{TempDir: dir}.withDefaults()
+	if err := pruneClassified(gnew, 10, cfg, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Pruned != 1 {
+		t.Fatalf("pruned = %d, want 1", trace.Pruned)
+	}
+	left, err := gnew.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("left %d records", len(left))
+	}
+	for _, r := range left {
+		if r.U == 0 {
+			t.Fatal("isolated classified edge survived pruning")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package emtd implements the paper's top-down I/O-efficient truss
+// decomposition (Section 6): UpperBounding (Procedure 6) computes a
+// per-edge upper bound psi(e) = min(sup(e), x_u, x_v) + 2 on the truss
+// number, and the top-down stage (Algorithm 7 with Procedures 8 and 10)
+// computes the k-classes from kmax downward, extracting per-k candidate
+// subgraphs NS(U_k) of edges whose bound admits class k. It is tailored to
+// applications that need only the top-t classes — the "heart" of a network.
+//
+// Correctness refinement over the paper's pseudocode: when peeling a
+// candidate subgraph at level k, a triangle is counted toward an edge's
+// support only if all three edges are *T_k-eligible* — already classified
+// (truss number > k) or unclassified with psi >= k. An edge with psi < k
+// provably cannot belong to T_k (Lemma 2), so triangles through it must not
+// prop up candidates; without this filter, unremovable low-psi external
+// edges can inflate a candidate's support and misclassify it upward.
+// With the filter, the surviving candidates are exactly Phi_k: survivors
+// union T_k form a subgraph with minimum support k-2, so maximality of the
+// k-truss absorbs them.
+package emtd
+
+import (
+	"os"
+
+	"repro/internal/embu"
+	"repro/internal/gio"
+	"repro/internal/partition"
+)
+
+// Config parameterizes the top-down decomposition.
+type Config struct {
+	// TopT asks for the top-t k-classes (k from kmax down to kmax-t+1).
+	// 0 means all classes (the 2-class from the preparation stage
+	// included).
+	TopT int
+	// Budget is the memory budget in adjacency entries, as in embu.Config.
+	Budget int64
+	// Strategy selects the vertex partitioner for the preparation stage.
+	Strategy partition.Strategy
+	// Seed drives randomized partitioning.
+	Seed int64
+	// TempDir holds spools and sort runs (default os.TempDir()).
+	TempDir string
+	// Stats, if non-nil, accumulates all disk traffic.
+	Stats *gio.Stats
+	// DisableKInit turns off the Section 6.3 shortcut that finds the
+	// smallest k whose candidate fits in memory and decomposes it in one
+	// in-memory pass. Used by the ablation benchmarks.
+	DisableKInit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 1 << 22
+	}
+	if c.Budget < 64 {
+		c.Budget = 64
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+	return c
+}
+
+func (c Config) embu() embu.Config {
+	return embu.Config{
+		Budget:   c.Budget,
+		Strategy: c.Strategy,
+		Seed:     c.Seed,
+		TempDir:  c.TempDir,
+		Stats:    c.Stats,
+	}
+}
+
+// Trace records how a top-down run unfolded.
+type Trace struct {
+	// LBIterations is the number of preparation (Algorithm 3) passes.
+	LBIterations int
+	// Rounds counts per-k candidate rounds actually executed.
+	Rounds int
+	// OversizeRounds counts rounds routed through Procedure 10.
+	OversizeRounds int
+	// Proc10Passes counts support-recomputation passes inside Procedure 10.
+	Proc10Passes int
+	// KInitUsed reports whether the Section 6.3 in-memory shortcut fired,
+	// and KInit records the level it decomposed from.
+	KInitUsed bool
+	KInit     int32
+	// Pruned counts classified edges deleted from the residual graph.
+	Pruned int64
+}
+
+// Result is the output of a top-down decomposition.
+type Result struct {
+	// Classes holds one (u, v, phi) record per classified edge. For a
+	// top-t run it contains the classes k > KMax-t (plus the 2-class,
+	// which the preparation stage establishes as a byproduct).
+	Classes *gio.Spool[gio.EdgeAux]
+	// ClassSizes maps k to |Phi_k| for every emitted class.
+	ClassSizes map[int32]int64
+	// KMax is the maximum truss number (discovered at the first non-empty
+	// class).
+	KMax int32
+	// NumVertices is the vertex-ID space of the input.
+	NumVertices int
+	// Trace describes the run.
+	Trace Trace
+}
+
+// PhiMap loads the emitted classes into memory keyed by canonical edge.
+func (r *Result) PhiMap() (map[uint64]int32, error) {
+	out := make(map[uint64]int32, r.Classes.Count())
+	err := r.Classes.ForEach(func(rec gio.EdgeAux) error {
+		out[rec.Key()] = rec.Aux
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close removes the result's backing files.
+func (r *Result) Close() error { return r.Classes.Remove() }

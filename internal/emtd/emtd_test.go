@@ -1,0 +1,295 @@
+package emtd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// checkTopDown runs the top-down decomposition and validates the emitted
+// classes against the in-memory oracle. With TopT == 0 every edge must be
+// classified; with TopT > 0 exactly the classes in (kmax-t, kmax] plus the
+// 2-class must appear.
+func checkTopDown(t *testing.T, g *graph.Graph, cfg Config) *Result {
+	t.Helper()
+	cfg.TempDir = t.TempDir()
+	res, err := DecomposeGraph(g, cfg)
+	if err != nil {
+		t.Fatalf("top-down decompose: %v", err)
+	}
+	want := core.Decompose(g)
+	got, err := res.PhiMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every emitted classification must be correct.
+	for key, p := range got {
+		e := graph.EdgeFromKey(key)
+		id, ok := g.EdgeID(e.U, e.V)
+		if !ok {
+			t.Fatalf("emitted edge %v not in G", e)
+		}
+		if want.Phi[id] != p {
+			t.Fatalf("edge %v: top-down phi=%d, oracle phi=%d", e, p, want.Phi[id])
+		}
+	}
+	if want.KMax >= 3 && res.KMax != want.KMax {
+		t.Fatalf("kmax: top-down %d, oracle %d", res.KMax, want.KMax)
+	}
+	// Coverage check.
+	low := int32(3)
+	if cfg.TopT > 0 {
+		low = want.KMax - int32(cfg.TopT) + 1
+	}
+	for id, p := range want.Phi {
+		e := g.Edge(int32(id))
+		inRange := p >= low || p == 2 // the 2-class falls out of preparation
+		if cfg.TopT > 0 && p == 2 && low > 2 {
+			inRange = true // still emitted as a preparation byproduct
+		}
+		if inRange {
+			q, ok := got[e.Key()]
+			if !ok {
+				t.Fatalf("edge %v (phi=%d) missing from top-down output (low=%d)", e, p, low)
+			}
+			if q != p {
+				t.Fatalf("edge %v: phi %d vs %d", e, q, p)
+			}
+		}
+	}
+	return res
+}
+
+func TestPaperExampleTopDownAll(t *testing.T) {
+	g := gen.PaperExample()
+	res := checkTopDown(t, g, Config{})
+	if res.KMax != 5 {
+		t.Fatalf("kmax = %d", res.KMax)
+	}
+	// All 26 edges classified.
+	if n := res.Classes.Count(); n != 26 {
+		t.Fatalf("classified %d edges, want 26", n)
+	}
+	res.Close()
+}
+
+func TestPaperExampleTopDownTop2(t *testing.T) {
+	// Example 5 of the paper: t=2 computes Phi5 then Phi4 and stops.
+	g := gen.PaperExample()
+	res := checkTopDown(t, g, Config{TopT: 2})
+	if res.ClassSizes[5] != 10 || res.ClassSizes[4] != 6 {
+		t.Fatalf("sizes = %v, want Phi5=10 Phi4=6", res.ClassSizes)
+	}
+	if res.ClassSizes[3] != 0 {
+		t.Fatalf("top-2 run computed Phi3: %v", res.ClassSizes)
+	}
+	res.Close()
+}
+
+func TestTopDownTinyBudgetNoShortcut(t *testing.T) {
+	g := gen.PaperExample()
+	res := checkTopDown(t, g, Config{Budget: 64, DisableKInit: true, Seed: 7})
+	if res.Trace.KInitUsed {
+		t.Fatal("shortcut should be disabled")
+	}
+	if res.Trace.Rounds == 0 {
+		t.Fatal("expected per-k rounds")
+	}
+	res.Close()
+}
+
+func TestTopDownProcedure10(t *testing.T) {
+	// Budget small enough that candidates cannot fit in memory.
+	g := gen.Community(4, 14, 0.7, 1.0, 33)
+	res := checkTopDown(t, g, Config{Budget: 80, DisableKInit: true, Seed: 3})
+	if res.Trace.OversizeRounds == 0 {
+		t.Skipf("budget did not force Procedure 10; trace=%+v", res.Trace)
+	}
+	if res.Trace.Proc10Passes == 0 {
+		t.Fatal("oversize round without Procedure 10 passes")
+	}
+	res.Close()
+}
+
+func TestTopDownRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + r.Intn(50)
+		m := 2*n + r.Intn(4*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		for _, cfg := range []Config{
+			{},                     // all classes, default budget (kinit shortcut)
+			{TopT: 1},              // just the max truss
+			{TopT: 3, Budget: 512}, // top-3 with modest budget
+			{Budget: 64, Seed: 5},  // tiny budget, shortcut may or may not fire
+			{Budget: 64, Seed: 5, DisableKInit: true}, // tiny budget, rounds only
+		} {
+			cfg.Seed += int64(trial)
+			res := checkTopDown(t, g, cfg)
+			res.Close()
+		}
+	}
+}
+
+func TestTopDownKInitShortcut(t *testing.T) {
+	g := gen.Community(6, 12, 0.7, 1.0, 21)
+	res := checkTopDown(t, g, Config{TopT: 2})
+	if !res.Trace.KInitUsed {
+		t.Fatalf("default budget should trigger the kinit shortcut; trace=%+v", res.Trace)
+	}
+	res.Close()
+}
+
+func TestTopDownSmallDatasets(t *testing.T) {
+	for _, d := range gen.SmallDatasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g := d.Build()
+			res := checkTopDown(t, g, Config{TopT: 3, Budget: int64(g.NumEdges()), Seed: 2})
+			res.Close()
+		})
+	}
+}
+
+func TestUpperBoundIsUpperBound(t *testing.T) {
+	// psi(e) >= phi(e) for every edge, on random graphs.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 15 + r.Intn(40)
+		m := 2*n + r.Intn(3*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		want := core.Decompose(g)
+
+		dir := t.TempDir()
+		cfg := Config{TempDir: dir, Budget: 1 << 16}.withDefaults()
+		// Build the (u,v,sup) input the way stage 1 would.
+		gnew2, err := gio.NewSpool[gio.EdgeAux2](dir, "g2", gio.EdgeAux2Codec{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := gnew2.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := supports(g)
+		for id, e := range g.Edges() {
+			if sup[id] == 0 {
+				continue // stage 1 removes the 2-class
+			}
+			if err := w.Write(gio.EdgeAux2{U: e.U, V: e.V, B: sup[id]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		psis, err := upperBound(gnew2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		if err := psis.ForEach(func(rec gio.EdgeRec5) error {
+			count++
+			id, ok := g.EdgeID(rec.U, rec.V)
+			if !ok {
+				t.Fatalf("psi record for non-edge (%d,%d)", rec.U, rec.V)
+			}
+			if rec.Psi < want.Phi[id] {
+				t.Errorf("edge (%d,%d): psi=%d < phi=%d", rec.U, rec.V, rec.Psi, want.Phi[id])
+			}
+			if rec.Sup != sup[id] {
+				t.Errorf("edge (%d,%d): sup=%d want %d", rec.U, rec.V, rec.Sup, sup[id])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		psis.Remove()
+	}
+}
+
+// supports is a tiny local helper mirroring triangle.Supports to avoid an
+// extra import cycle in tests.
+func supports(g *graph.Graph) []int32 {
+	sup := make([]int32, g.NumEdges())
+	for id, e := range g.Edges() {
+		a, b := g.Neighbors(e.U), g.Neighbors(e.V)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				sup[id]++
+				i++
+				j++
+			}
+		}
+	}
+	return sup
+}
+
+func TestPaperExample4UpperBound(t *testing.T) {
+	// Example 4 of the paper: psi((d,g)) = 4 in Figure 2 (sup=3, xd=3,
+	// xg=2).
+	g := gen.PaperExample()
+	dir := t.TempDir()
+	cfg := Config{TempDir: dir}.withDefaults()
+	gnew2, err := gio.NewSpool[gio.EdgeAux2](dir, "g2", gio.EdgeAux2Codec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gnew2.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := supports(g)
+	for id, e := range g.Edges() {
+		if sup[id] == 0 {
+			continue
+		}
+		if err := w.Write(gio.EdgeAux2{U: e.U, V: e.V, B: sup[id]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	psis, err := upperBound(gnew2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	psis.ForEach(func(rec gio.EdgeRec5) error {
+		if rec.U == 3 && rec.V == 6 { // (d,g)
+			found = true
+			if rec.Psi != 4 {
+				t.Errorf("psi((d,g)) = %d, want 4", rec.Psi)
+			}
+		}
+		if rec.U == 0 && rec.V == 1 { // (a,b) in the 5-clique
+			if rec.Psi != 5 {
+				t.Errorf("psi((a,b)) = %d, want 5", rec.Psi)
+			}
+		}
+		return nil
+	})
+	if !found {
+		t.Fatal("(d,g) missing from psi output")
+	}
+	psis.Remove()
+}

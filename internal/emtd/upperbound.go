@@ -1,0 +1,168 @@
+package emtd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/extsort"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// upperBound implements Procedure 6: for every edge e = (u,v) with exact
+// support sup(e), compute psi(e) = min(sup(e), x_u, x_v) + 2, where x_w is
+// the largest x such that at least x edges incident to w — excluding e —
+// have support >= x (an H-index with a leave-one-out correction).
+//
+// The paper computes x_w inside neighborhood-subgraph partitions; since
+// x_w depends only on the multiset of supports incident to w, this
+// implementation streams the same values with two external sorts: group
+// (endpoint, support) pairs by endpoint to produce per-edge x_w
+// contributions, then group the two contributions per edge to emit psi.
+// Peak memory is O(max degree) for the largest vertex group plus the sort
+// budget.
+func upperBound(gnew *gio.Spool[gio.EdgeAux2], cfg Config) (*gio.Spool[gio.EdgeRec5], error) {
+	// Pass 1: two (endpoint, other, sup) records per edge, sorted by
+	// endpoint.
+	byVertex := extsort.NewSorter[gio.EdgeAux2](gio.EdgeAux2Codec{}, func(a, b gio.EdgeAux2) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+	err := gnew.ForEach(func(r gio.EdgeAux2) error {
+		if err := byVertex.Push(gio.EdgeAux2{U: r.U, V: r.V, A: r.B}); err != nil {
+			return err
+		}
+		return byVertex.Push(gio.EdgeAux2{U: r.V, V: r.U, A: r.B})
+	})
+	if err != nil {
+		return nil, err
+	}
+	it, err := byVertex.Sort()
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: stream vertex groups; emit per-edge x_w contributions keyed
+	// by the canonical edge, carrying sup alongside.
+	byEdge := extsort.NewSorter[gio.EdgeRec5](gio.EdgeRec5Codec{}, func(a, b gio.EdgeRec5) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+
+	var group []gio.EdgeAux2
+	flush := func() error {
+		if len(group) == 0 {
+			return nil
+		}
+		w := group[0].U
+		sups := make([]int32, len(group))
+		for i, g := range group {
+			sups[i] = g.A
+		}
+		sort.Slice(sups, func(i, j int) bool { return sups[i] > sups[j] })
+		// hFull = max x such that at least x incident edges have sup >= x.
+		hFull := int32(0)
+		for i, s := range sups {
+			if s >= int32(i+1) {
+				hFull = int32(i + 1)
+			} else {
+				break
+			}
+		}
+		// cAtH = number of incident edges with sup >= hFull.
+		cAtH := int32(sort.Search(len(sups), func(i int) bool { return sups[i] < hFull }))
+		for _, g := range group {
+			x := hFull
+			if hFull > 0 {
+				excl := int32(0)
+				if g.A >= hFull {
+					excl = 1
+				}
+				if cAtH-excl < hFull {
+					x = hFull - 1
+				}
+			}
+			e := (graph.Edge{U: w, V: g.V}).Canon()
+			if err := byEdge.Push(gio.EdgeRec5{U: e.U, V: e.V, Sup: g.A, Psi: x}); err != nil {
+				return err
+			}
+		}
+		group = group[:0]
+		return nil
+	}
+	err = it.ForEach(func(r gio.EdgeAux2) error {
+		if len(group) > 0 && group[0].U != r.U {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		group = append(group, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	// Pass 3: merge the two contributions per edge into psi records.
+	out, err := gio.NewSpool[gio.EdgeRec5](cfg.TempDir, "psis", gio.EdgeRec5Codec{}, cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := out.Create()
+	if err != nil {
+		return nil, err
+	}
+	it5, err := byEdge.Sort()
+	if err != nil {
+		ow.Close()
+		return nil, err
+	}
+	var pending *gio.EdgeRec5
+	err = it5.ForEach(func(r gio.EdgeRec5) error {
+		if pending != nil && pending.U == r.U && pending.V == r.V {
+			xu, xv := pending.Psi, r.Psi
+			psi := minI32(r.Sup, minI32(xu, xv)) + 2
+			rec := gio.EdgeRec5{U: r.U, V: r.V, Sup: r.Sup, Psi: psi, Phi: 0}
+			pending = nil
+			return ow.Write(rec)
+		}
+		if pending != nil {
+			return fmt.Errorf("emtd: unpaired x contribution for edge (%d,%d)", pending.U, pending.V)
+		}
+		c := r
+		pending = &c
+		return nil
+	})
+	if err == nil && pending != nil {
+		err = fmt.Errorf("emtd: unpaired trailing x contribution for edge (%d,%d)", pending.U, pending.V)
+	}
+	if err != nil {
+		ow.Close()
+		return nil, err
+	}
+	if err := ow.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gio"
+)
+
+func BenchmarkSortSpilled(b *testing.B) {
+	dir := b.TempDir()
+	r := rand.New(rand.NewSource(1))
+	const n = 200000
+	recs := make([]gio.EdgeAux, n)
+	for i := range recs {
+		recs[i] = gio.EdgeAux{U: r.Uint32(), V: r.Uint32(), Aux: int32(i)}
+	}
+	b.SetBytes(n * 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter[gio.EdgeAux](gio.EdgeAuxCodec{}, keyLess, Config{Budget: 16384, Dir: dir})
+		for _, rec := range recs {
+			if err := s.Push(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		if err := it.ForEach(func(gio.EdgeAux) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}

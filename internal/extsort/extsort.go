@@ -1,0 +1,245 @@
+// Package extsort implements external merge sort over streams of fixed-size
+// binary records. The LowerBounding stage of the bottom-up algorithm uses it
+// to merge per-partition lower-bound updates for external edges: each
+// iteration emits two update records per surviving cross-partition edge,
+// which are sorted by edge key and max-merged into the next residual graph.
+//
+// The sort honours an in-memory budget (number of records held at once),
+// producing sorted runs on disk and k-way merging them with a heap, exactly
+// the textbook Aggarwal-Vitter external sort the paper's I/O model assumes.
+package extsort
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/gio"
+)
+
+// Config controls an external sort.
+type Config struct {
+	// Budget is the maximum number of records held in memory while forming
+	// runs. Values < 2 are raised to 2.
+	Budget int
+	// Dir is the temp directory for run files; os.TempDir() if empty.
+	Dir string
+	// Stats receives I/O accounting for run files (may be nil).
+	Stats *gio.Stats
+}
+
+var runSeq atomic.Int64
+
+// Sorter accumulates records, spilling sorted runs to disk when the budget
+// is exceeded, then merges them on demand.
+type Sorter[T any] struct {
+	cfg   Config
+	codec gio.Codec[T]
+	less  func(a, b T) bool
+	buf   []T
+	runs  []string
+	count int64
+}
+
+// NewSorter returns a Sorter using less as the strict weak ordering.
+func NewSorter[T any](codec gio.Codec[T], less func(a, b T) bool, cfg Config) *Sorter[T] {
+	if cfg.Budget < 2 {
+		cfg.Budget = 2
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = os.TempDir()
+	}
+	return &Sorter[T]{cfg: cfg, codec: codec, less: less}
+}
+
+// Push adds a record to the sorter.
+func (s *Sorter[T]) Push(rec T) error {
+	s.buf = append(s.buf, rec)
+	s.count++
+	if len(s.buf) >= s.cfg.Budget {
+		return s.spill()
+	}
+	return nil
+}
+
+// Count returns the number of records pushed.
+func (s *Sorter[T]) Count() int64 { return s.count }
+
+func (s *Sorter[T]) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	path := filepath.Join(s.cfg.Dir, fmt.Sprintf("run-%d.sort", runSeq.Add(1)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := gio.NewWriter(f, s.codec, s.cfg.Stats)
+	for _, r := range s.buf {
+		if err := w.Write(r); err != nil {
+			w.Close()
+			os.Remove(path)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	s.runs = append(s.runs, path)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// mergeItem is a heap entry: the head record of one run.
+type mergeItem[T any] struct {
+	rec T
+	src int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].rec, h.items[j].rec) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)         { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Iterator yields records in sorted order. Close releases run files.
+type Iterator[T any] struct {
+	// in-memory part (possibly the only part)
+	mem []T
+	mi  int
+	// disk runs
+	readers []*gio.Reader[T]
+	paths   []string
+	h       *mergeHeap[T]
+	memIdx  int // src index representing the in-memory run in the heap
+	done    bool
+}
+
+// Sort finalizes the sorter and returns an iterator over all records in
+// order. The sorter must not be reused afterwards.
+func (s *Sorter[T]) Sort() (*Iterator[T], error) {
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	it := &Iterator[T]{mem: s.buf, paths: s.runs}
+	s.buf = nil
+	s.runs = nil
+	if len(it.paths) == 0 {
+		return it, nil
+	}
+	it.h = &mergeHeap[T]{less: s.less}
+	for i, p := range it.paths {
+		f, err := os.Open(p)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		r := gio.NewReader(f, s.codec, s.cfg.Stats)
+		it.readers = append(it.readers, r)
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		heap.Push(it.h, mergeItem[T]{rec, i})
+	}
+	it.memIdx = len(it.paths)
+	if it.mi < len(it.mem) {
+		heap.Push(it.h, mergeItem[T]{it.mem[it.mi], it.memIdx})
+		it.mi++
+	}
+	return it, nil
+}
+
+// Next returns the next record in sorted order; ok is false at the end.
+func (it *Iterator[T]) Next() (rec T, ok bool, err error) {
+	var zero T
+	if it.done {
+		return zero, false, nil
+	}
+	if it.h == nil {
+		// Pure in-memory case.
+		if it.mi >= len(it.mem) {
+			it.done = true
+			return zero, false, nil
+		}
+		rec = it.mem[it.mi]
+		it.mi++
+		return rec, true, nil
+	}
+	if it.h.Len() == 0 {
+		it.done = true
+		return zero, false, nil
+	}
+	top := heap.Pop(it.h).(mergeItem[T])
+	// Refill from the source run.
+	if top.src == it.memIdx {
+		if it.mi < len(it.mem) {
+			heap.Push(it.h, mergeItem[T]{it.mem[it.mi], it.memIdx})
+			it.mi++
+		}
+	} else {
+		nrec, rerr := it.readers[top.src].Read()
+		if rerr == nil {
+			heap.Push(it.h, mergeItem[T]{nrec, top.src})
+		} else if !errors.Is(rerr, io.EOF) {
+			return zero, false, rerr
+		}
+	}
+	return top.rec, true, nil
+}
+
+// ForEach drains the iterator, invoking fn in order, then closes it.
+func (it *Iterator[T]) ForEach(fn func(T) error) error {
+	defer it.Close()
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Close releases readers and deletes run files. Safe to call repeatedly.
+func (it *Iterator[T]) Close() error {
+	var first error
+	for _, r := range it.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	it.readers = nil
+	for _, p := range it.paths {
+		if err := os.Remove(p); err != nil && first == nil && !os.IsNotExist(err) {
+			first = err
+		}
+	}
+	it.paths = nil
+	it.done = true
+	return first
+}

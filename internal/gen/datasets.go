@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// PaperStats records what Table 2 of the paper reports for the original
+// dataset, for side-by-side printing in the experiment harness.
+type PaperStats struct {
+	V, E   int64
+	DMax   int
+	DMed   int
+	KMax   int
+	SizeMB float64 // on-disk size reported by the paper, in MB
+}
+
+// Dataset is a synthetic analog of one of the paper's nine datasets.
+type Dataset struct {
+	// Name matches the paper's dataset name (P2P, HEP, ...).
+	Name string
+	// Character describes the generator used and why it matches.
+	Character string
+	// Paper holds the original statistics from Table 2.
+	Paper PaperStats
+	// ScaleNote documents the size reduction relative to the original.
+	ScaleNote string
+	// Build generates the analog (deterministic).
+	Build func() *graph.Graph
+	// Large marks datasets the paper could only process out-of-core
+	// (LJ, BTC, Web): the in-memory Table 3 experiment skips them and the
+	// external-memory experiments target them.
+	Large bool
+}
+
+// Datasets returns the nine analogs in the paper's Table 2 order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name:      "P2P",
+			Character: "Barabasi-Albert preferential attachment (sparse power-law peer network)",
+			Paper:     PaperStats{V: 6_300, E: 41_600, DMax: 97, DMed: 3, KMax: 5, SizeMB: 0.237},
+			ScaleNote: "1:1 (already laptop-scale)",
+			Build:     func() *graph.Graph { return BarabasiAlbert(6300, 7, 101) },
+		},
+		{
+			Name:      "HEP",
+			Character: "clique-affiliation collaboration graph (multi-author papers induce cliques)",
+			Paper:     PaperStats{V: 9_900, E: 52_000, DMax: 65, DMed: 3, KMax: 32, SizeMB: 0.317},
+			ScaleNote: "1:1 (already laptop-scale)",
+			Build:     func() *graph.Graph { return Collaboration(9900, 880, 32, 102) },
+		},
+		{
+			Name:      "Amazon",
+			Character: "planted-partition co-purchase communities",
+			Paper:     PaperStats{V: 400_000, E: 3_400_000, DMax: 2752, DMed: 10, KMax: 11, SizeMB: 47.9},
+			ScaleNote: "~1:10 vertices (hub skew kept at the original's dmax/|V| ratio)",
+			Build: func() *graph.Graph {
+				return WithHubs(Community(2400, 17, 0.62, 2.0, 103), 25, 280, 103)
+			},
+		},
+		{
+			Name:      "Wiki",
+			Character: "heavy-tailed RMAT + planted editor cliques",
+			Paper:     PaperStats{V: 2_400_000, E: 5_000_000, DMax: 100029, DMed: 1, KMax: 53, SizeMB: 66.5},
+			ScaleNote: "~1:30 vertices",
+			Build: func() *graph.Graph {
+				g := RMAT(16, 3, 0.57, 0.19, 0.19, 104)
+				return WithPlantedCliques(g, []int{53, 40, 30}, 104)
+			},
+		},
+		{
+			Name:      "Skitter",
+			Character: "heavy-tailed RMAT internet topology + peering cliques",
+			Paper:     PaperStats{V: 1_700_000, E: 11_000_000, DMax: 35455, DMed: 5, KMax: 68, SizeMB: 149.1},
+			ScaleNote: "~1:25 vertices",
+			Build: func() *graph.Graph {
+				g := RMAT(16, 6, 0.59, 0.19, 0.19, 105)
+				return WithPlantedCliques(g, []int{68, 45, 30}, 105)
+			},
+		},
+		{
+			Name:      "Blog",
+			Character: "heavy-tailed RMAT co-result network + topical cliques",
+			Paper:     PaperStats{V: 1_000_000, E: 12_800_000, DMax: 6154, DMed: 2, KMax: 49, SizeMB: 177.2},
+			ScaleNote: "~1:15 vertices",
+			Build: func() *graph.Graph {
+				g := RMAT(16, 8, 0.55, 0.2, 0.2, 106)
+				return WithPlantedCliques(g, []int{49, 35, 25}, 106)
+			},
+		},
+		{
+			Name:      "LJ",
+			Character: "heavy-tailed RMAT friendship network + community cliques",
+			Paper:     PaperStats{V: 4_800_000, E: 69_000_000, DMax: 20333, DMed: 5, KMax: 362, SizeMB: 809.1},
+			ScaleNote: "~1:40 vertices (kmax scaled ~1:3)",
+			Large:     true,
+			Build: func() *graph.Graph {
+				g := RMAT(17, 6, 0.57, 0.19, 0.19, 107)
+				return WithPlantedCliques(g, []int{120, 80, 60, 40, 30}, 107)
+			},
+		},
+		{
+			Name:      "BTC",
+			Character: "very sparse RMAT RDF graph (low triangle density keeps kmax small)",
+			Paper:     PaperStats{V: 165_000_000, E: 773_000_000, DMax: 1637619, DMed: 1, KMax: 7, SizeMB: 10240},
+			ScaleNote: "~1:600 vertices",
+			Large:     true,
+			Build:     func() *graph.Graph { return RMAT(18, 3, 0.5, 0.22, 0.22, 108) },
+		},
+		{
+			Name:      "Web",
+			Character: "heavy-tailed RMAT hyperlink graph + link-farm cliques",
+			Paper:     PaperStats{V: 106_000_000, E: 1_092_000_000, DMax: 36484, DMed: 2, KMax: 166, SizeMB: 12492.8},
+			ScaleNote: "~1:800 vertices (kmax scaled ~1:2)",
+			Large:     true,
+			Build: func() *graph.Graph {
+				g := RMAT(17, 4, 0.6, 0.18, 0.18, 109)
+				return WithPlantedCliques(g, []int{90, 60, 45, 30}, 109)
+			},
+		},
+	}
+}
+
+// DatasetByName looks a dataset up by its paper name.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// QuickDatasets returns the nine analogs at roughly one tenth scale, for
+// fast experiment runs (cmd/experiments -quick) and benchmarks on
+// constrained machines. Names match Datasets().
+func QuickDatasets() []Dataset {
+	quick := []Dataset{
+		{Name: "P2P", Build: func() *graph.Graph { return BarabasiAlbert(1600, 6, 101) }},
+		{Name: "HEP", Build: func() *graph.Graph { return Collaboration(2500, 260, 24, 102) }},
+		{Name: "Amazon", Build: func() *graph.Graph {
+			return WithHubs(Community(600, 15, 0.62, 2.0, 103), 8, 70, 103)
+		}},
+		{Name: "Wiki", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(13, 3, 0.57, 0.19, 0.19, 104), []int{30, 22}, 104)
+		}},
+		{Name: "Skitter", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(13, 6, 0.59, 0.19, 0.19, 105), []int{34, 24}, 105)
+		}},
+		{Name: "Blog", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(13, 8, 0.55, 0.2, 0.2, 106), []int{28, 20}, 106)
+		}},
+		{Name: "LJ", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(14, 6, 0.57, 0.19, 0.19, 107), []int{60, 40, 26}, 107)
+		}},
+		{Name: "BTC", Build: func() *graph.Graph { return RMAT(15, 3, 0.5, 0.22, 0.22, 108) }},
+		{Name: "Web", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(14, 4, 0.6, 0.18, 0.18, 109), []int{45, 30, 20}, 109)
+		}},
+	}
+	// Inherit metadata (paper stats, Large flags) from the full registry.
+	full := Datasets()
+	for i := range quick {
+		for _, f := range full {
+			if f.Name == quick[i].Name {
+				quick[i].Paper = f.Paper
+				quick[i].Character = f.Character
+				quick[i].Large = f.Large
+				quick[i].ScaleNote = f.ScaleNote + ", quick variant ~1:10 further"
+			}
+		}
+	}
+	return quick
+}
+
+// graphCache memoizes built datasets so experiments and benchmarks that
+// reference the same analog repeatedly pay generation cost once.
+var graphCache sync.Map
+
+// CachedBuild returns d.Build() memoized under the given cache key.
+func CachedBuild(key string, d Dataset) *graph.Graph {
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	g := d.Build()
+	actual, _ := graphCache.LoadOrStore(key, g)
+	return actual.(*graph.Graph)
+}
+
+// SmallDatasets returns reduced-size variants of every analog for use in
+// tests: same generators and character, two orders of magnitude smaller.
+func SmallDatasets() []Dataset {
+	return []Dataset{
+		{Name: "P2P-small", Build: func() *graph.Graph { return BarabasiAlbert(600, 5, 201) }},
+		{Name: "HEP-small", Build: func() *graph.Graph { return Collaboration(800, 400, 12, 202) }},
+		{Name: "Amazon-small", Build: func() *graph.Graph { return Community(40, 12, 0.6, 2.0, 203) }},
+		{Name: "Wiki-small", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(9, 3, 0.57, 0.19, 0.19, 204), []int{12, 9}, 204)
+		}},
+		{Name: "BTC-small", Build: func() *graph.Graph { return RMAT(10, 3, 0.5, 0.22, 0.22, 205) }},
+		{Name: "Web-small", Build: func() *graph.Graph {
+			return WithPlantedCliques(RMAT(9, 4, 0.6, 0.18, 0.18, 206), []int{15, 10}, 206)
+		}},
+	}
+}

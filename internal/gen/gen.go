@@ -1,0 +1,276 @@
+// Package gen produces deterministic synthetic graphs. Because the paper's
+// SNAP/Yahoo/BTC datasets cannot be downloaded in this offline environment,
+// every experiment runs on a generated analog whose degree skew and triangle
+// density match the character of the original (see DESIGN.md, Substitutions).
+//
+// All generators are deterministic functions of their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// sortedKeys returns a map's keys in increasing order, for deterministic
+// iteration.
+func sortedKeys(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErdosRenyi samples a G(n,m) graph: m distinct uniform random edges.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(m)
+	if n > 1 {
+		seen := make(map[uint64]bool, m)
+		for len(seen) < m && len(seen) < n*(n-1)/2 {
+			u := uint32(r.Intn(n))
+			v := uint32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			k := (graph.Edge{U: u, V: v}).Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			b.AddEdge(u, v)
+		}
+	}
+	b.DeclareVertex(uint32(n - 1))
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new vertex
+// attaches to mPer existing vertices chosen proportionally to degree,
+// yielding a power-law degree distribution (models P2P-style networks).
+func BarabasiAlbert(n, mPer int, seed int64) *graph.Graph {
+	if mPer < 1 {
+		mPer = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n * mPer)
+	// Repeated-endpoint list: sampling an index uniformly is sampling a
+	// vertex proportionally to its degree.
+	targets := make([]uint32, 0, 2*n*mPer)
+	// Seed clique of mPer+1 vertices.
+	seedSize := mPer + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			b.AddEdge(uint32(i), uint32(j))
+			targets = append(targets, uint32(i), uint32(j))
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		chosen := map[uint32]bool{}
+		for len(chosen) < mPer && len(chosen) < v {
+			var w uint32
+			if len(targets) == 0 {
+				w = uint32(r.Intn(v))
+			} else {
+				w = targets[r.Intn(len(targets))]
+			}
+			if int(w) >= v || chosen[w] {
+				continue
+			}
+			chosen[w] = true
+		}
+		// Sorted materialization keeps the generator deterministic: map
+		// iteration order must not leak into the target list.
+		for _, w := range sortedKeys(chosen) {
+			b.AddEdge(uint32(v), w)
+			targets = append(targets, uint32(v), w)
+		}
+	}
+	b.DeclareVertex(uint32(n - 1))
+	return b.Build()
+}
+
+// RMAT samples a recursive-matrix graph over n = 2^scale vertices with
+// approximately edgeFactor*n distinct edges, using quadrant probabilities
+// (a, b, c, 1-a-b-c). Heavy-tailed like web/social graphs (models Wiki,
+// Skitter, Blog, BTC).
+func RMAT(scale uint, edgeFactor int, a, b, c float64, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	bd := graph.NewBuilder(m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < int(scale); bit++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: nothing to add
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		bd.AddEdge(uint32(u), uint32(v))
+	}
+	bd.DeclareVertex(uint32(n - 1))
+	return bd.Build()
+}
+
+// WattsStrogatz builds a small-world ring lattice: n vertices, each linked
+// to its k nearest neighbors (k/2 per side), with each edge rewired to a
+// random endpoint with probability beta. High clustering at low beta
+// (models co-purchase networks like Amazon).
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n * k / 2)
+	half := k / 2
+	if half < 1 {
+		half = 1
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= half; j++ {
+			w := (v + j) % n
+			if r.Float64() < beta {
+				w = r.Intn(n)
+				if w == v {
+					w = (v + 1) % n
+				}
+			}
+			b.AddEdge(uint32(v), uint32(w))
+		}
+	}
+	b.DeclareVertex(uint32(n - 1))
+	return b.Build()
+}
+
+// Collaboration builds a clique-affiliation graph: nPapers "papers" each
+// select a power-law-distributed number of "authors" (2..maxAuthors) with
+// preferential attachment, and every paper induces a clique among its
+// authors. Collaboration networks like HEP get their large kmax from
+// exactly such multi-author cliques.
+func Collaboration(nAuthors, nPapers, maxAuthors int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	if maxAuthors < 2 {
+		maxAuthors = 2
+	}
+	b := graph.NewBuilder(nPapers * 4)
+	active := make([]uint32, 0, nPapers*3)
+	for p := 0; p < nPapers; p++ {
+		// Power-law paper size: P(s) ~ s^-2 over [2, maxAuthors].
+		s := 2 + int(float64(maxAuthors-2)*math.Pow(r.Float64(), 3.0))
+		authors := map[uint32]bool{}
+		for len(authors) < s {
+			var a uint32
+			if len(active) > 0 && r.Float64() < 0.5 {
+				a = active[r.Intn(len(active))]
+			} else {
+				a = uint32(r.Intn(nAuthors))
+			}
+			authors[a] = true
+		}
+		list := sortedKeys(authors)
+		active = append(active, list...)
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				b.AddEdge(list[i], list[j])
+			}
+		}
+	}
+	b.DeclareVertex(uint32(nAuthors - 1))
+	return b.Build()
+}
+
+// Community builds a planted-partition graph: nCommunities blocks of the
+// given size, with edge probability pIn inside a block and expected
+// interPerVertex random cross-block edges per vertex.
+func Community(nCommunities, size int, pIn float64, interPerVertex float64, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := nCommunities * size
+	b := graph.NewBuilder(n * 4)
+	for cblock := 0; cblock < nCommunities; cblock++ {
+		base := cblock * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if r.Float64() < pIn {
+					b.AddEdge(uint32(base+i), uint32(base+j))
+				}
+			}
+		}
+	}
+	inter := int(float64(n) * interPerVertex)
+	for i := 0; i < inter; i++ {
+		b.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+	}
+	b.DeclareVertex(uint32(n - 1))
+	return b.Build()
+}
+
+// WithHubs overlays nHubs hub vertices on g: each hub is a random existing
+// vertex that gains edges to degEach random others. Co-purchase and social
+// graphs owe their degree tails to such hubs (bestsellers, celebrities);
+// planted-partition models lack them, so the Amazon analog adds them back.
+func WithHubs(g *graph.Graph, nHubs, degEach int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if n < 2 {
+		return g
+	}
+	b := graph.NewBuilder(g.NumEdges() + nHubs*degEach)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for h := 0; h < nHubs; h++ {
+		hub := uint32(r.Intn(n))
+		for i := 0; i < degEach; i++ {
+			w := uint32(r.Intn(n))
+			if w != hub {
+				b.AddEdge(hub, w)
+			}
+		}
+	}
+	b.DeclareVertex(uint32(n - 1))
+	return b.Build()
+}
+
+// WithPlantedCliques overlays cliques of the given sizes on random distinct
+// vertex subsets of g, returning a new graph. Web graphs owe their very
+// large kmax to dense link farms; this reproduces that structure.
+func WithPlantedCliques(g *graph.Graph, sizes []int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	b := graph.NewBuilder(g.NumEdges() + 1024)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	for _, s := range sizes {
+		if s > n {
+			s = n
+		}
+		chosen := map[uint32]bool{}
+		for len(chosen) < s {
+			chosen[uint32(r.Intn(n))] = true
+		}
+		list := sortedKeys(chosen)
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				b.AddEdge(list[i], list[j])
+			}
+		}
+	}
+	if n > 0 {
+		b.DeclareVertex(uint32(n - 1))
+	}
+	return b.Build()
+}

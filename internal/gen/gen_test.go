@@ -1,0 +1,247 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 300 {
+		t.Fatalf("m = %d, want 300 (distinct sampling)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, ErdosRenyi(100, 300, 1)) {
+		t.Fatal("not deterministic")
+	}
+	if sameGraph(g, ErdosRenyi(100, 300, 2)) {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestErdosRenyiSaturated(t *testing.T) {
+	// Requesting more edges than possible must terminate with the complete
+	// graph.
+	g := ErdosRenyi(5, 100, 3)
+	if g.NumEdges() != 10 {
+		t.Fatalf("m = %d, want C(5,2)=10", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 7)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Roughly n*mPer edges (the seed clique adds a few, dedup removes none).
+	if g.NumEdges() < 450*4 || g.NumEdges() > 510*4 {
+		t.Fatalf("m = %d out of expected range", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, BarabasiAlbert(500, 4, 7)) {
+		t.Fatal("not deterministic")
+	}
+	// Power-law-ish: the max degree should far exceed the mean.
+	mean := 2 * g.NumEdges() / g.NumVertices()
+	if g.MaxDegree() < 3*mean {
+		t.Fatalf("max degree %d vs mean %d: no heavy tail", g.MaxDegree(), mean)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 4, 0.57, 0.19, 0.19, 5)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 4*1024 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, RMAT(10, 4, 0.57, 0.19, 0.19, 5)) {
+		t.Fatal("not deterministic")
+	}
+	mean := 2 * g.NumEdges() / g.NumVertices()
+	if g.MaxDegree() < 3*mean {
+		t.Fatalf("max degree %d vs mean %d: no heavy tail", g.MaxDegree(), mean)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 6, 0.1, 9)
+	if g.NumVertices() != 200 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, WattsStrogatz(200, 6, 0.1, 9)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestCollaboration(t *testing.T) {
+	g := Collaboration(500, 300, 10, 11)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, Collaboration(500, 300, 10, 11)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	g := Community(10, 12, 0.7, 1.0, 13)
+	if g.NumVertices() != 120 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, Community(10, 12, 0.7, 1.0, 13)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestWithPlantedCliques(t *testing.T) {
+	base := ErdosRenyi(100, 50, 15)
+	g := WithPlantedCliques(base, []int{10, 8}, 15)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < base.NumEdges() {
+		t.Fatal("planted cliques lost edges")
+	}
+	// All base edges preserved.
+	for _, e := range base.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("base edge %v missing", e)
+		}
+	}
+	if !sameGraph(g, WithPlantedCliques(base, []int{10, 8}, 15)) {
+		t.Fatal("not deterministic")
+	}
+	// Oversized clique request is clamped to n.
+	h := WithPlantedCliques(ErdosRenyi(5, 2, 1), []int{50}, 2)
+	if h.NumEdges() != 10 {
+		t.Fatalf("clamped clique edges = %d, want 10", h.NumEdges())
+	}
+}
+
+func TestWithHubs(t *testing.T) {
+	base := Community(20, 10, 0.5, 1.0, 4)
+	g := WithHubs(base, 3, 60, 4)
+	if g.NumVertices() != base.NumVertices() {
+		t.Fatalf("n changed: %d vs %d", g.NumVertices(), base.NumVertices())
+	}
+	if g.MaxDegree() <= base.MaxDegree() {
+		t.Fatalf("hub overlay did not raise dmax: %d vs %d", g.MaxDegree(), base.MaxDegree())
+	}
+	for _, e := range base.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("base edge %v lost", e)
+		}
+	}
+	if !sameGraph(g, WithHubs(base, 3, 60, 4)) {
+		t.Fatal("not deterministic")
+	}
+	// Degenerate base: returned unchanged.
+	tiny := graph.FromEdges(nil)
+	if WithHubs(tiny, 2, 5, 1) != tiny {
+		t.Fatal("empty graph should pass through")
+	}
+}
+
+func TestPaperExampleFixture(t *testing.T) {
+	g := PaperExample()
+	if g.NumVertices() != 12 || g.NumEdges() != 26 {
+		t.Fatalf("paper example n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	phi := PaperExamplePhi()
+	if len(phi) != 26 {
+		t.Fatalf("phi entries = %d", len(phi))
+	}
+	for _, e := range g.Edges() {
+		if _, ok := phi[e.Key()]; !ok {
+			t.Fatalf("edge %v missing from phi map", e)
+		}
+	}
+}
+
+func TestManagersFixtureShape(t *testing.T) {
+	g := Managers()
+	if g.NumVertices() != 21 {
+		t.Fatalf("managers n = %d, want 21", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity: an advice network should be one component.
+	_, count := graph.ConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("managers has %d components", count)
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 9 {
+		t.Fatalf("datasets = %d, want 9", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Build == nil || d.Paper.V == 0 {
+			t.Fatalf("dataset %s incomplete", d.Name)
+		}
+	}
+	if _, ok := DatasetByName("HEP"); !ok {
+		t.Fatal("HEP missing")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Fatal("lookup invented a dataset")
+	}
+}
+
+func TestSmallDatasetsBuild(t *testing.T) {
+	for _, d := range SmallDatasets() {
+		g := d.Build()
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty", d.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package gio
+
+import (
+	"testing"
+)
+
+func BenchmarkSpoolWriteRead(b *testing.B) {
+	dir := b.TempDir()
+	sp, err := NewSpool[EdgeAux2](dir, "bench", EdgeAux2Codec{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const recs = 100000
+	b.SetBytes(recs * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := sp.Create()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < recs; j++ {
+			if err := w.Write(EdgeAux2{U: uint32(j), V: uint32(j + 1), A: 1, B: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		if err := sp.ForEach(func(EdgeAux2) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != recs {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func BenchmarkCodecEncodeDecode(b *testing.B) {
+	c := EdgeAux2Codec{}
+	buf := make([]byte, c.Size())
+	rec := EdgeAux2{U: 1, V: 2, A: 3, B: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(buf, rec)
+		if got := c.Decode(buf); got.U != 1 {
+			b.Fatal("decode mismatch")
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package gio is the disk substrate for the external-memory algorithms: it
+// provides buffered streams of fixed-size binary records with I/O
+// accounting in the Aggarwal-Vitter model the paper adopts (Section 2):
+// data is moved in blocks of B bytes and scan(N) = Theta(N/B).
+//
+// Record streams are generic over a Codec that encodes records into a fixed
+// number of bytes. The external-memory truss algorithms store residual
+// graphs as streams of (u, v, aux...) records and re-scan/re-write them, so
+// every byte moved through this package is counted in a Stats sink, letting
+// the benchmark harness report scan counts and I/Os alongside wall time.
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// DefaultBufSize is the buffer used for record streams when none is given.
+const DefaultBufSize = 1 << 16
+
+// DefaultBlockSize is the block size B used for I/O accounting.
+const DefaultBlockSize = 4096
+
+// Stats accumulates I/O volume. It is safe for concurrent use.
+type Stats struct {
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	readOps      atomic.Int64
+	writeOps     atomic.Int64
+}
+
+// AddRead records n bytes read in one operation.
+func (s *Stats) AddRead(n int) {
+	if s == nil {
+		return
+	}
+	s.bytesRead.Add(int64(n))
+	s.readOps.Add(1)
+}
+
+// AddWrite records n bytes written in one operation.
+func (s *Stats) AddWrite(n int) {
+	if s == nil {
+		return
+	}
+	s.bytesWritten.Add(int64(n))
+	s.writeOps.Add(1)
+}
+
+// BytesRead returns total bytes read through this sink.
+func (s *Stats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// BytesWritten returns total bytes written through this sink.
+func (s *Stats) BytesWritten() int64 { return s.bytesWritten.Load() }
+
+// IOs returns the number of block transfers of size blockSize implied by
+// the recorded traffic, i.e. ceil(read/B) + ceil(write/B).
+func (s *Stats) IOs(blockSize int) int64 {
+	b := int64(blockSize)
+	if b <= 0 {
+		b = DefaultBlockSize
+	}
+	ceil := func(x int64) int64 { return (x + b - 1) / b }
+	return ceil(s.bytesRead.Load()) + ceil(s.bytesWritten.Load())
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.bytesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.readOps.Store(0)
+	s.writeOps.Store(0)
+}
+
+func (s *Stats) String() string {
+	if s == nil {
+		return "io{untracked}"
+	}
+	return fmt.Sprintf("io{read=%dB write=%dB ios(B=%d)=%d}",
+		s.BytesRead(), s.BytesWritten(), DefaultBlockSize, s.IOs(DefaultBlockSize))
+}
+
+// Codec encodes and decodes fixed-size records.
+type Codec[T any] interface {
+	// Size returns the fixed encoded size in bytes.
+	Size() int
+	// Encode writes rec into buf, which has at least Size() bytes.
+	Encode(buf []byte, rec T)
+	// Decode reads a record from buf, which has at least Size() bytes.
+	Decode(buf []byte) T
+}
+
+// EdgeRec is a bare undirected edge record (8 bytes).
+type EdgeRec struct {
+	U, V uint32
+}
+
+// Edge converts the record to a graph.Edge.
+func (r EdgeRec) Edge() graph.Edge { return graph.Edge{U: r.U, V: r.V} }
+
+// EdgeCodec encodes EdgeRec as two little-endian uint32s.
+type EdgeCodec struct{}
+
+func (EdgeCodec) Size() int { return 8 }
+
+func (EdgeCodec) Encode(buf []byte, r EdgeRec) {
+	binary.LittleEndian.PutUint32(buf, r.U)
+	binary.LittleEndian.PutUint32(buf[4:], r.V)
+}
+
+func (EdgeCodec) Decode(buf []byte) EdgeRec {
+	return EdgeRec{
+		U: binary.LittleEndian.Uint32(buf),
+		V: binary.LittleEndian.Uint32(buf[4:]),
+	}
+}
+
+// EdgeAux is an edge with one 32-bit attribute (12 bytes): the bottom-up
+// residual graph stores the lower bound phi(e) here, the top-down pipeline
+// stores sup(e).
+type EdgeAux struct {
+	U, V uint32
+	Aux  int32
+}
+
+// Edge converts the record to a graph.Edge.
+func (r EdgeAux) Edge() graph.Edge { return graph.Edge{U: r.U, V: r.V} }
+
+// Key returns the canonical 64-bit edge key.
+func (r EdgeAux) Key() uint64 { return r.Edge().Key() }
+
+// EdgeAuxCodec encodes EdgeAux in 12 bytes.
+type EdgeAuxCodec struct{}
+
+func (EdgeAuxCodec) Size() int { return 12 }
+
+func (EdgeAuxCodec) Encode(buf []byte, r EdgeAux) {
+	binary.LittleEndian.PutUint32(buf, r.U)
+	binary.LittleEndian.PutUint32(buf[4:], r.V)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.Aux))
+}
+
+func (EdgeAuxCodec) Decode(buf []byte) EdgeAux {
+	return EdgeAux{
+		U:   binary.LittleEndian.Uint32(buf),
+		V:   binary.LittleEndian.Uint32(buf[4:]),
+		Aux: int32(binary.LittleEndian.Uint32(buf[8:])),
+	}
+}
+
+// EdgeAux2 is an edge with two 32-bit attributes (16 bytes): the top-down
+// pipeline stores (sup, psi) or (psi, phi) pairs.
+type EdgeAux2 struct {
+	U, V uint32
+	A, B int32
+}
+
+// Edge converts the record to a graph.Edge.
+func (r EdgeAux2) Edge() graph.Edge { return graph.Edge{U: r.U, V: r.V} }
+
+// Key returns the canonical 64-bit edge key.
+func (r EdgeAux2) Key() uint64 { return r.Edge().Key() }
+
+// EdgeAux2Codec encodes EdgeAux2 in 16 bytes.
+type EdgeAux2Codec struct{}
+
+func (EdgeAux2Codec) Size() int { return 16 }
+
+func (EdgeAux2Codec) Encode(buf []byte, r EdgeAux2) {
+	binary.LittleEndian.PutUint32(buf, r.U)
+	binary.LittleEndian.PutUint32(buf[4:], r.V)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.A))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(r.B))
+}
+
+func (EdgeAux2Codec) Decode(buf []byte) EdgeAux2 {
+	return EdgeAux2{
+		U: binary.LittleEndian.Uint32(buf),
+		V: binary.LittleEndian.Uint32(buf[4:]),
+		A: int32(binary.LittleEndian.Uint32(buf[8:])),
+		B: int32(binary.LittleEndian.Uint32(buf[12:])),
+	}
+}
+
+// countingWriter wraps an io.Writer and reports traffic to Stats.
+type countingWriter struct {
+	w  io.Writer
+	st *Stats
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.st.AddWrite(n)
+	return n, err
+}
+
+// countingReader wraps an io.Reader and reports traffic to Stats.
+type countingReader struct {
+	r  io.Reader
+	st *Stats
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.st.AddRead(n)
+	}
+	return n, err
+}
+
+// Writer writes a stream of fixed-size records with buffering.
+type Writer[T any] struct {
+	bw    *bufio.Writer
+	codec Codec[T]
+	buf   []byte
+	count int64
+	inner io.Closer
+}
+
+// NewWriter wraps w. If st is non-nil, flushed bytes are counted there.
+// If w is also an io.Closer, Close closes it.
+func NewWriter[T any](w io.Writer, codec Codec[T], st *Stats) *Writer[T] {
+	var cw io.Writer = w
+	if st != nil {
+		cw = countingWriter{w, st}
+	}
+	out := &Writer[T]{
+		bw:    bufio.NewWriterSize(cw, DefaultBufSize),
+		codec: codec,
+		buf:   make([]byte, codec.Size()),
+	}
+	if c, ok := w.(io.Closer); ok {
+		out.inner = c
+	}
+	return out
+}
+
+// Write appends one record.
+func (w *Writer[T]) Write(rec T) error {
+	w.codec.Encode(w.buf, rec)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer[T]) Count() int64 { return w.count }
+
+// Flush flushes buffered data to the underlying writer.
+func (w *Writer[T]) Flush() error { return w.bw.Flush() }
+
+// Close flushes and closes the underlying writer if it is a Closer.
+func (w *Writer[T]) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.inner != nil {
+		return w.inner.Close()
+	}
+	return nil
+}
+
+// Reader reads a stream of fixed-size records with buffering.
+type Reader[T any] struct {
+	br    *bufio.Reader
+	codec Codec[T]
+	buf   []byte
+	inner io.Closer
+}
+
+// NewReader wraps r. If st is non-nil, bytes read are counted there.
+// If r is also an io.Closer, Close closes it.
+func NewReader[T any](r io.Reader, codec Codec[T], st *Stats) *Reader[T] {
+	var cr io.Reader = r
+	if st != nil {
+		cr = countingReader{r, st}
+	}
+	out := &Reader[T]{
+		br:    bufio.NewReaderSize(cr, DefaultBufSize),
+		codec: codec,
+		buf:   make([]byte, codec.Size()),
+	}
+	if c, ok := r.(io.Closer); ok {
+		out.inner = c
+	}
+	return out
+}
+
+// Read returns the next record, or io.EOF at the end of the stream. A
+// truncated trailing record yields io.ErrUnexpectedEOF.
+func (r *Reader[T]) Read() (T, error) {
+	var zero T
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return zero, io.EOF
+		}
+		return zero, err
+	}
+	return r.codec.Decode(r.buf), nil
+}
+
+// ForEach reads every remaining record, invoking fn. It stops at EOF or on
+// the first error from fn.
+func (r *Reader[T]) ForEach(fn func(T) error) error {
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Close closes the underlying reader if it is a Closer.
+func (r *Reader[T]) Close() error {
+	if r.inner != nil {
+		return r.inner.Close()
+	}
+	return nil
+}
+
+// ReadTextEdges parses a whitespace-separated edge list (the SNAP dataset
+// format): one "u v" pair per line, lines beginning with '#' or '%' are
+// comments. Self-loops are dropped; duplicates are kept (the graph builder
+// deduplicates).
+func ReadTextEdges(r io.Reader) ([]graph.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gio: line %d: expected two vertex IDs, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+		}
+		if err := graph.CheckVertexRange(u); err != nil {
+			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+		}
+		if err := graph.CheckVertexRange(v); err != nil {
+			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)}.Canon())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: scan: %v", err)
+	}
+	return edges, nil
+}
+
+// WriteTextEdges writes edges in the SNAP text format.
+func WriteTextEdges(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadGraph reads a graph from path. Files ending in ".bin" are read as
+// binary EdgeRec streams; anything else is parsed as SNAP text.
+func LoadGraph(path string, st *Stats) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		rd := NewReader[EdgeRec](f, EdgeCodec{}, st)
+		b := graph.NewBuilder(1024)
+		err := rd.ForEach(func(r EdgeRec) error {
+			b.AddEdge(r.U, r.V)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(), nil
+	}
+	edges, err := ReadTextEdges(f)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(edges), nil
+}
+
+// SaveGraph writes g's edges to path, choosing format by extension as in
+// LoadGraph.
+func SaveGraph(path string, g *graph.Graph, st *Stats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".bin") {
+		w := NewWriter[EdgeRec](f, EdgeCodec{}, st)
+		for _, e := range g.Edges() {
+			if err := w.Write(EdgeRec{e.U, e.V}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		return w.Close()
+	}
+	if err := WriteTextEdges(f, g.Edges()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,308 @@
+package gio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestEdgeCodecRoundTrip(t *testing.T) {
+	c := EdgeCodec{}
+	buf := make([]byte, c.Size())
+	r := EdgeRec{U: 12345, V: 4294967295}
+	c.Encode(buf, r)
+	if got := c.Decode(buf); got != r {
+		t.Fatalf("round trip: got %v, want %v", got, r)
+	}
+}
+
+func TestEdgeAuxCodecRoundTrip(t *testing.T) {
+	c := EdgeAuxCodec{}
+	buf := make([]byte, c.Size())
+	r := EdgeAux{U: 7, V: 9, Aux: -42}
+	c.Encode(buf, r)
+	if got := c.Decode(buf); got != r {
+		t.Fatalf("round trip: got %v, want %v", got, r)
+	}
+}
+
+func TestEdgeAux2CodecRoundTrip(t *testing.T) {
+	c := EdgeAux2Codec{}
+	buf := make([]byte, c.Size())
+	r := EdgeAux2{U: 1, V: 2, A: -3, B: 1 << 30}
+	c.Encode(buf, r)
+	if got := c.Decode(buf); got != r {
+		t.Fatalf("round trip: got %v, want %v", got, r)
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	c := EdgeAux2Codec{}
+	buf := make([]byte, c.Size())
+	f := func(u, v uint32, a, b int32) bool {
+		r := EdgeAux2{u, v, a, b}
+		c.Encode(buf, r)
+		return c.Decode(buf) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var st Stats
+	var buf bytes.Buffer
+	w := NewWriter[EdgeRec](&buf, EdgeCodec{}, &st)
+	recs := []EdgeRec{{1, 2}, {3, 4}, {5, 6}}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesWritten() != 24 {
+		t.Fatalf("BytesWritten = %d, want 24", st.BytesWritten())
+	}
+
+	r := NewReader[EdgeRec](bytes.NewReader(buf.Bytes()), EdgeCodec{}, &st)
+	for i := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d: got %v, want %v", i, got, recs[i])
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if st.BytesRead() != 24 {
+		t.Fatalf("BytesRead = %d, want 24", st.BytesRead())
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	data := make([]byte, 10) // not a multiple of 8
+	r := NewReader[EdgeRec](bytes.NewReader(data), EdgeCodec{}, nil)
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first record should parse: %v", err)
+	}
+	if _, err := r.Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestStatsIOs(t *testing.T) {
+	var st Stats
+	st.AddRead(4096)
+	st.AddRead(1)
+	st.AddWrite(8192)
+	if got := st.IOs(4096); got != 2+2 {
+		t.Fatalf("IOs = %d, want 4", got)
+	}
+	if got := st.IOs(0); got <= 0 {
+		t.Fatal("IOs with invalid block size should use default")
+	}
+	if !strings.Contains(st.String(), "read=4097B") {
+		t.Fatalf("String = %q", st.String())
+	}
+	st.Reset()
+	if st.BytesRead() != 0 || st.BytesWritten() != 0 {
+		t.Fatal("Reset failed")
+	}
+	var nilStats *Stats
+	nilStats.AddRead(1) // must not panic
+	if nilStats.String() != "io{untracked}" {
+		t.Fatal("nil Stats String")
+	}
+}
+
+func TestReadTextEdges(t *testing.T) {
+	in := `# comment
+% also comment
+
+0 1
+1	2
+2 2
+3 1
+`
+	edges, err := ReadTextEdges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestReadTextEdgesErrors(t *testing.T) {
+	if _, err := ReadTextEdges(strings.NewReader("0\n")); err == nil {
+		t.Fatal("expected error for missing field")
+	}
+	if _, err := ReadTextEdges(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("expected error for non-numeric")
+	}
+	if _, err := ReadTextEdges(strings.NewReader("0 99999999999\n")); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestWriteTextEdgesRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 5}}
+	var buf bytes.Buffer
+	if err := WriteTextEdges(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTextEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != edges[0] || back[1] != edges[1] {
+		t.Fatalf("round trip = %v", back)
+	}
+}
+
+func TestSaveLoadGraphBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(path, g, nil); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadGraph(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumEdges() != g.NumEdges() || back.NumVertices() != g.NumVertices() {
+			t.Fatalf("%s: loaded n=%d m=%d", name, back.NumVertices(), back.NumEdges())
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: missing edge %v", name, e)
+			}
+		}
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing.bin"), nil); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSpoolLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewSpool[EdgeAux](dir, "test", EdgeAuxCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh spool is empty.
+	recs, err := sp.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh spool has %d records", len(recs))
+	}
+	in := []EdgeAux{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if err := sp.WriteAll(in); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Count() != 3 {
+		t.Fatalf("Count = %d", sp.Count())
+	}
+	out, err := sp.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d: %v != %v", i, out[i], in[i])
+		}
+	}
+	sz, err := sp.SizeBytes()
+	if err != nil || sz != 36 {
+		t.Fatalf("SizeBytes = %d, %v", sz, err)
+	}
+
+	// Rewrite generation and atomic replace.
+	next, err := NewSpool[EdgeAux](dir, "next", EdgeAuxCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.WriteAll(in[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.ReplaceWith(next); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Count() != 1 {
+		t.Fatalf("after replace Count = %d", sp.Count())
+	}
+	if err := sp.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sp.Path()); !os.IsNotExist(err) {
+		t.Fatal("file should be gone")
+	}
+}
+
+func TestSpoolLargeStream(t *testing.T) {
+	dir := t.TempDir()
+	var st Stats
+	sp, err := NewSpool[EdgeRec](dir, "large", EdgeCodec{}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	const n = 50000
+	w, err := sp.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := uint64(0)
+	for i := 0; i < n; i++ {
+		rec := EdgeRec{r.Uint32(), r.Uint32()}
+		sum += uint64(rec.U) + uint64(rec.V)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := uint64(0)
+	cnt := 0
+	err = sp.ForEach(func(rec EdgeRec) error {
+		got += uint64(rec.U) + uint64(rec.V)
+		cnt++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n || got != sum {
+		t.Fatalf("scan mismatch: count=%d sum=%d want %d/%d", cnt, got, n, sum)
+	}
+	if st.BytesWritten() != int64(8*n) || st.BytesRead() != int64(8*n) {
+		t.Fatalf("stats: %v", &st)
+	}
+}

@@ -1,0 +1,50 @@
+package gio
+
+import (
+	"encoding/binary"
+
+	"repro/internal/graph"
+)
+
+// EdgeRec5 is the top-down pipeline's residual record (20 bytes): an edge
+// with its exact support, its truss-number upper bound psi, and its
+// classification (Phi = 0 while the truss number is unknown, the class k
+// once assigned).
+type EdgeRec5 struct {
+	U, V uint32
+	Sup  int32
+	Psi  int32
+	Phi  int32
+}
+
+// Edge converts the record to a graph.Edge.
+func (r EdgeRec5) Edge() graph.Edge { return graph.Edge{U: r.U, V: r.V} }
+
+// Key returns the canonical 64-bit edge key.
+func (r EdgeRec5) Key() uint64 { return r.Edge().Key() }
+
+// Classified reports whether the edge's truss number has been assigned.
+func (r EdgeRec5) Classified() bool { return r.Phi != 0 }
+
+// EdgeRec5Codec encodes EdgeRec5 in 20 bytes.
+type EdgeRec5Codec struct{}
+
+func (EdgeRec5Codec) Size() int { return 20 }
+
+func (EdgeRec5Codec) Encode(buf []byte, r EdgeRec5) {
+	binary.LittleEndian.PutUint32(buf, r.U)
+	binary.LittleEndian.PutUint32(buf[4:], r.V)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.Sup))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(r.Psi))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(r.Phi))
+}
+
+func (EdgeRec5Codec) Decode(buf []byte) EdgeRec5 {
+	return EdgeRec5{
+		U:   binary.LittleEndian.Uint32(buf),
+		V:   binary.LittleEndian.Uint32(buf[4:]),
+		Sup: int32(binary.LittleEndian.Uint32(buf[8:])),
+		Psi: int32(binary.LittleEndian.Uint32(buf[12:])),
+		Phi: int32(binary.LittleEndian.Uint32(buf[16:])),
+	}
+}

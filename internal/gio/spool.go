@@ -1,0 +1,143 @@
+package gio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// A Spool is a disk-resident sequence of fixed-size records backed by a file
+// in a temp directory. The external-memory algorithms keep their residual
+// graphs (Gnew in the paper) and run files in spools: a spool is written
+// once per pass (Create), then scanned any number of times (Open), and can
+// be atomically replaced by a rewritten successor (ReplaceWith).
+type Spool[T any] struct {
+	path  string
+	codec Codec[T]
+	st    *Stats
+	count int64
+}
+
+var spoolSeq atomic.Int64
+
+// NewSpool creates an empty spool file in dir (or os.TempDir() if dir is
+// empty) with the given name hint. The file is created immediately so that
+// Open on a fresh spool yields an empty stream.
+func NewSpool[T any](dir, hint string, codec Codec[T], st *Stats) (*Spool[T], error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.spool", hint, spoolSeq.Add(1)))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return &Spool[T]{path: path, codec: codec, st: st}, nil
+}
+
+// Path returns the backing file path.
+func (s *Spool[T]) Path() string { return s.path }
+
+// Count returns the number of records in the spool as of the last committed
+// write.
+func (s *Spool[T]) Count() int64 { return s.count }
+
+// SpoolWriter writes a new generation of spool contents. Close commits the
+// record count to the spool.
+type SpoolWriter[T any] struct {
+	*Writer[T]
+	spool *Spool[T]
+}
+
+// Close flushes, closes the file, and commits the record count.
+func (w *SpoolWriter[T]) Close() error {
+	if err := w.Writer.Close(); err != nil {
+		return err
+	}
+	w.spool.count = w.Writer.Count()
+	return nil
+}
+
+// Create truncates the spool and returns a writer for its new contents.
+func (s *Spool[T]) Create() (*SpoolWriter[T], error) {
+	f, err := os.Create(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return &SpoolWriter[T]{Writer: NewWriter(f, s.codec, s.st), spool: s}, nil
+}
+
+// Open returns a reader over the spool contents. Multiple concurrent
+// readers are allowed; do not mix with an active writer.
+func (s *Spool[T]) Open() (*Reader[T], error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(f, s.codec, s.st), nil
+}
+
+// ForEach scans the whole spool, invoking fn on each record.
+func (s *Spool[T]) ForEach(fn func(T) error) error {
+	r, err := s.Open()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return r.ForEach(fn)
+}
+
+// WriteAll replaces the spool contents with recs.
+func (s *Spool[T]) WriteAll(recs []T) error {
+	w, err := s.Create()
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadAll loads the whole spool into memory. Intended for tests and for
+// final stages known to fit in the memory budget.
+func (s *Spool[T]) ReadAll() ([]T, error) {
+	out := make([]T, 0, s.count)
+	err := s.ForEach(func(r T) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplaceWith atomically replaces s's contents with those of other by
+// renaming other's file over s's. other becomes invalid afterwards.
+func (s *Spool[T]) ReplaceWith(other *Spool[T]) error {
+	if err := os.Rename(other.path, s.path); err != nil {
+		return err
+	}
+	s.count = other.count
+	return nil
+}
+
+// Remove deletes the backing file.
+func (s *Spool[T]) Remove() error { return os.Remove(s.path) }
+
+// SizeBytes returns the current byte size of the backing file.
+func (s *Spool[T]) SizeBytes() (int64, error) {
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

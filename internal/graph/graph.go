@@ -1,0 +1,350 @@
+// Package graph provides the in-memory graph representation shared by every
+// algorithm in this repository: a CSR-style adjacency structure over
+// undirected simple graphs with dense edge identifiers, plus subgraph and
+// neighborhood-subgraph extraction as defined in Section 5.1 of the paper.
+//
+// Vertices are uint32 IDs. Edges are stored canonically with U < V and are
+// assigned dense int32 edge IDs in lexicographic (U,V) order. The adjacency
+// of each vertex is sorted by neighbor ID and carries the edge ID alongside,
+// so peeling algorithms can update per-edge state in O(1) after a lookup.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected edge stored canonically with U < V.
+type Edge struct {
+	U, V uint32
+}
+
+// Canon returns e with its endpoints swapped if necessary so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Key packs the canonical edge into a single uint64, suitable as a map key.
+func (e Edge) Key() uint64 {
+	c := e.Canon()
+	return uint64(c.U)<<32 | uint64(c.V)
+}
+
+// EdgeFromKey is the inverse of Edge.Key.
+func EdgeFromKey(k uint64) Edge {
+	return Edge{uint32(k >> 32), uint32(k)}
+}
+
+// Other returns the endpoint of e that is not w. It panics if w is not an
+// endpoint of e.
+func (e Edge) Other(w uint32) uint32 {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", w, e))
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an immutable undirected simple graph in CSR form.
+//
+// The zero value is an empty graph. Use a Builder or FromEdges to construct
+// one. All neighbor lists are sorted by neighbor ID, and each undirected
+// edge appears in exactly two adjacency lists with the same edge ID.
+type Graph struct {
+	off   []int64  // off[v]..off[v+1] delimits v's adjacency; len n+1
+	adjV  []uint32 // neighbor vertex IDs, sorted within each vertex
+	adjE  []int32  // edge ID parallel to adjV
+	edges []Edge   // canonical edge list indexed by edge ID, sorted (U,V)
+}
+
+// NumVertices returns n, the number of vertex slots (max vertex ID + 1).
+// Isolated vertices count if they were declared to the builder.
+func (g *Graph) NumVertices() int {
+	if g == nil || len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// NumEdges returns m, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Size returns |G| = m + n as defined in Section 2 of the paper.
+func (g *Graph) Size() int { return g.NumVertices() + g.NumEdges() }
+
+// Degree returns deg(v). Vertices outside [0,n) have degree 0.
+func (g *Graph) Degree(v uint32) int {
+	if int(v) >= g.NumVertices() {
+		return 0
+	}
+	return int(g.off[v+1] - g.off[v])
+}
+
+// Neighbors returns v's sorted neighbor list. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	if int(v) >= g.NumVertices() {
+		return nil
+	}
+	return g.adjV[g.off[v]:g.off[v+1]]
+}
+
+// IncidentEdges returns the edge IDs incident to v, parallel to Neighbors(v).
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) IncidentEdges(v uint32) []int32 {
+	if int(v) >= g.NumVertices() {
+		return nil
+	}
+	return g.adjE[g.off[v]:g.off[v+1]]
+}
+
+// Edge returns the canonical edge with the given ID.
+func (g *Graph) Edge(id int32) Edge { return g.edges[id] }
+
+// Edges returns the canonical edge list indexed by edge ID. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeID returns the ID of edge (u,v) and whether it exists. The lookup is a
+// binary search in the smaller endpoint's adjacency, O(log deg).
+func (g *Graph) EdgeID(u, v uint32) (int32, bool) {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	lo, hi := g.off[u], g.off[u+1]
+	i := int64(sort.Search(int(hi-lo), func(i int) bool { return g.adjV[lo+int64(i)] >= v })) + lo
+	if i < hi && g.adjV[i] == v {
+		return g.adjE[i], true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether (u,v) is an edge of g.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	if u == v || int(u) >= g.NumVertices() || int(v) >= g.NumVertices() {
+		return false
+	}
+	_, ok := g.EdgeID(u, v)
+	return ok
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Degrees returns a freshly allocated slice of all vertex degrees.
+func (g *Graph) Degrees() []int32 {
+	d := make([]int32, g.NumVertices())
+	for v := range d {
+		d[v] = int32(g.Degree(uint32(v)))
+	}
+	return d
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are dropped (the paper considers simple graphs). Builders are
+// not safe for concurrent use.
+type Builder struct {
+	edges []Edge
+	maxV  uint32
+	seen  bool
+}
+
+// NewBuilder returns a Builder with capacity for sizeHint edges.
+func NewBuilder(sizeHint int) *Builder {
+	return &Builder{edges: make([]Edge, 0, sizeHint)}
+}
+
+// AddEdge records the undirected edge (u,v). Self-loops are ignored.
+func (b *Builder) AddEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	e := Edge{u, v}.Canon()
+	b.edges = append(b.edges, e)
+	if e.V > b.maxV {
+		b.maxV = e.V
+	}
+	b.seen = true
+}
+
+// DeclareVertex ensures the built graph has at least id+1 vertex slots, so
+// isolated vertices survive construction.
+func (b *Builder) DeclareVertex(id uint32) {
+	if id > b.maxV {
+		b.maxV = id
+	}
+	b.seen = true
+}
+
+// Build sorts, deduplicates, and freezes the accumulated edges into a Graph.
+// The builder may be reused afterwards (it is reset).
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	var n int
+	if b.seen {
+		n = int(b.maxV) + 1
+	}
+	b.edges = nil
+	b.maxV = 0
+	b.seen = false
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	// Deduplicate in place.
+	w := 0
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		edges[w] = e
+		w++
+	}
+	edges = edges[:w]
+	return fromSortedEdges(edges, n)
+}
+
+// FromEdges builds a graph from an edge list. The input is copied; it need
+// not be sorted or deduplicated, and self-loops are dropped.
+func FromEdges(edges []Edge) *Graph {
+	b := NewBuilder(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// fromSortedEdges builds the CSR arrays from a sorted, deduplicated canonical
+// edge list. n must be at least maxVertexID+1.
+func fromSortedEdges(edges []Edge, n int) *Graph {
+	g := &Graph{
+		off:   make([]int64, n+1),
+		edges: edges,
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		g.off[v] = total
+		total += int64(deg[v])
+	}
+	g.off[n] = total
+	g.adjV = make([]uint32, total)
+	g.adjE = make([]int32, total)
+	// Fill position cursors.
+	cur := make([]int64, n)
+	copy(cur, g.off[:n])
+	for id, e := range edges {
+		g.adjV[cur[e.U]] = e.V
+		g.adjE[cur[e.U]] = int32(id)
+		cur[e.U]++
+		g.adjV[cur[e.V]] = e.U
+		g.adjE[cur[e.V]] = int32(id)
+		cur[e.V]++
+	}
+	// Each vertex's neighbors must be sorted. Since edges are sorted by
+	// (U,V), the entries contributed as "U-side" are already in order, but
+	// V-side entries interleave; sort each adjacency range (with parallel
+	// edge IDs).
+	for v := 0; v < n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		sortAdj(g.adjV[lo:hi], g.adjE[lo:hi])
+	}
+	return g
+}
+
+// sortAdj sorts vs ascending, permuting es identically.
+func sortAdj(vs []uint32, es []int32) {
+	if len(vs) < 2 || sort.SliceIsSorted(vs, func(i, j int) bool { return vs[i] < vs[j] }) {
+		return
+	}
+	idx := make([]int32, len(vs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return vs[idx[i]] < vs[idx[j]] })
+	vs2 := make([]uint32, len(vs))
+	es2 := make([]int32, len(es))
+	for i, j := range idx {
+		vs2[i] = vs[j]
+		es2[i] = es[j]
+	}
+	copy(vs, vs2)
+	copy(es, es2)
+}
+
+// Validate checks structural invariants (sorted adjacency, symmetric edges,
+// canonical edge list, no self-loops or duplicates). It is used by tests.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	prev := Edge{}
+	for id, e := range g.edges {
+		if e.U >= e.V {
+			return fmt.Errorf("edge %d not canonical: %v", id, e)
+		}
+		if int(e.V) >= n {
+			return fmt.Errorf("edge %d out of range: %v (n=%d)", id, e, n)
+		}
+		if id > 0 && !(prev.U < e.U || (prev.U == e.U && prev.V < e.V)) {
+			return fmt.Errorf("edge list not strictly sorted at %d: %v then %v", id, prev, e)
+		}
+		prev = e
+	}
+	var entries int64
+	for v := 0; v < n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		if lo > hi {
+			return fmt.Errorf("offsets decrease at vertex %d", v)
+		}
+		entries += hi - lo
+		for i := lo; i < hi; i++ {
+			if i > lo && g.adjV[i-1] >= g.adjV[i] {
+				return fmt.Errorf("adjacency of %d not strictly sorted", v)
+			}
+			w := g.adjV[i]
+			id := g.adjE[i]
+			e := g.edges[id]
+			if (Edge{uint32(v), w}).Canon() != e {
+				return fmt.Errorf("adjacency entry (%d,%d) maps to wrong edge %v", v, w, e)
+			}
+		}
+	}
+	if entries != int64(2*len(g.edges)) {
+		return fmt.Errorf("adjacency entries %d != 2m = %d", entries, 2*len(g.edges))
+	}
+	return nil
+}
+
+// ErrVertexRange reports a vertex ID beyond the addressable range.
+var ErrVertexRange = errors.New("graph: vertex ID exceeds uint32 range")
+
+// CheckVertexRange validates that ids fit in uint32 (used by file loaders).
+func CheckVertexRange(id int64) error {
+	if id < 0 || id > math.MaxUint32 {
+		return fmt.Errorf("%w: %d", ErrVertexRange, id)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeCanonKey(t *testing.T) {
+	e := Edge{5, 2}
+	c := e.Canon()
+	if c.U != 2 || c.V != 5 {
+		t.Fatalf("Canon(%v) = %v", e, c)
+	}
+	if got := EdgeFromKey(e.Key()); got != c {
+		t.Fatalf("EdgeFromKey(Key) = %v, want %v", got, c)
+	}
+	if (Edge{2, 5}).Key() != e.Key() {
+		t.Fatal("Key not orientation-invariant")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{2, 5}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint should panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.Size() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(3) != 0 || g.Neighbors(3) != nil {
+		t.Fatal("out-of-range vertex should have empty adjacency")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDedupAndLoops(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1) // duplicate reversed
+	b.AddEdge(1, 2) // duplicate
+	b.AddEdge(3, 3) // self loop dropped
+	b.AddEdge(0, 2)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("n = %d, want 3", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclareVertexKeepsIsolated(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddEdge(0, 1)
+	b.DeclareVertex(9)
+	g := b.Build()
+	if g.NumVertices() != 10 {
+		t.Fatalf("n = %d, want 10", g.NumVertices())
+	}
+	if g.Degree(9) != 0 {
+		t.Fatal("isolated vertex should have degree 0")
+	}
+}
+
+func triangleGraph() *Graph {
+	return FromEdges([]Edge{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestTriangleBasics(t *testing.T) {
+	g := triangleGraph()
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("unexpected size n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := uint32(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("deg(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 0) || g.HasEdge(0, 5) {
+		t.Fatal("HasEdge accepted invalid pair")
+	}
+	id, ok := g.EdgeID(2, 1)
+	if !ok {
+		t.Fatal("EdgeID(2,1) missing")
+	}
+	if g.Edge(id) != (Edge{1, 2}) {
+		t.Fatalf("Edge(%d) = %v", id, g.Edge(id))
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestDegreesSlice(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {0, 2}, {0, 3}})
+	d := g.Degrees()
+	want := []int32{3, 1, 1, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Degrees = %v, want %v", d, want)
+		}
+	}
+}
+
+// randomEdges produces a reproducible random multigraph edge list.
+func randomEdges(r *rand.Rand, n, m int) []Edge {
+	es := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := uint32(r.Intn(n))
+		v := uint32(r.Intn(n))
+		es = append(es, Edge{u, v})
+	}
+	return es
+}
+
+func TestRandomGraphValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(60)
+		m := r.Intn(4 * n)
+		g := FromEdges(randomEdges(r, n, m))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every edge must be discoverable through both endpoints.
+		for id, e := range g.Edges() {
+			got, ok := g.EdgeID(e.U, e.V)
+			if !ok || got != int32(id) {
+				t.Fatalf("edge %v not found by EdgeID", e)
+			}
+			got, ok = g.EdgeID(e.V, e.U)
+			if !ok || got != int32(id) {
+				t.Fatalf("edge %v not found reversed", e)
+			}
+		}
+	}
+}
+
+func TestAdjacencyEdgeIDsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := FromEdges(randomEdges(r, 40, 120))
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.Neighbors(uint32(v))
+		eids := g.IncidentEdges(uint32(v))
+		if len(nbrs) != len(eids) {
+			t.Fatal("parallel adjacency slices disagree")
+		}
+		for i := range nbrs {
+			e := g.Edge(eids[i])
+			if e.Other(uint32(v)) != nbrs[i] {
+				t.Fatalf("adjacency of %d entry %d: edge %v neighbor %d", v, i, e, nbrs[i])
+			}
+		}
+	}
+}
+
+func TestQuickDegreeSum(t *testing.T) {
+	// Property: sum of degrees == 2m for arbitrary random graphs.
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		m := int(mRaw % 200)
+		r := rand.New(rand.NewSource(seed))
+		g := FromEdges(randomEdges(r, n, m))
+		sum := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			sum += g.Degree(uint32(v))
+		}
+		return sum == 2*g.NumEdges() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckVertexRange(t *testing.T) {
+	if err := CheckVertexRange(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckVertexRange(1 << 40); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := CheckVertexRange(-1); err == nil {
+		t.Fatal("expected range error for negative")
+	}
+}

@@ -1,0 +1,25 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkDecompose(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var edges []graph.Edge
+	const n = 20000
+	for i := 0; i < 200000; i++ {
+		edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+	}
+	g := graph.FromEdges(edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := Decompose(g); res.CMax == 0 {
+			b.Fatal("cmax 0")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func clique(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: uint32(i), V: uint32(j)})
+		}
+	}
+	return graph.FromEdges(edges)
+}
+
+// naiveCore computes core numbers by repeated minimum-degree removal.
+func naiveCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(uint32(v)))
+	}
+	core := make([]int32, n)
+	k := int32(0)
+	for remaining := n; remaining > 0; {
+		// Find the minimum-degree unremoved vertex.
+		min := int32(1 << 30)
+		minV := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < min {
+				min = deg[v]
+				minV = v
+			}
+		}
+		if min > k {
+			k = min
+		}
+		core[minV] = k
+		removed[minV] = true
+		remaining--
+		for _, w := range g.Neighbors(uint32(minV)) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	res := Decompose(graph.NewBuilder(0).Build())
+	if res.CMax != 0 || len(res.Core) != 0 {
+		t.Fatal("empty graph decomposition wrong")
+	}
+}
+
+func TestDecomposeClique(t *testing.T) {
+	g := clique(6)
+	res := Decompose(g)
+	if res.CMax != 5 {
+		t.Fatalf("K6 cmax = %d, want 5", res.CMax)
+	}
+	for v, c := range res.Core {
+		if c != 5 {
+			t.Fatalf("K6 core[%d] = %d", v, c)
+		}
+	}
+	mc := res.MaxCore()
+	if mc.NumEdges() != 15 {
+		t.Fatalf("max core edges = %d, want 15", mc.NumEdges())
+	}
+	if res.Degeneracy() != 5 {
+		t.Fatalf("degeneracy = %d", res.Degeneracy())
+	}
+}
+
+func TestDecomposePath(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	res := Decompose(g)
+	if res.CMax != 1 {
+		t.Fatalf("path cmax = %d, want 1", res.CMax)
+	}
+}
+
+func TestDecomposeCliquePlusTail(t *testing.T) {
+	// K4 on {0..3} plus a tail 3-4-5.
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5},
+	}
+	g := graph.FromEdges(edges)
+	res := Decompose(g)
+	want := []int32{3, 3, 3, 3, 1, 1}
+	for v := range want {
+		if res.Core[v] != want[v] {
+			t.Fatalf("core = %v, want %v", res.Core, want)
+		}
+	}
+	core3 := res.KCore(3)
+	if core3.NumEdges() != 6 {
+		t.Fatalf("3-core edges = %d, want 6", core3.NumEdges())
+	}
+}
+
+func TestDecomposeMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(40)
+		m := r.Intn(4 * n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		fast := Decompose(g)
+		slow := naiveCore(g)
+		for v := range slow {
+			if fast.Core[v] != slow[v] {
+				t.Fatalf("trial %d vertex %d: fast=%d naive=%d", trial, v, fast.Core[v], slow[v])
+			}
+		}
+	}
+}
+
+func TestKCorePropertyQuick(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 3
+		m := int(mRaw % 160)
+		r := rand.New(rand.NewSource(seed))
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		res := Decompose(g)
+		for k := int32(1); k <= res.CMax; k++ {
+			if !VerifyKCore(g, res.Core, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreNesting(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var edges []graph.Edge
+	for i := 0; i < 400; i++ {
+		edges = append(edges, graph.Edge{U: uint32(r.Intn(60)), V: uint32(r.Intn(60))})
+	}
+	g := graph.FromEdges(edges)
+	res := Decompose(g)
+	prev := -1
+	for k := int32(1); k <= res.CMax; k++ {
+		c := res.KCore(k)
+		if prev >= 0 && c.NumEdges() > prev {
+			t.Fatalf("k-core grew from k=%d to k=%d", k-1, k)
+		}
+		prev = c.NumEdges()
+	}
+	if res.KCore(res.CMax).NumEdges() == 0 {
+		t.Fatal("cmax-core is empty")
+	}
+	if res.KCore(res.CMax+1).NumEdges() != 0 {
+		t.Fatal("(cmax+1)-core should be empty")
+	}
+}

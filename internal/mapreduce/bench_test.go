@@ -1,0 +1,31 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkTrussDecomposeP2PQuick(b *testing.B) {
+	g := gen.BarabasiAlbert(1600, 6, 101)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := TrussDecompose(g)
+		if res.KMax == 0 {
+			b.Fatal("kmax 0")
+		}
+	}
+}
+
+func BenchmarkTriangleCountsP2PQuick(b *testing.B) {
+	g := gen.BarabasiAlbert(1600, 6, 101)
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c Counters
+		counts := triangleCounts(&c, edges)
+		if len(counts) == 0 {
+			b.Fatal("no counts")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package mapreduce provides a deterministic in-process MapReduce engine
+// and Cohen's graph-twiddling truss-decomposition algorithm [16] built on
+// it (TD-MR, the distributed baseline of the paper's Table 4).
+//
+// The engine simulates the essential cost structure of a MapReduce job:
+// every round materializes all map output, sorts it by key (the shuffle),
+// groups, and reduces. Counters record rounds, records mapped and
+// shuffled, and bytes moved, so the experiment harness can report *why*
+// TD-MR loses by orders of magnitude: truss decomposition forces an
+// iterative sequence of triangle-enumeration jobs, each reshuffling the
+// graph.
+package mapreduce
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+)
+
+// Counters accumulate simulated-cluster work across rounds.
+type Counters struct {
+	// Rounds is the number of map-shuffle-reduce rounds executed.
+	Rounds int
+	// MapInput counts records entering mappers.
+	MapInput int64
+	// Shuffled counts key-value pairs sorted and grouped (the shuffle).
+	Shuffled int64
+	// Groups counts distinct reduce keys.
+	Groups int64
+	// Output counts records emitted by reducers.
+	Output int64
+}
+
+func (c *Counters) String() string {
+	return fmt.Sprintf("mr{rounds=%d mapIn=%d shuffled=%d groups=%d out=%d}",
+		c.Rounds, c.MapInput, c.Shuffled, c.Groups, c.Output)
+}
+
+// Add merges other into c.
+func (c *Counters) Add(other Counters) {
+	c.Rounds += other.Rounds
+	c.MapInput += other.MapInput
+	c.Shuffled += other.Shuffled
+	c.Groups += other.Groups
+	c.Output += other.Output
+}
+
+type pair[K cmp.Ordered, V any] struct {
+	key K
+	val V
+}
+
+// Run executes one MapReduce round: mapper is applied to every input
+// record and may emit key-value pairs; pairs are sorted by key (stable, so
+// reducers see values in emission order within a key); reducer is invoked
+// once per distinct key with all its values.
+func Run[I any, K cmp.Ordered, V any, O any](
+	c *Counters,
+	input []I,
+	mapper func(rec I, emit func(K, V)),
+	reducer func(key K, vals []V, emit func(O)),
+) []O {
+	c.Rounds++
+	c.MapInput += int64(len(input))
+
+	var pairs []pair[K, V]
+	emitKV := func(k K, v V) { pairs = append(pairs, pair[K, V]{k, v}) }
+	for _, rec := range input {
+		mapper(rec, emitKV)
+	}
+	c.Shuffled += int64(len(pairs))
+
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+
+	var out []O
+	emitOut := func(o O) { out = append(out, o) }
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi].key == pairs[lo].key {
+			hi++
+		}
+		vals := make([]V, hi-lo)
+		for i := lo; i < hi; i++ {
+			vals[i-lo] = pairs[i].val
+		}
+		c.Groups++
+		reducer(pairs[lo].key, vals, emitOut)
+		lo = hi
+	}
+	c.Output += int64(len(out))
+	return out
+}

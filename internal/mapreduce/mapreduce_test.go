@@ -1,0 +1,166 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestEngineWordCount(t *testing.T) {
+	var c Counters
+	type wc struct {
+		word string
+		n    int
+	}
+	lines := []string{"a b a", "b c", "a"}
+	out := Run(&c, lines,
+		func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		func(word string, ones []int, emit func(wc)) {
+			emit(wc{word, len(ones)})
+		})
+	sort.Slice(out, func(i, j int) bool { return out[i].word < out[j].word })
+	want := []wc{{"a", 3}, {"b", 2}, {"c", 1}}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if c.Rounds != 1 || c.MapInput != 3 || c.Shuffled != 6 || c.Groups != 3 || c.Output != 3 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestEngineEmptyInput(t *testing.T) {
+	var c Counters
+	out := Run(&c, nil,
+		func(x int, emit func(int, int)) { emit(x, x) },
+		func(k int, vs []int, emit func(int)) { emit(k) })
+	if len(out) != 0 || c.Rounds != 1 {
+		t.Fatalf("out=%v counters=%+v", out, c)
+	}
+}
+
+func TestEngineValueOrderWithinKey(t *testing.T) {
+	// Stable shuffle: values arrive in emission order within each key.
+	var c Counters
+	in := []int{5, 3, 8, 1}
+	out := Run(&c, in,
+		func(x int, emit func(string, int)) { emit("all", x) },
+		func(k string, vs []int, emit func([]int)) { emit(vs) })
+	if len(out) != 1 {
+		t.Fatal("expected one group")
+	}
+	for i, v := range in {
+		if out[0][i] != v {
+			t.Fatalf("value order not stable: %v", out[0])
+		}
+	}
+}
+
+func TestCountersAddString(t *testing.T) {
+	a := Counters{Rounds: 1, MapInput: 2, Shuffled: 3, Groups: 4, Output: 5}
+	b := Counters{Rounds: 10}
+	a.Add(b)
+	if a.Rounds != 11 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if !strings.Contains(a.String(), "rounds=11") {
+		t.Fatalf("String: %s", a.String())
+	}
+}
+
+func TestTrussDecomposePaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	res := TrussDecompose(g)
+	want := gen.PaperExamplePhi()
+	if res.KMax != 5 {
+		t.Fatalf("kmax = %d", res.KMax)
+	}
+	for key, p := range want {
+		if res.Phi[key] != p {
+			e := graph.EdgeFromKey(key)
+			t.Fatalf("edge %v: TD-MR phi=%d want %d", e, res.Phi[key], p)
+		}
+	}
+	if res.Counters.Rounds == 0 || res.Counters.Shuffled == 0 {
+		t.Fatal("no cluster work recorded")
+	}
+}
+
+func TestTrussDecomposeMatchesInMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(30)
+		m := 2*n + r.Intn(3*n)
+		var edges []graph.Edge
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+		}
+		g := graph.FromEdges(edges)
+		want := core.Decompose(g)
+		res := TrussDecompose(g)
+		if res.KMax != want.KMax {
+			t.Fatalf("trial %d: kmax %d vs %d", trial, res.KMax, want.KMax)
+		}
+		for id, p := range want.Phi {
+			e := g.Edge(int32(id))
+			if res.Phi[e.Key()] != p {
+				t.Fatalf("trial %d edge %v: TD-MR %d vs %d", trial, e, res.Phi[e.Key()], p)
+			}
+		}
+	}
+}
+
+func TestKTruss(t *testing.T) {
+	g := gen.PaperExample()
+	want := core.Decompose(g)
+	for k := int32(3); k <= 6; k++ {
+		edges, c := KTruss(g, k)
+		wantEdges := want.TrussEdges(k)
+		if len(edges) != len(wantEdges) {
+			t.Fatalf("k=%d: %d edges, want %d", k, len(edges), len(wantEdges))
+		}
+		if k > 3 && c.Rounds == 0 {
+			t.Fatal("no rounds recorded")
+		}
+	}
+}
+
+func TestTrussDecomposeEmptyAndTiny(t *testing.T) {
+	res := TrussDecompose(graph.NewBuilder(0).Build())
+	if res.KMax != 0 || len(res.Phi) != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+	one := graph.FromEdges([]graph.Edge{{U: 0, V: 1}})
+	res = TrussDecompose(one)
+	if res.KMax != 2 || res.Phi[(graph.Edge{U: 0, V: 1}).Key()] != 2 {
+		t.Fatalf("single edge: %+v", res)
+	}
+}
+
+func TestRoundCountGrowsWithK(t *testing.T) {
+	// The motivating claim of the paper: TD-MR pays an iterative sequence
+	// of triangle-enumeration jobs. A graph with kmax=5 must take many
+	// more rounds than a triangle-free one.
+	tri := TrussDecompose(gen.PaperExample())
+	var star []graph.Edge
+	for i := 1; i <= 10; i++ {
+		star = append(star, graph.Edge{U: 0, V: uint32(i)})
+	}
+	flat := TrussDecompose(graph.FromEdges(star))
+	if tri.Counters.Rounds <= flat.Counters.Rounds {
+		t.Fatalf("rounds: kmax=5 graph %d, star %d", tri.Counters.Rounds, flat.Counters.Rounds)
+	}
+}

@@ -1,0 +1,302 @@
+package mapreduce
+
+import (
+	"repro/internal/graph"
+)
+
+// This file implements Cohen's truss algorithm on the MapReduce engine,
+// following "Graph Twiddling in a MapReduce World" [16]: to find the
+// k-truss, repeatedly (1) augment edges with their endpoint degrees,
+// (2) enumerate triangles by binning each edge at its lower-degree
+// endpoint, emitting open triads, and closing them against the edge list,
+// (3) count triangles per edge, and (4) drop edges with fewer than k-2
+// triangles — iterating until no edge drops. Truss decomposition invokes
+// this fixpoint for k = 3, 4, ... on the surviving graph; edges dropped
+// while enforcing level k have truss number k-1.
+
+// annEdge is an edge annotated with endpoint degrees.
+type annEdge struct {
+	e      graph.Edge
+	du, dv int32
+}
+
+// joinVal is the tagged value used by join rounds.
+type joinVal struct {
+	isEdge bool
+	count  int32
+}
+
+// Result is a TD-MR truss decomposition.
+type Result struct {
+	// Phi maps canonical edge keys to truss numbers.
+	Phi map[uint64]int32
+	// KMax is the maximum truss number.
+	KMax int32
+	// Counters reports the simulated cluster work.
+	Counters Counters
+}
+
+// TrussDecompose runs the full TD-MR decomposition of g.
+func TrussDecompose(g *graph.Graph) *Result {
+	res := &Result{Phi: make(map[uint64]int32, g.NumEdges())}
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	for _, e := range edges {
+		res.Phi[e.Key()] = 2 // until proven better
+	}
+	k := int32(3)
+	for len(edges) > 0 {
+		var dropped []graph.Edge
+		edges, dropped = trussFixpoint(&res.Counters, edges, k)
+		for _, e := range dropped {
+			res.Phi[e.Key()] = k - 1
+			if k-1 > res.KMax {
+				res.KMax = k - 1
+			}
+		}
+		if len(edges) > 0 {
+			// Some edges survive level k; they have truss >= k.
+			res.KMax = k
+			k++
+		}
+	}
+	return res
+}
+
+// KTruss computes the k-truss edge set of g with the MR pipeline alone.
+func KTruss(g *graph.Graph, k int32) ([]graph.Edge, Counters) {
+	var c Counters
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	for kk := int32(3); kk <= k; kk++ {
+		edges, _ = trussFixpoint(&c, edges, kk)
+	}
+	return edges, c
+}
+
+// trussFixpoint repeatedly drops edges with fewer than k-2 triangles until
+// stable, returning the surviving and dropped edges.
+func trussFixpoint(c *Counters, edges []graph.Edge, k int32) (kept, dropped []graph.Edge) {
+	for {
+		counts := triangleCounts(c, edges)
+		var drop []graph.Edge
+		var keep []graph.Edge
+		// Join round: edges against their triangle counts.
+		type edgeCount struct {
+			e   graph.Edge
+			cnt int32
+		}
+		joined := Run(c, append(toJoinEdges(edges), toJoinCounts(counts)...),
+			func(rec joinRec, emit func(uint64, joinVal)) {
+				emit(rec.key, rec.val)
+			},
+			func(key uint64, vals []joinVal, emit func(edgeCount)) {
+				var cnt int32
+				seen := false
+				for _, v := range vals {
+					if v.isEdge {
+						seen = true
+					} else {
+						cnt += v.count
+					}
+				}
+				if seen {
+					emit(edgeCount{graph.EdgeFromKey(key), cnt})
+				}
+			})
+		for _, ec := range joined {
+			if ec.cnt < k-2 {
+				drop = append(drop, ec.e)
+			} else {
+				keep = append(keep, ec.e)
+			}
+		}
+		dropped = append(dropped, drop...)
+		edges = keep
+		if len(drop) == 0 {
+			return edges, dropped
+		}
+	}
+}
+
+type joinRec struct {
+	key uint64
+	val joinVal
+}
+
+func toJoinEdges(edges []graph.Edge) []joinRec {
+	out := make([]joinRec, len(edges))
+	for i, e := range edges {
+		out[i] = joinRec{e.Key(), joinVal{isEdge: true}}
+	}
+	return out
+}
+
+type keyCount struct {
+	key uint64
+	cnt int32
+}
+
+func toJoinCounts(counts []keyCount) []joinRec {
+	out := make([]joinRec, len(counts))
+	for i, kc := range counts {
+		out[i] = joinRec{kc.key, joinVal{count: kc.cnt}}
+	}
+	return out
+}
+
+// triangleCounts runs the triangle-enumeration pipeline and returns, for
+// each edge with at least one triangle, the triangle count.
+func triangleCounts(c *Counters, edges []graph.Edge) []keyCount {
+	// Round A: vertex degrees.
+	type vd struct {
+		v uint32
+		d int32
+	}
+	degs := Run(c, edges,
+		func(e graph.Edge, emit func(uint32, int32)) {
+			emit(e.U, 1)
+			emit(e.V, 1)
+		},
+		func(v uint32, ones []int32, emit func(vd)) {
+			emit(vd{v, int32(len(ones))})
+		})
+
+	// Rounds B & C: annotate each edge with deg(U) then deg(V).
+	type annHalf struct {
+		e  graph.Edge
+		du int32
+	}
+	type unionB struct {
+		isDeg bool
+		d     int32
+		e     graph.Edge
+	}
+	inB := make([]unionB, 0, len(edges)+len(degs))
+	for _, d := range degs {
+		inB = append(inB, unionB{isDeg: true, d: d.d, e: graph.Edge{U: d.v}})
+	}
+	for _, e := range edges {
+		inB = append(inB, unionB{e: e})
+	}
+	halves := Run(c, inB,
+		func(r unionB, emit func(uint32, unionB)) {
+			emit(r.e.U, r)
+		},
+		func(u uint32, vals []unionB, emit func(annHalf)) {
+			var du int32
+			for _, v := range vals {
+				if v.isDeg {
+					du = v.d
+				}
+			}
+			for _, v := range vals {
+				if !v.isDeg {
+					emit(annHalf{v.e, du})
+				}
+			}
+		})
+	type unionC struct {
+		isDeg bool
+		d     int32
+		h     annHalf
+		v     uint32
+	}
+	inC := make([]unionC, 0, len(halves)+len(degs))
+	for _, d := range degs {
+		inC = append(inC, unionC{isDeg: true, d: d.d, v: d.v})
+	}
+	for _, h := range halves {
+		inC = append(inC, unionC{h: h, v: h.e.V})
+	}
+	anns := Run(c, inC,
+		func(r unionC, emit func(uint32, unionC)) {
+			emit(r.v, r)
+		},
+		func(v uint32, vals []unionC, emit func(annEdge)) {
+			var dv int32
+			for _, r := range vals {
+				if r.isDeg {
+					dv = r.d
+				}
+			}
+			for _, r := range vals {
+				if !r.isDeg {
+					emit(annEdge{r.h.e, r.h.du, dv})
+				}
+			}
+		})
+
+	// Round D: bin each edge at its lower-degree endpoint and emit open
+	// triads keyed by the closing pair.
+	triads := Run(c, anns,
+		func(a annEdge, emit func(uint32, graph.Edge)) {
+			// Bin at the lower-degree endpoint (ties: lower ID), so each
+			// vertex's bin is O(sqrt(m)) on skewed graphs — Cohen's trick.
+			pivot := a.e.U
+			if a.dv < a.du || (a.dv == a.du && a.e.V < a.e.U) {
+				pivot = a.e.V
+			}
+			emit(pivot, a.e)
+		},
+		func(pivot uint32, es []graph.Edge, emit func(joinRec2)) {
+			for i := 0; i < len(es); i++ {
+				for j := i + 1; j < len(es); j++ {
+					w1 := es[i].Other(pivot)
+					w2 := es[j].Other(pivot)
+					closing := (graph.Edge{U: w1, V: w2}).Key()
+					emit(joinRec2{closing, triadOrEdge2{pivot: pivot}})
+				}
+			}
+		})
+
+	// Round E: close triads against the edge list -> triangles.
+	inE := triads
+	for _, e := range edges {
+		inE = append(inE, joinRec2{e.Key(), triadOrEdge2{isEdge: true}})
+	}
+	type triangleRec struct {
+		closing uint64
+		pivot   uint32
+	}
+	tris := Run(c, inE,
+		func(r joinRec2, emit func(uint64, triadOrEdge2)) {
+			emit(r.key, r.val)
+		},
+		func(key uint64, vals []triadOrEdge2, emit func(triangleRec)) {
+			closed := false
+			for _, v := range vals {
+				if v.isEdge {
+					closed = true
+				}
+			}
+			if !closed {
+				return
+			}
+			for _, v := range vals {
+				if !v.isEdge {
+					emit(triangleRec{key, v.pivot})
+				}
+			}
+		})
+
+	// Round F: count triangles per edge.
+	return Run(c, tris,
+		func(t triangleRec, emit func(uint64, int32)) {
+			ce := graph.EdgeFromKey(t.closing)
+			emit(t.closing, 1)
+			emit((graph.Edge{U: t.pivot, V: ce.U}).Key(), 1)
+			emit((graph.Edge{U: t.pivot, V: ce.V}).Key(), 1)
+		},
+		func(key uint64, ones []int32, emit func(keyCount)) {
+			emit(keyCount{key, int32(len(ones))})
+		})
+}
+
+type triadOrEdge2 struct {
+	isEdge bool
+	pivot  uint32
+}
+
+type joinRec2 struct {
+	key uint64
+	val triadOrEdge2
+}

@@ -1,0 +1,189 @@
+// Package metrics computes the graph statistics the paper's evaluation
+// reports: clustering coefficients (Watts-Strogatz [33], used in Example 1
+// and Table 6), degree statistics and on-disk sizes (Table 2), and the
+// kmax-truss versus cmax-core comparison (Table 6).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/triangle"
+)
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// (Watts & Strogatz): mean over non-isolated vertices of
+// triangles(v) / C(deg(v), 2); vertices of degree < 2 contribute 0, and
+// isolated vertices are excluded from the mean.
+func ClusteringCoefficient(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	tri := triangle.LocalCounts(g)
+	var sum float64
+	counted := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		if d == 0 {
+			continue
+		}
+		counted++
+		if d >= 2 {
+			sum += float64(tri[v]) / (float64(d) * float64(d-1) / 2)
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// DegreeStats returns the maximum and median degree over vertices that
+// appear in at least one edge (matching the convention of Table 2, whose
+// medians reflect power-law tails).
+func DegreeStats(g *graph.Graph) (dmax, dmed int) {
+	var degs []int
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > 0 {
+			degs = append(degs, d)
+		}
+	}
+	if len(degs) == 0 {
+		return 0, 0
+	}
+	sort.Ints(degs)
+	return degs[len(degs)-1], degs[len(degs)/2]
+}
+
+// TextSizeBytes returns the byte size of the graph in the SNAP text format
+// ("u\tv\n" per edge), the "size" column of Table 2.
+func TextSizeBytes(g *graph.Graph) int64 {
+	var total int64
+	for _, e := range g.Edges() {
+		total += int64(digits(e.U) + digits(e.V) + 2)
+	}
+	return total
+}
+
+func digits(x uint32) int {
+	d := 1
+	for x >= 10 {
+		x /= 10
+		d++
+	}
+	return d
+}
+
+// TableStats is one row of Table 2.
+type TableStats struct {
+	V, E      int64
+	SizeBytes int64
+	DMax      int
+	DMed      int
+	KMax      int32
+}
+
+// Stats computes the Table 2 row for g. The truss decomposition needed for
+// kmax is computed with the improved in-memory algorithm.
+func Stats(g *graph.Graph) TableStats {
+	dmax, dmed := DegreeStats(g)
+	res := core.Decompose(g)
+	// Count only vertices that carry edges: dataset files list edges, so
+	// isolated trailing IDs are a generator artifact.
+	var v int64
+	for i := 0; i < g.NumVertices(); i++ {
+		if g.Degree(uint32(i)) > 0 {
+			v++
+		}
+	}
+	return TableStats{
+		V:         v,
+		E:         int64(g.NumEdges()),
+		SizeBytes: TextSizeBytes(g),
+		DMax:      dmax,
+		DMed:      dmed,
+		KMax:      res.KMax,
+	}
+}
+
+// TrussProfile returns the normalized k-class mass function of a
+// decomposition: entry k is the fraction of edges with truss number k.
+// The profile is a compact structural fingerprint of a network — the
+// visualization/fingerprinting application the paper's introduction cites:
+// random graphs concentrate mass at low k, collaboration and community
+// graphs carry long tails.
+func TrussProfile(r *core.Result) []float64 {
+	sizes := r.ClassSizes()
+	total := float64(r.G.NumEdges())
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(sizes))
+	for k, n := range sizes {
+		out[k] = float64(n) / total
+	}
+	return out
+}
+
+// ProfileSimilarity compares two truss profiles with cosine similarity in
+// [0, 1] (profiles are non-negative). Lengths may differ; the shorter is
+// zero-padded.
+func ProfileSimilarity(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// SubgraphStats is one side of a Table 6 row: the extremal truss or core.
+type SubgraphStats struct {
+	V, E int
+	K    int32   // kmax (truss) or cmax (core)
+	CC   float64 // clustering coefficient of the subgraph
+}
+
+// TrussVsCore computes the Table 6 comparison for g: statistics of the
+// kmax-truss T and the cmax-core C. Returns the two sides.
+func TrussVsCore(g *graph.Graph) (t, c SubgraphStats) {
+	tr := core.Decompose(g)
+	maxTruss := tr.MaxTruss()
+	t = subStats(maxTruss, tr.KMax)
+
+	co := kcore.Decompose(g)
+	maxCore := co.MaxCore()
+	c = subStats(maxCore, co.CMax)
+	return t, c
+}
+
+func subStats(g *graph.Graph, k int32) SubgraphStats {
+	v := 0
+	for i := 0; i < g.NumVertices(); i++ {
+		if g.Degree(uint32(i)) > 0 {
+			v++
+		}
+	}
+	return SubgraphStats{V: v, E: g.NumEdges(), K: k, CC: ClusteringCoefficient(g)}
+}

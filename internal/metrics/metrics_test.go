@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestClusteringCoefficientKnown(t *testing.T) {
+	// Triangle: CC = 1.
+	tri := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if cc := ClusteringCoefficient(tri); !almostEqual(cc, 1) {
+		t.Fatalf("triangle CC = %f", cc)
+	}
+	// Star: CC = 0.
+	star := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	if cc := ClusteringCoefficient(star); !almostEqual(cc, 0) {
+		t.Fatalf("star CC = %f", cc)
+	}
+	// Empty graph: defined as 0.
+	if cc := ClusteringCoefficient(graph.NewBuilder(0).Build()); !almostEqual(cc, 0) {
+		t.Fatalf("empty CC = %f", cc)
+	}
+	// K4 minus one edge: vertices on the missing edge have CC 1 (deg 2,
+	// one triangle); the other two have deg 3 and 2 of 3 neighbor pairs
+	// connected -> 2/3. Mean = (1+1+2/3+2/3)/4 = 5/6.
+	km := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}})
+	if cc := ClusteringCoefficient(km); !almostEqual(cc, 5.0/6.0) {
+		t.Fatalf("K4-e CC = %f, want %f", cc, 5.0/6.0)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 3, V: 4}})
+	dmax, dmed := DegreeStats(g)
+	if dmax != 3 {
+		t.Fatalf("dmax = %d", dmax)
+	}
+	// Degrees: 3,1,1,2,1 sorted 1,1,1,2,3 -> median 1.
+	if dmed != 1 {
+		t.Fatalf("dmed = %d", dmed)
+	}
+	if dmax, dmed = DegreeStats(graph.NewBuilder(0).Build()); dmax != 0 || dmed != 0 {
+		t.Fatal("empty graph degree stats")
+	}
+}
+
+func TestTextSizeBytes(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 10, V: 100}})
+	// "0\t1\n" = 4 bytes; "10\t100\n" = 7 bytes.
+	if sz := TextSizeBytes(g); sz != 11 {
+		t.Fatalf("size = %d, want 11", sz)
+	}
+}
+
+func TestStatsOnPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	st := Stats(g)
+	if st.V != 12 || st.E != 26 {
+		t.Fatalf("V=%d E=%d", st.V, st.E)
+	}
+	if st.KMax != 5 {
+		t.Fatalf("kmax = %d", st.KMax)
+	}
+	if st.DMax == 0 || st.DMed == 0 || st.SizeBytes == 0 {
+		t.Fatal("degenerate stats")
+	}
+}
+
+// TestFigure1Property verifies the Example 1 claim on the Managers fixture:
+// the clustering coefficient increases strictly from G to the 3-core to the
+// 4-truss, the 4-core is empty, and the 5-truss is empty.
+func TestFigure1Property(t *testing.T) {
+	g := gen.Managers()
+
+	co := kcore.Decompose(g)
+	core3 := co.KCore(3)
+	if core3.NumEdges() == 0 {
+		t.Fatal("3-core empty")
+	}
+	if co.KCore(4).NumEdges() != 0 {
+		t.Fatal("4-core should be empty")
+	}
+
+	tr := core.Decompose(g)
+	truss4 := tr.Truss(4)
+	if truss4.NumEdges() == 0 {
+		t.Fatal("4-truss empty")
+	}
+	if tr.Truss(5).NumEdges() != 0 {
+		t.Fatal("5-truss should be empty")
+	}
+
+	ccG := ClusteringCoefficient(g)
+	cc3 := ClusteringCoefficient(core3)
+	cc4 := ClusteringCoefficient(truss4)
+	if !(ccG < cc3 && cc3 < cc4) {
+		t.Fatalf("CC ordering violated: G=%.3f 3-core=%.3f 4-truss=%.3f", ccG, cc3, cc4)
+	}
+	t.Logf("Figure 1 analog: CC(G)=%.2f CC(3-core)=%.2f CC(4-truss)=%.2f (paper: 0.51/0.65/0.80)",
+		ccG, cc3, cc4)
+}
+
+// TestTable6Property verifies the Section 7.4 claims on a community graph:
+// the kmax-truss is no larger than the cmax-core and at least as clustered.
+func TestTable6Property(t *testing.T) {
+	g := gen.Community(12, 14, 0.65, 1.5, 42)
+	ts, cs := TrussVsCore(g)
+	if ts.E == 0 || cs.E == 0 {
+		t.Fatal("degenerate extremal subgraphs")
+	}
+	if ts.E > cs.E || ts.V > cs.V {
+		t.Fatalf("kmax-truss (%d/%d) larger than cmax-core (%d/%d)",
+			ts.V, ts.E, cs.V, cs.E)
+	}
+	if ts.CC < cs.CC {
+		t.Fatalf("truss CC %.3f below core CC %.3f", ts.CC, cs.CC)
+	}
+	// The truss-core relationship: kmax <= cmax + 1.
+	if ts.K > cs.K+1 {
+		t.Fatalf("kmax %d > cmax+1 %d", ts.K, cs.K+1)
+	}
+}
+
+func TestTrussProfile(t *testing.T) {
+	g := gen.PaperExample()
+	r := core.Decompose(g)
+	p := TrussProfile(r)
+	// 26 edges: 1/26 at k=2, 9/26 at k=3, 6/26 at k=4, 10/26 at k=5.
+	want := []float64{0, 0, 1.0 / 26, 9.0 / 26, 6.0 / 26, 10.0 / 26}
+	if len(p) != len(want) {
+		t.Fatalf("profile = %v", p)
+	}
+	sum := 0.0
+	for k := range want {
+		if !almostEqual(p[k], want[k]) {
+			t.Fatalf("profile[%d] = %f, want %f", k, p[k], want[k])
+		}
+		sum += p[k]
+	}
+	if !almostEqual(sum, 1) {
+		t.Fatalf("profile mass = %f", sum)
+	}
+	if TrussProfile(core.Decompose(graph.NewBuilder(0).Build())) != nil {
+		t.Fatal("empty graph should have nil profile")
+	}
+}
+
+func TestProfileSimilarity(t *testing.T) {
+	a := []float64{0, 0, 0.5, 0.5}
+	if s := ProfileSimilarity(a, a); !almostEqual(s, 1) {
+		t.Fatalf("self similarity = %f", s)
+	}
+	b := []float64{0, 0, 0, 0, 1} // disjoint support
+	if s := ProfileSimilarity(a, b); !almostEqual(s, 0) {
+		t.Fatalf("disjoint similarity = %f", s)
+	}
+	if s := ProfileSimilarity(nil, a); s != 0 {
+		t.Fatalf("nil similarity = %f", s)
+	}
+	// Same-structure graphs from different seeds should fingerprint as
+	// more similar to each other than to a different family.
+	er1 := TrussProfile(core.Decompose(gen.ErdosRenyi(400, 2000, 1)))
+	er2 := TrussProfile(core.Decompose(gen.ErdosRenyi(400, 2000, 2)))
+	col := TrussProfile(core.Decompose(gen.Collaboration(400, 120, 12, 3)))
+	if ProfileSimilarity(er1, er2) <= ProfileSimilarity(er1, col) {
+		t.Fatalf("ER/ER %.3f should exceed ER/collab %.3f",
+			ProfileSimilarity(er1, er2), ProfileSimilarity(er1, col))
+	}
+}
+
+func TestSubStatsCountsActiveVertices(t *testing.T) {
+	// A graph with a declared isolated vertex: V counts only covered ones.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.DeclareVertex(5)
+	g := b.Build()
+	st := Stats(g)
+	if st.V != 2 {
+		t.Fatalf("V = %d, want 2", st.V)
+	}
+}

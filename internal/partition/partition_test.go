@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDegrees(r *rand.Rand, n int) []int32 {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = int32(r.Intn(20))
+	}
+	return d
+}
+
+func TestStrategyString(t *testing.T) {
+	if Sequential.String() != "sequential" ||
+		Randomized.String() != "randomized" ||
+		DominatingSet.String() != "dominating-set" {
+		t.Fatal("bad strategy names")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still render")
+	}
+}
+
+func TestPartitionAllStrategies(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	deg := randomDegrees(r, 200)
+	for _, strat := range []Strategy{Sequential, Randomized, DominatingSet} {
+		cfg := Config{Strategy: strat, Budget: 50, Seed: 7}
+		in := Input{Degree: deg}
+		parts := Partition(in, cfg)
+		if err := Validate(in, cfg, parts); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+	}
+}
+
+func TestPartitionRespectsActiveMask(t *testing.T) {
+	deg := []int32{5, 5, 5, 5, 5}
+	active := func(v uint32) bool { return v%2 == 0 }
+	cfg := Config{Strategy: Sequential, Budget: 100}
+	in := Input{Degree: deg, Active: active}
+	parts := Partition(in, cfg)
+	if err := Validate(in, cfg, parts); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 3 {
+		t.Fatalf("covered %d vertices, want 3", total)
+	}
+}
+
+func TestPartitionSingletonOverBudget(t *testing.T) {
+	// A vertex with degree above the budget must land in its own part.
+	deg := []int32{1000, 2, 3}
+	cfg := Config{Strategy: Sequential, Budget: 10}
+	in := Input{Degree: deg}
+	parts := Partition(in, cfg)
+	if err := Validate(in, cfg, parts); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range parts {
+		if len(p) == 1 && p[0] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hub not isolated: %v", parts)
+	}
+}
+
+func TestPartitionZeroBudget(t *testing.T) {
+	deg := []int32{1, 1}
+	cfg := Config{Strategy: Sequential, Budget: 0}
+	in := Input{Degree: deg}
+	parts := Partition(in, cfg)
+	if err := Validate(in, Config{Strategy: Sequential, Budget: 1}, parts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	deg := randomDegrees(r, 100)
+	in := Input{Degree: deg}
+	a := Partition(in, Config{Strategy: Randomized, Budget: 40, Seed: 1})
+	b := Partition(in, Config{Strategy: Randomized, Budget: 40, Seed: 1})
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different partitions")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same seed produced different partitions")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different partitions")
+			}
+		}
+	}
+	c := Partition(in, Config{Strategy: Randomized, Budget: 40, Seed: 2})
+	if err := Validate(in, Config{Strategy: Randomized, Budget: 40}, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllStrategiesValid(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8, nRaw uint8, stratRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		budget := int64(budgetRaw)%100 + 1
+		strat := Strategy(int(stratRaw) % 3)
+		r := rand.New(rand.NewSource(seed))
+		deg := randomDegrees(r, n)
+		cfg := Config{Strategy: strat, Budget: budget, Seed: seed}
+		in := Input{Degree: deg}
+		parts := Partition(in, cfg)
+		return Validate(in, cfg, parts) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatingSetBalances(t *testing.T) {
+	// Power-law-ish degrees: one huge hub plus many leaves. The dominating
+	// strategy should isolate the hub and spread leaves across parts.
+	deg := make([]int32, 101)
+	deg[0] = 90
+	for i := 1; i <= 100; i++ {
+		deg[i] = 2
+	}
+	cfg := Config{Strategy: DominatingSet, Budget: 100}
+	in := Input{Degree: deg}
+	parts := Partition(in, cfg)
+	if err := Validate(in, cfg, parts); err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("expected multiple parts, got %d", len(parts))
+	}
+}

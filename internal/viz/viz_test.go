@@ -1,0 +1,74 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestWriteDOTPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	r := core.Decompose(g)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, r, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph \"fig2\" {") {
+		t.Fatalf("bad header: %q", out[:40])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("unterminated graph")
+	}
+	// One edge line per edge, with the class recorded in the tooltip.
+	if got := strings.Count(out, " -- "); got != g.NumEdges() {
+		t.Fatalf("edge lines = %d, want %d", got, g.NumEdges())
+	}
+	for _, want := range []string{`tooltip="phi=2"`, `tooltip="phi=3"`, `tooltip="phi=4"`, `tooltip="phi=5"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	// The innermost class must be darkest; the 2-class lightest.
+	if !strings.Contains(out, palette[len(palette)-1]) || !strings.Contains(out, palette[0]) {
+		t.Fatal("palette extremes unused")
+	}
+}
+
+func TestWriteDOTTrivial(t *testing.T) {
+	r := core.Decompose(graph.FromEdges([]graph.Edge{{U: 0, V: 1}}))
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, r, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 -- 1") {
+		t.Fatal("missing edge")
+	}
+}
+
+func TestClassColorBounds(t *testing.T) {
+	for kmax := int32(2); kmax <= 40; kmax++ {
+		for k := int32(2); k <= kmax; k++ {
+			c := classColor(k, kmax)
+			found := false
+			for _, p := range palette {
+				if p == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("classColor(%d,%d) = %q not in palette", k, kmax, c)
+			}
+		}
+		if classColor(kmax, kmax) != palette[len(palette)-1] {
+			t.Fatalf("kmax class should be darkest (kmax=%d)", kmax)
+		}
+		if kmax > 2 && classColor(2, kmax) != palette[0] {
+			t.Fatalf("2-class should be lightest (kmax=%d)", kmax)
+		}
+	}
+}

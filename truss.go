@@ -1,0 +1,310 @@
+// Package truss is the public API of this reproduction of "Truss
+// Decomposition in Massive Networks" (Jia Wang and James Cheng, PVLDB
+// 5(9), 2012). It exposes the paper's four decomposition algorithms behind
+// a small facade:
+//
+//   - Decompose — the improved in-memory algorithm (TD-inmem+, Algorithm
+//     2): O(m^1.5) time, O(m+n) space.
+//   - DecomposeBaseline — Cohen's in-memory algorithm (TD-inmem,
+//     Algorithm 1), kept as the paper's baseline.
+//   - BottomUp — the I/O-efficient bottom-up decomposition (Algorithms
+//     3-4) for graphs larger than memory.
+//   - TopDown — the I/O-efficient top-down computation of the top-t
+//     k-classes (Algorithm 7).
+//   - MapReduceDecompose — Cohen's distributed algorithm (TD-MR) on a
+//     simulated MapReduce cluster, the baseline of Table 4.
+//
+// Graphs are built with NewBuilder / FromEdges or loaded from SNAP-format
+// text (or binary) files with LoadGraph. Supporting analyses used by the
+// paper's evaluation — k-core decomposition, clustering coefficients, and
+// the kmax-truss versus cmax-core comparison — are exposed as well.
+package truss
+
+import (
+	"io"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/embu"
+	"repro/internal/emtd"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/kcore"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/viz"
+)
+
+// Graph is an immutable undirected simple graph in adjacency (CSR) form.
+type Graph = graph.Graph
+
+// Edge is an undirected edge stored canonically with U < V.
+type Edge = graph.Edge
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder with capacity for sizeHint edges.
+func NewBuilder(sizeHint int) *Builder { return graph.NewBuilder(sizeHint) }
+
+// FromEdges builds a graph from an edge list (duplicates and self-loops
+// are dropped).
+func FromEdges(edges []Edge) *Graph { return graph.FromEdges(edges) }
+
+// LoadGraph reads a graph from a SNAP-format text file, or a binary edge
+// file when the path ends in ".bin".
+func LoadGraph(path string) (*Graph, error) { return gio.LoadGraph(path, nil) }
+
+// SaveGraph writes a graph in the format implied by the path extension.
+func SaveGraph(path string, g *Graph) error { return gio.SaveGraph(path, g, nil) }
+
+// Result is an in-memory truss decomposition: Phi[id] is the truss number
+// of edge id, KMax the maximum truss number; k-classes and k-trusses are
+// derived views.
+type Result = core.Result
+
+// Decompose computes the truss decomposition of g with the paper's
+// improved in-memory algorithm (TD-inmem+, Algorithm 2).
+func Decompose(g *Graph) *Result { return core.Decompose(g) }
+
+// DecomposeBaseline computes the truss decomposition with Cohen's
+// in-memory algorithm (TD-inmem, Algorithm 1). It produces identical
+// results to Decompose but scans both full adjacency lists per removed
+// edge, which is the bottleneck the paper's Table 3 measures.
+func DecomposeBaseline(g *Graph) *Result { return core.DecomposeBaseline(g) }
+
+// DecomposeParallel computes the truss decomposition with
+// level-synchronized parallel peeling across the given number of workers
+// (0 = GOMAXPROCS) — a multicore extension beyond the paper. Results are
+// identical to Decompose.
+func DecomposeParallel(g *Graph, workers int) *Result {
+	return core.DecomposeParallel(g, workers)
+}
+
+// Verify checks a decomposition against the k-truss definition (membership
+// and maximality for every k). Intended for tests and validation.
+func Verify(r *Result) error { return core.Verify(r) }
+
+// PartitionStrategy selects how the external-memory algorithms split
+// vertices into memory-sized parts.
+type PartitionStrategy = partition.Strategy
+
+// Partitioning strategies for ExternalOptions.
+const (
+	PartitionSequential    = partition.Sequential
+	PartitionRandomized    = partition.Randomized
+	PartitionDominatingSet = partition.DominatingSet
+)
+
+// ExternalOptions configures the out-of-core algorithms.
+type ExternalOptions struct {
+	// MemoryBudget is the paper's M, measured in adjacency entries (an
+	// in-memory subgraph with e edges consumes 2e entries). 0 selects a
+	// default suitable for graphs of a few million edges.
+	MemoryBudget int64
+	// Strategy selects the vertex partitioner (default randomized).
+	Strategy PartitionStrategy
+	// Seed drives randomized partitioning.
+	Seed int64
+	// TempDir holds on-disk spools (default os.TempDir()).
+	TempDir string
+	// Stats, if non-nil, accumulates every byte moved to and from disk.
+	Stats *IOStats
+}
+
+// IOStats counts disk traffic in the Aggarwal-Vitter model; IOs(B) reports
+// block transfers.
+type IOStats = gio.Stats
+
+// ExternalResult is a disk-resident truss decomposition produced by
+// BottomUp: per-edge classes live in a spool; summaries are in memory.
+type ExternalResult = embu.Result
+
+// BottomUp runs the I/O-efficient bottom-up truss decomposition
+// (Algorithms 3 and 4) on g under the given memory budget. The graph is
+// spooled to disk first, so the run honestly exercises the external-memory
+// code paths regardless of g's size.
+func BottomUp(g *Graph, opts ExternalOptions) (*ExternalResult, error) {
+	return embu.DecomposeGraph(g, embu.Config{
+		Budget:   opts.MemoryBudget,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		TempDir:  opts.TempDir,
+		Stats:    opts.Stats,
+	})
+}
+
+// BottomUpFile decomposes a graph file (SNAP text or .bin) without ever
+// materializing it in memory.
+func BottomUpFile(path string, opts ExternalOptions) (*ExternalResult, error) {
+	sp, n, err := spoolFile(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Remove()
+	return embu.Decompose(sp, n, embu.Config{
+		Budget:   opts.MemoryBudget,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		TempDir:  opts.TempDir,
+		Stats:    opts.Stats,
+	})
+}
+
+// TopDownResult is the output of the top-down algorithm.
+type TopDownResult = emtd.Result
+
+// TopDown computes the top-t k-classes of g (t = 0 means all classes) with
+// the I/O-efficient top-down algorithm (Algorithm 7).
+func TopDown(g *Graph, topT int, opts ExternalOptions) (*TopDownResult, error) {
+	return emtd.DecomposeGraph(g, emtd.Config{
+		TopT:     topT,
+		Budget:   opts.MemoryBudget,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		TempDir:  opts.TempDir,
+		Stats:    opts.Stats,
+	})
+}
+
+// TopDownFile is TopDown over a graph file.
+func TopDownFile(path string, topT int, opts ExternalOptions) (*TopDownResult, error) {
+	sp, n, err := spoolFile(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Remove()
+	return emtd.Decompose(sp, n, emtd.Config{
+		TopT:     topT,
+		Budget:   opts.MemoryBudget,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		TempDir:  opts.TempDir,
+		Stats:    opts.Stats,
+	})
+}
+
+// spoolFile converts a graph file into a canonical edge spool, returning
+// the vertex-ID space.
+func spoolFile(path string, opts ExternalOptions) (*gio.Spool[gio.EdgeRec], int, error) {
+	g, err := gio.LoadGraph(path, opts.Stats)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp, err := gio.NewSpool[gio.EdgeRec](opts.TempDir, "input", gio.EdgeCodec{}, opts.Stats)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := sp.Create()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range g.Edges() {
+		if err := w.Write(gio.EdgeRec{U: e.U, V: e.V}); err != nil {
+			w.Close()
+			return nil, 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, err
+	}
+	return sp, g.NumVertices(), nil
+}
+
+// CountTrianglesExternal counts the triangles of a graph file without
+// holding the graph in memory, using the same partitioned accumulation
+// that powers the external decomposition (each triangle is counted at the
+// unique partition round where its first edge becomes internal — the
+// I/O-efficient scheme of Chu & Cheng the paper builds on).
+func CountTrianglesExternal(path string, opts ExternalOptions) (int64, error) {
+	sp, n, err := spoolFile(path, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer sp.Remove()
+	aux, err := gio.NewSpool[gio.EdgeAux2](opts.TempDir, "tri", gio.EdgeAux2Codec{}, opts.Stats)
+	if err != nil {
+		return 0, err
+	}
+	defer aux.Remove()
+	w, err := aux.Create()
+	if err != nil {
+		return 0, err
+	}
+	if err := sp.ForEach(func(r gio.EdgeRec) error {
+		return w.Write(gio.EdgeAux2{U: r.U, V: r.V})
+	}); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	sups, err := embu.ExactSupports(aux, n, embu.Config{
+		Budget:   opts.MemoryBudget,
+		Strategy: opts.Strategy,
+		Seed:     opts.Seed,
+		TempDir:  opts.TempDir,
+		Stats:    opts.Stats,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sups.Remove()
+	var total int64
+	if err := sups.ForEach(func(r gio.EdgeAux) error {
+		total += int64(r.Aux)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return total / 3, nil
+}
+
+// MapReduceResult is a TD-MR decomposition with simulated-cluster
+// counters.
+type MapReduceResult = mapreduce.Result
+
+// MapReduceDecompose runs Cohen's graph-twiddling truss decomposition
+// (TD-MR) on the in-process MapReduce simulator.
+func MapReduceDecompose(g *Graph) *MapReduceResult { return mapreduce.TrussDecompose(g) }
+
+// CoreResult is a k-core decomposition.
+type CoreResult = kcore.Result
+
+// CoreDecompose computes core numbers with the O(m) bin-sort algorithm of
+// Batagelj and Zaversnik, the comparison point of the paper's Table 6.
+func CoreDecompose(g *Graph) *CoreResult { return kcore.Decompose(g) }
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// (Watts-Strogatz), the cohesion metric of Example 1 and Table 6.
+func ClusteringCoefficient(g *Graph) float64 { return metrics.ClusteringCoefficient(g) }
+
+// GraphStats is one row of the paper's Table 2 (dataset statistics).
+type GraphStats = metrics.TableStats
+
+// Stats computes |V|, |E|, text size, max/median degree, and kmax for g.
+func Stats(g *Graph) GraphStats { return metrics.Stats(g) }
+
+// SubgraphStats describes an extremal subgraph in the Table 6 comparison.
+type SubgraphStats = metrics.SubgraphStats
+
+// MaxTrussVsMaxCore computes the paper's Table 6 comparison: statistics of
+// the kmax-truss versus the cmax-core of g.
+func MaxTrussVsMaxCore(g *Graph) (truss, core SubgraphStats) {
+	return metrics.TrussVsCore(g)
+}
+
+// Community is a triangle-connected component of a k-truss: a maximal set
+// of T_k edges linked through shared T_k triangles. Communities may
+// overlap on vertices but not on edges.
+type Community = community.Community
+
+// Communities returns the k-truss communities of r's graph, largest first.
+// k must be at least 3.
+func Communities(r *Result, k int32) []Community { return community.Detect(r, k) }
+
+// WriteDOT renders a decomposition as a Graphviz graph with edges colored
+// by truss number (the paper's Figure 2 shading).
+func WriteDOT(w io.Writer, r *Result, name string) error { return viz.WriteDOT(w, r, name) }

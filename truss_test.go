@@ -1,0 +1,204 @@
+package truss_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	truss "repro"
+	"repro/internal/gen"
+)
+
+// paperExample rebuilds the Figure 2 graph through the public API.
+func paperExample() *truss.Graph {
+	return gen.PaperExample()
+}
+
+func TestFacadeInMemory(t *testing.T) {
+	g := paperExample()
+	r := truss.Decompose(g)
+	if r.KMax != 5 {
+		t.Fatalf("kmax = %d", r.KMax)
+	}
+	if err := truss.Verify(r); err != nil {
+		t.Fatal(err)
+	}
+	b := truss.DecomposeBaseline(g)
+	if b.KMax != 5 {
+		t.Fatalf("baseline kmax = %d", b.KMax)
+	}
+}
+
+func TestFacadeBuilderAndFiles(t *testing.T) {
+	b := truss.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tri.txt")
+	if err := truss.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := truss.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 {
+		t.Fatalf("loaded %d edges", back.NumEdges())
+	}
+	r := truss.Decompose(back)
+	if r.KMax != 3 {
+		t.Fatalf("triangle kmax = %d", r.KMax)
+	}
+}
+
+func TestFacadeExternal(t *testing.T) {
+	g := paperExample()
+	var st truss.IOStats
+	opts := truss.ExternalOptions{MemoryBudget: 64, TempDir: t.TempDir(), Stats: &st}
+	res, err := truss.BottomUp(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.KMax != 5 {
+		t.Fatalf("bottom-up kmax = %d", res.KMax)
+	}
+	if st.BytesRead() == 0 {
+		t.Fatal("no I/O recorded")
+	}
+
+	td, err := truss.TopDown(g, 2, truss.ExternalOptions{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer td.Close()
+	if td.KMax != 5 || td.ClassSizes[5] != 10 || td.ClassSizes[4] != 6 {
+		t.Fatalf("top-down: kmax=%d sizes=%v", td.KMax, td.ClassSizes)
+	}
+}
+
+func TestFacadeExternalFromFile(t *testing.T) {
+	g := paperExample()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := truss.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := truss.BottomUpFile(path, truss.ExternalOptions{TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.KMax != 5 {
+		t.Fatalf("kmax = %d", res.KMax)
+	}
+	td, err := truss.TopDownFile(path, 1, truss.ExternalOptions{TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer td.Close()
+	if td.ClassSizes[5] != 10 {
+		t.Fatalf("top-1 sizes = %v", td.ClassSizes)
+	}
+}
+
+func TestFacadeCountTrianglesExternal(t *testing.T) {
+	g := paperExample()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := truss.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 64} {
+		got, err := truss.CountTrianglesExternal(path, truss.ExternalOptions{
+			MemoryBudget: budget, TempDir: dir, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Figure 2 has 23 triangles: C(5,3)=10 in the 5-clique, 4 around
+		// the {f,h,i,j} near-clique plus its (f,h,i),(f,h,j)... count via
+		// the in-memory reference below instead of hand arithmetic.
+		want := int64(0)
+		for _, s := range supportsOf(g) {
+			want += int64(s)
+		}
+		want /= 3
+		if got != want {
+			t.Fatalf("budget %d: triangles = %d, want %d", budget, got, want)
+		}
+	}
+}
+
+// supportsOf mirrors triangle.Supports through the public surface (merge
+// intersection per edge).
+func supportsOf(g *truss.Graph) []int {
+	out := make([]int, g.NumEdges())
+	for id, e := range g.Edges() {
+		a, b := g.Neighbors(e.U), g.Neighbors(e.V)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				out[id]++
+				i++
+				j++
+			}
+		}
+	}
+	return out
+}
+
+func TestFacadeMapReduce(t *testing.T) {
+	res := truss.MapReduceDecompose(paperExample())
+	if res.KMax != 5 {
+		t.Fatalf("TD-MR kmax = %d", res.KMax)
+	}
+	if res.Counters.Rounds == 0 {
+		t.Fatal("no MR rounds recorded")
+	}
+}
+
+func TestFacadeCommunitiesAndDOT(t *testing.T) {
+	g := paperExample()
+	r := truss.Decompose(g)
+	comms := truss.Communities(r, 5)
+	if len(comms) != 1 || len(comms[0].Edges) != 10 {
+		t.Fatalf("communities at k=5: %+v", comms)
+	}
+	var buf bytes.Buffer
+	if err := truss.WriteDOT(&buf, r, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("graph \"fig2\"")) {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	g := paperExample()
+	co := truss.CoreDecompose(g)
+	if co.CMax < 3 {
+		t.Fatalf("cmax = %d", co.CMax)
+	}
+	if cc := truss.ClusteringCoefficient(g); cc <= 0 || cc > 1 {
+		t.Fatalf("cc = %f", cc)
+	}
+	st := truss.Stats(g)
+	if st.V != 12 || st.E != 26 || st.KMax != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ts, cs := truss.MaxTrussVsMaxCore(g)
+	if ts.K != 5 || ts.E != 10 {
+		t.Fatalf("max truss stats = %+v", ts)
+	}
+	if cs.E == 0 {
+		t.Fatalf("max core stats = %+v", cs)
+	}
+}
