@@ -1,11 +1,20 @@
 // Command trussd decomposes a graph file with any of the reproduced
 // algorithms and reports the k-class histogram (optionally the per-edge
-// truss numbers).
+// truss numbers), or serves truss queries over HTTP.
 //
-// Usage:
+// Batch usage:
 //
 //	trussd -in graph.txt [-algo inmem|baseline|bottomup|topdown|mr]
 //	       [-top t] [-budget N] [-out classes.txt] [-v]
+//
+// Serving usage:
+//
+//	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait]
+//
+// The serve subcommand decomposes each loaded graph once (with the
+// parallel peeler), keeps the resulting TrussIndex resident, and answers
+// truss-number, community, histogram, and top-class queries over a JSON
+// HTTP API; see the internal/server package for the routes.
 //
 // The input is a SNAP-format edge list ("u v" per line, '#' comments) or a
 // binary edge file when the path ends in ".bin".
@@ -23,6 +32,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "trussd serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	in := flag.String("in", "", "input graph file (SNAP text, or .bin)")
 	algo := flag.String("algo", "inmem", "algorithm: inmem, baseline, bottomup, topdown, mr")
 	topT := flag.Int("top", 0, "topdown only: compute the top-t k-classes (0 = all)")

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	truss "repro"
+)
+
+// multiFlag collects a repeatable -load flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// serveMain runs the `trussd serve` subcommand: an HTTP server answering
+// truss queries against resident TrussIndexes.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("trussd serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "decomposition workers (0 = GOMAXPROCS)")
+	wait := fs.Bool("wait", false, "block until preloaded graphs are ready before listening")
+	var loads multiFlag
+	fs.Var(&loads, "load", "preload a graph as name=path (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: trussd serve [-addr :8080] [-workers N] [-load name=path]... [-wait]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "trussd: ", log.LstdFlags)
+	srv := truss.NewServer(truss.ServerOptions{
+		Workers: *workers,
+		Logf:    logger.Printf,
+	})
+	var names []string
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -load %q: want name=path", spec)
+		}
+		if err := srv.LoadFileAsync(name, path); err != nil {
+			return fmt.Errorf("preloading %q: %w", name, err)
+		}
+		logger.Printf("graph %q building from %s", name, path)
+		names = append(names, name)
+	}
+	if *wait {
+		for _, name := range names {
+			if err := srv.WaitReady(name, time.Hour); err != nil {
+				return err
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	logger.Printf("listening on %s", ln.Addr())
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,11 +1,19 @@
 package truss_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/gen"
 )
 
 // buildCmd compiles one of the repository's binaries into dir and returns
@@ -112,5 +120,102 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if _, err := exec.Command(graphstat, "-in", filepath.Join(dir, "missing.txt")).CombinedOutput(); err == nil {
 		t.Fatal("graphstat on missing file should fail")
+	}
+}
+
+// TestServeEndToEnd starts `trussd serve` as a real process, preloads the
+// paper's running example, and exercises each query endpoint over HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+
+	// Write the paper's Figure 2 example as a SNAP file.
+	gpath := filepath.Join(dir, "paper.txt")
+	var sb strings.Builder
+	sb.WriteString("# paper example\n")
+	for _, e := range gen.PaperExample().Edges() {
+		fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+	}
+	if err := os.WriteFile(gpath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(trussd, "serve", "-addr", "127.0.0.1:0", "-load", "paper="+gpath, "-wait")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	// The server logs "listening on <addr>" once the socket is bound.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its listen address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	if body := get("/healthz"); body["ok"] != true {
+		t.Fatalf("healthz = %v", body)
+	}
+	// Edge (0,1) is in the 5-class (the {a..e} clique of Example 2).
+	if body := get("/v1/graphs/paper/truss?u=0&v=1"); body["truss"] != float64(5) {
+		t.Fatalf("truss(0,1) = %v", body)
+	}
+	// Its 5-truss community covers exactly vertices 0..4.
+	body := get("/v1/graphs/paper/community?u=0&v=1&k=5")
+	if vs, ok := body["vertices"].([]any); !ok || len(vs) != 5 {
+		t.Fatalf("community(0,1,5) = %v", body)
+	}
+	// Histogram matches |Phi_5| = 10, and the top class is k=5.
+	hist := get("/v1/graphs/paper/histogram")
+	classes, _ := hist["classes"].(map[string]any)
+	if classes["5"] != float64(10) {
+		t.Fatalf("histogram = %v", hist)
+	}
+	top := get("/v1/graphs/paper/topclasses?t=1")
+	if cs, ok := top["classes"].([]any); !ok || len(cs) != 1 ||
+		cs[0].(map[string]any)["k"] != float64(5) {
+		t.Fatalf("topclasses = %v", top)
 	}
 }

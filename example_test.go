@@ -69,6 +69,62 @@ func ExampleCommunities() {
 	// sizes: 5 5
 }
 
+// ExampleBuildIndex freezes a decomposition into a query index and asks
+// it for truss numbers and the class histogram — the online-serving path
+// (`trussd serve` exposes the same queries over HTTP).
+func ExampleBuildIndex() {
+	b := truss.NewBuilder(8)
+	// 4-clique on 0..3 with a pendant triangle 3-4-5.
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+
+	ix := truss.BuildIndex(truss.Decompose(b.Build()))
+	k, _ := ix.TrussNumber(0, 1) // clique edge
+	fmt.Println("phi(0,1):", k)
+	k, _ = ix.TrussNumber(3, 4) // pendant-triangle edge
+	fmt.Println("phi(3,4):", k)
+	for _, c := range ix.TopClasses(2) {
+		fmt.Printf("|Phi_%d| = %d\n", c.K, len(c.Edges))
+	}
+	// Output:
+	// phi(0,1): 4
+	// phi(3,4): 3
+	// |Phi_4| = 6
+	// |Phi_3| = 3
+}
+
+// ExampleIndex_CommunityOf looks up the k-truss community around a single
+// edge in O(answer) time: two cliques bridged by an edge stay separate
+// communities, and the bridge belongs to neither.
+func ExampleIndex_CommunityOf() {
+	b := truss.NewBuilder(21)
+	for i := uint32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)       // clique A: 0..4
+			b.AddEdge(10+i, 10+j) // clique B: 10..14
+		}
+	}
+	b.AddEdge(4, 10) // bridge
+	ix := truss.BuildIndex(truss.Decompose(b.Build()))
+
+	edges, ok := ix.CommunityOf(0, 1, 4)
+	fmt.Println("community of (0,1):", len(edges), "edges over", len(ix.Vertices(edges)), "vertices")
+	fmt.Println("found:", ok)
+	_, ok = ix.CommunityOf(4, 10, 4) // the bridge is in no 4-truss
+	fmt.Println("bridge in a 4-truss community:", ok)
+	// Output:
+	// community of (0,1): 10 edges over 5 vertices
+	// found: true
+	// bridge in a 4-truss community: false
+}
+
 // ExampleCoreDecompose contrasts the core and truss numbers of a graph
 // where they differ.
 func ExampleCoreDecompose() {

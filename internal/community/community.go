@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dsu"
 	"repro/internal/graph"
 	"repro/internal/triangle"
 )
@@ -25,34 +26,6 @@ type Community struct {
 	Edges []int32
 	// Vertices lists the vertices covered, ascending.
 	Vertices []uint32
-}
-
-// unionFind is a standard disjoint-set forest with path halving.
-type unionFind struct {
-	parent []int32
-}
-
-func newUnionFind(n int) *unionFind {
-	p := make([]int32, n)
-	for i := range p {
-		p[i] = int32(i)
-	}
-	return &unionFind{parent: p}
-}
-
-func (u *unionFind) find(x int32) int32 {
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]] // path halving
-		x = u.parent[x]
-	}
-	return x
-}
-
-func (u *unionFind) union(a, b int32) {
-	ra, rb := u.find(a), u.find(b)
-	if ra != rb {
-		u.parent[rb] = ra
-	}
 }
 
 // Detect returns the k-truss communities of r.G: the triangle-connected
@@ -75,11 +48,11 @@ func Detect(r *core.Result, k int32) []Community {
 	if !any {
 		return nil
 	}
-	uf := newUnionFind(m)
+	uf := dsu.New(m)
 	triangle.ForEach(g, func(e1, e2, e3 int32) {
 		if inTruss[e1] && inTruss[e2] && inTruss[e3] {
-			uf.union(e1, e2)
-			uf.union(e1, e3)
+			uf.Union(e1, e2)
+			uf.Union(e1, e3)
 		}
 	})
 
@@ -89,7 +62,7 @@ func Detect(r *core.Result, k int32) []Community {
 	groups := map[int32][]int32{}
 	for id := int32(0); id < int32(m); id++ {
 		if inTruss[id] {
-			root := uf.find(id)
+			root := uf.Find(id)
 			groups[root] = append(groups[root], id)
 		}
 	}

@@ -1,0 +1,36 @@
+// Package dsu provides the disjoint-set forest (union-find) shared by the
+// community detector and the truss index, both of which group edges into
+// triangle-connected components.
+package dsu
+
+// UnionFind is a disjoint-set forest with path halving over dense int32
+// element IDs. The zero value is not usable; call New.
+type UnionFind struct {
+	parent []int32
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UnionFind {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &UnionFind{parent: p}
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b.
+func (u *UnionFind) Union(a, b int32) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

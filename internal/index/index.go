@@ -1,0 +1,380 @@
+// Package index turns a finished truss decomposition into an immutable
+// query structure, the TrussIndex, that answers online requests — truss
+// numbers, k-truss communities, class histograms and top classes — in
+// O(answer) time without re-peeling the graph.
+//
+// The motivation is the serving side of the paper: the decomposition
+// algorithms (in-memory, external-memory, MapReduce) produce the complete
+// hierarchy of k-classes once, and an application then wants to query it
+// many times ("are u and v in a tight community?", "show the strongest
+// communities"). Jakkula & Karypis (Streaming and Batch Algorithms for
+// Truss Decomposition) make the same point: keep the decomposition
+// resident and answer requests against it rather than recomputing per
+// call.
+//
+// Layout. Edges are permuted into byPhi, sorted by truss number
+// descending (ties by edge ID ascending), so every k-truss T_k is a
+// prefix of byPhi and every k-class Phi_k is a contiguous segment of it.
+// On top of that, for each level k in [3, kmax] the index stores the
+// triangle-connected components of T_k (the k-truss communities) as a
+// grouped edge permutation plus offsets, so a community is returned as a
+// single subslice. All per-level componentizations are computed in one
+// pass with a monotone union-find: triangles are bucketed by the minimum
+// truss number of their three edges, and levels are materialized from
+// kmax downward, adding each bucket's triangles before snapshotting —
+// T_{k-1}'s components only ever merge components of T_k, so one
+// union-find serves every level.
+//
+// A TrussIndex is immutable after Build and safe for concurrent readers
+// without locking.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// TrussIndex is an immutable, query-optimized view of a truss
+// decomposition. Build one with Build; all methods are safe for
+// concurrent use.
+type TrussIndex struct {
+	g     *graph.Graph
+	phi   []int32 // phi[id] = truss number of edge id (copied from the Result)
+	kmax  int32
+	byPhi []int32 // edge IDs sorted by phi desc, ID asc: T_k = byPhi[:cnt[k]]
+	pos   []int32 // pos[id] = index of edge id in byPhi
+	cnt   []int32 // cnt[k] = |T_k|, k = 0..kmax+1 (cnt[kmax+1] = 0)
+	sizes []int64 // sizes[k] = |Phi_k|, k = 0..kmax
+
+	// levels[k] holds the k-truss communities for k = 3..kmax; entries
+	// 0..2 are zero (T_2 imposes no triangle structure).
+	levels []level
+}
+
+// level is the componentization of one k-truss into its triangle-connected
+// communities.
+type level struct {
+	edgeOrder []int32 // T_k edge IDs grouped by community, largest community first
+	commOff   []int32 // community c = edgeOrder[commOff[c]:commOff[c+1]]
+	commIdx   []int32 // commIdx[pos[id]] = community of edge id (indexed by byPhi position)
+}
+
+// Class describes one k-class as returned by TopClasses.
+type Class struct {
+	// K is the class level: every edge in Edges has truss number exactly K.
+	K int32
+	// Edges lists the member edge IDs, ascending. The slice aliases index
+	// storage and must not be modified.
+	Edges []int32
+}
+
+// Build constructs a TrussIndex from a decomposition. The result's Phi
+// slice is copied, so r may be discarded or mutated afterwards; the graph
+// r.G is retained by reference. Build costs two triangle enumerations
+// (O(m^1.5)) plus O(sum_k |T_k|) for the per-level community tables, and
+// transiently buffers 12 bytes per triangle (exact-sized by a counting
+// pre-pass) while the levels are snapshotted — it is meant to run once
+// per decomposition, off the query path.
+func Build(r *core.Result) *TrussIndex {
+	g := r.G
+	m := g.NumEdges()
+	ix := &TrussIndex{
+		g:    g,
+		phi:  append([]int32(nil), r.Phi...),
+		kmax: r.KMax,
+	}
+	ix.sizes = make([]int64, ix.kmax+1)
+	for _, p := range ix.phi {
+		ix.sizes[p]++
+	}
+
+	// Bin-sort edge IDs by truss number descending. Iterating edge IDs in
+	// ascending order keeps ties ID-ascending within each class.
+	ix.cnt = make([]int32, ix.kmax+2)
+	ix.byPhi = make([]int32, m)
+	ix.pos = make([]int32, m)
+	cursor := make([]int32, ix.kmax+1)
+	start := int32(0)
+	for k := ix.kmax; k >= 0; k-- {
+		cursor[k] = start
+		start += int32(ix.sizes[k])
+		ix.cnt[k] = start
+	}
+	for id := 0; id < m; id++ {
+		p := ix.phi[id]
+		ix.byPhi[cursor[p]] = int32(id)
+		ix.pos[id] = cursor[p]
+		cursor[p]++
+	}
+
+	ix.buildLevels()
+	return ix
+}
+
+// buildLevels materializes the triangle-connected components of every
+// k-truss. Each triangle lives in T_k exactly for k <= min phi of its
+// three edges (and that minimum is always >= 3: any edge on a triangle
+// keeps support 1 in the triangle itself). Triangles are bucketed by that
+// minimum, then levels are snapshotted from kmax down to 3 over a single
+// growing union-find.
+func (ix *TrussIndex) buildLevels() {
+	ix.levels = make([]level, ix.kmax+1)
+	if ix.kmax < 3 {
+		return
+	}
+	// Bucket the (e1,e2,e3) triples by their minimum phi. A counting
+	// pre-pass sizes one flat array exactly (12 bytes per triangle, no
+	// append slack), which is the build's peak transient allocation.
+	// minPhi is always >= 3: every edge of a triangle keeps support 1
+	// within the triangle itself, so its truss number is at least 3.
+	minPhi := func(e1, e2, e3 int32) int32 {
+		k := ix.phi[e1]
+		if p := ix.phi[e2]; p < k {
+			k = p
+		}
+		if p := ix.phi[e3]; p < k {
+			k = p
+		}
+		return k
+	}
+	counts := make([]int64, ix.kmax+2)
+	triangle.ForEach(ix.g, func(e1, e2, e3 int32) {
+		counts[minPhi(e1, e2, e3)]++
+	})
+	// off[k] is the start of bucket k in tris, in units of triples.
+	off := make([]int64, ix.kmax+2)
+	var total int64
+	for k := int32(3); k <= ix.kmax; k++ {
+		off[k] = total
+		total += counts[k]
+	}
+	off[ix.kmax+1] = total
+	tris := make([]int32, 3*total)
+	cur := make([]int64, ix.kmax+1)
+	copy(cur, off[:ix.kmax+1])
+	triangle.ForEach(ix.g, func(e1, e2, e3 int32) {
+		k := minPhi(e1, e2, e3)
+		p := 3 * cur[k]
+		tris[p], tris[p+1], tris[p+2] = e1, e2, e3
+		cur[k]++
+	})
+
+	uf := dsu.New(len(ix.phi))
+	for k := ix.kmax; k >= 3; k-- {
+		for i := 3 * off[k]; i < 3*off[k+1]; i += 3 {
+			uf.Union(tris[i], tris[i+1])
+			uf.Union(tris[i], tris[i+2])
+		}
+		ix.levels[k] = ix.snapshotLevel(k, uf)
+	}
+}
+
+// snapshotLevel freezes the current union-find state into the community
+// table for level k (T_k is the prefix byPhi[:cnt[k]]).
+func (ix *TrussIndex) snapshotLevel(k int32, uf *dsu.UnionFind) level {
+	nk := ix.cnt[k]
+	rootComm := map[int32]int32{}
+	var groups [][]int32
+	for i := int32(0); i < nk; i++ {
+		e := ix.byPhi[i]
+		r := uf.Find(e)
+		c, ok := rootComm[r]
+		if !ok {
+			c = int32(len(groups))
+			rootComm[r] = c
+			groups = append(groups, nil)
+		}
+		groups[c] = append(groups[c], e)
+	}
+	// Within a community, list edges by ascending ID; order communities
+	// largest first (ties by smallest member ID) to match
+	// community.Detect.
+	for _, gset := range groups {
+		sort.Slice(gset, func(i, j int) bool { return gset[i] < gset[j] })
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	lv := level{
+		edgeOrder: make([]int32, 0, nk),
+		commOff:   make([]int32, 1, len(groups)+1),
+		commIdx:   make([]int32, nk),
+	}
+	for c, gset := range groups {
+		for _, e := range gset {
+			lv.commIdx[ix.pos[e]] = int32(c)
+		}
+		lv.edgeOrder = append(lv.edgeOrder, gset...)
+		lv.commOff = append(lv.commOff, int32(len(lv.edgeOrder)))
+	}
+	return lv
+}
+
+// Graph returns the indexed graph.
+func (ix *TrussIndex) Graph() *graph.Graph { return ix.g }
+
+// KMax returns the maximum truss number over all edges.
+func (ix *TrussIndex) KMax() int32 { return ix.kmax }
+
+// NumEdges returns the number of indexed edges.
+func (ix *TrussIndex) NumEdges() int { return len(ix.phi) }
+
+// TrussNumber returns phi(u,v), the truss number of edge (u,v), and
+// whether the edge exists. The lookup is one binary search in the smaller
+// endpoint's adjacency list — O(log deg), no peeling.
+func (ix *TrussIndex) TrussNumber(u, v uint32) (int32, bool) {
+	if u == v || int(u) >= ix.g.NumVertices() || int(v) >= ix.g.NumVertices() {
+		return 0, false
+	}
+	id, ok := ix.g.EdgeID(u, v)
+	if !ok {
+		return 0, false
+	}
+	return ix.phi[id], true
+}
+
+// EdgeTruss returns the truss number of the edge with the given ID.
+func (ix *TrussIndex) EdgeTruss(id int32) int32 { return ix.phi[id] }
+
+// Histogram returns |Phi_k| for k = 0..KMax (entries 0 and 1 are zero, and
+// entry 2 counts the triangle-free edges). The slice is freshly allocated.
+func (ix *TrussIndex) Histogram() []int64 {
+	return append([]int64(nil), ix.sizes...)
+}
+
+// ClassSize returns |Phi_k| without materializing the class.
+func (ix *TrussIndex) ClassSize(k int32) int64 {
+	if k < 0 || k > ix.kmax {
+		return 0
+	}
+	return ix.sizes[k]
+}
+
+// Class returns the edge IDs with truss number exactly k, ascending. The
+// slice aliases index storage and must not be modified.
+func (ix *TrussIndex) Class(k int32) []int32 {
+	if k < 0 || k > ix.kmax {
+		return nil
+	}
+	return ix.byPhi[ix.cnt[k+1]:ix.cnt[k]]
+}
+
+// TrussSize returns the number of edges of the k-truss T_k.
+func (ix *TrussIndex) TrussSize(k int32) int {
+	if k > ix.kmax {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	return int(ix.cnt[k])
+}
+
+// TrussEdges returns the edge IDs of the k-truss T_k (phi >= k), ordered
+// by truss number descending. The slice aliases index storage and must
+// not be modified.
+func (ix *TrussIndex) TrussEdges(k int32) []int32 {
+	if k > ix.kmax {
+		return nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ix.byPhi[:ix.cnt[k]]
+}
+
+// TopClasses returns the t highest non-empty k-classes, k descending —
+// the online counterpart of the top-down algorithm's output (t <= 0
+// returns all non-empty classes). Cost is O(t) plus nothing per edge: the
+// Edges slices are views into the index.
+func (ix *TrussIndex) TopClasses(t int) []Class {
+	var out []Class
+	for k := ix.kmax; k >= 2; k-- {
+		if ix.sizes[k] == 0 {
+			continue
+		}
+		out = append(out, Class{K: k, Edges: ix.byPhi[ix.cnt[k+1]:ix.cnt[k]]})
+		if t > 0 && len(out) == t {
+			break
+		}
+	}
+	return out
+}
+
+// CommunityOf returns the edge IDs of the k-truss community containing
+// edge (u,v): the maximal set of T_k edges reachable from it through
+// shared T_k triangles. It reports false when the edge does not exist or
+// its truss number is below k; k must be at least 3. The returned slice
+// is ascending by edge ID, aliases index storage, and must not be
+// modified. Cost is one edge lookup plus two array reads — O(log deg),
+// independent of graph and community size.
+func (ix *TrussIndex) CommunityOf(u, v uint32, k int32) ([]int32, bool) {
+	if k < 3 || k > ix.kmax || u == v ||
+		int(u) >= ix.g.NumVertices() || int(v) >= ix.g.NumVertices() {
+		return nil, false
+	}
+	id, ok := ix.g.EdgeID(u, v)
+	if !ok || ix.phi[id] < k {
+		return nil, false
+	}
+	lv := &ix.levels[k]
+	c := lv.commIdx[ix.pos[id]]
+	return lv.edgeOrder[lv.commOff[c]:lv.commOff[c+1]], true
+}
+
+// CommunityCount returns the number of k-truss communities at level k
+// (0 when k < 3 or k > KMax).
+func (ix *TrussIndex) CommunityCount(k int32) int {
+	if k < 3 || k > ix.kmax {
+		return 0
+	}
+	return len(ix.levels[k].commOff) - 1
+}
+
+// Community returns community c (0-based, largest first) of the k-truss,
+// as returned edge IDs ascending. The slice aliases index storage and
+// must not be modified.
+func (ix *TrussIndex) Community(k int32, c int) ([]int32, bool) {
+	if k < 3 || k > ix.kmax || c < 0 || c >= ix.CommunityCount(k) {
+		return nil, false
+	}
+	lv := &ix.levels[k]
+	return lv.edgeOrder[lv.commOff[c]:lv.commOff[c+1]], true
+}
+
+// Vertices expands a set of edge IDs (as returned by CommunityOf, Class,
+// or Community) into the sorted set of vertices they cover.
+func (ix *TrussIndex) Vertices(edges []int32) []uint32 {
+	seen := make(map[uint32]struct{}, len(edges))
+	for _, id := range edges {
+		e := ix.g.Edge(id)
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FootprintBytes estimates the index's resident size (excluding the
+// graph): the fixed per-edge arrays plus the per-level community tables,
+// whose total is bounded by sum over edges of (phi(e)-2).
+func (ix *TrussIndex) FootprintBytes() int64 {
+	b := int64(len(ix.phi)+len(ix.byPhi)+len(ix.pos)+len(ix.cnt)) * 4
+	b += int64(len(ix.sizes)) * 8
+	for k := range ix.levels {
+		lv := &ix.levels[k]
+		b += int64(len(lv.edgeOrder)+len(lv.commOff)+len(lv.commIdx)) * 4
+	}
+	return b
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// HTTP API (all responses JSON):
+//
+//	GET    /healthz                          liveness probe
+//	GET    /v1/graphs                        list registered graphs
+//	POST   /v1/graphs/{name}                 load a graph: {"path":"..."} or {"edges":[[u,v],...]}
+//	DELETE /v1/graphs/{name}                 drop a graph
+//	GET    /v1/graphs/{name}                 graph status + summary stats
+//	GET    /v1/graphs/{name}/truss?u=&v=     truss number of one edge
+//	GET    /v1/graphs/{name}/community?u=&v=&k=   k-truss community containing an edge
+//	GET    /v1/graphs/{name}/histogram       class sizes |Phi_k| for all k
+//	GET    /v1/graphs/{name}/topclasses?t=&edges=1   top-t k-classes, optionally with edges
+
+// GraphInfo is the JSON summary of a registry entry.
+type GraphInfo struct {
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
+	Source    string `json:"source,omitempty"`
+	Vertices  int    `json:"vertices,omitempty"`
+	Edges     int    `json:"edges,omitempty"`
+	KMax      int32  `json:"kmax,omitempty"`
+	Epoch     int    `json:"epoch,omitempty"`
+	BuildMS   int64  `json:"build_ms,omitempty"`
+	IndexSize int64  `json:"index_bytes,omitempty"`
+	LoadedAt  string `json:"loaded_at,omitempty"`
+}
+
+func entryInfo(e *Entry) GraphInfo {
+	info := GraphInfo{
+		Name:   e.Name,
+		State:  string(e.State),
+		Error:  e.Err,
+		Source: e.Source,
+		Epoch:  e.Epoch,
+	}
+	if e.Index != nil {
+		info.Vertices = e.Index.Graph().NumVertices()
+		info.Edges = e.Index.NumEdges()
+		info.KMax = e.Index.KMax()
+		info.IndexSize = e.Index.FootprintBytes()
+	}
+	if !e.LoadedAt.IsZero() {
+		info.LoadedAt = e.LoadedAt.UTC().Format(time.RFC3339)
+		info.BuildMS = e.BuildTime.Milliseconds()
+	}
+	return info
+}
+
+// Handler returns the HTTP API over the server's registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
+	})
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoad)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.withEntry(s.handleInfo))
+	mux.HandleFunc("GET /v1/graphs/{name}/truss", s.withIndex(s.handleTruss))
+	mux.HandleFunc("GET /v1/graphs/{name}/community", s.withIndex(s.handleCommunity))
+	mux.HandleFunc("GET /v1/graphs/{name}/histogram", s.withIndex(s.handleHistogram))
+	mux.HandleFunc("GET /v1/graphs/{name}/topclasses", s.withIndex(s.handleTopClasses))
+	return mux
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = entryInfo(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+// loadRequest is the body of POST /v1/graphs/{name}. Exactly one of Path
+// and Edges must be set.
+type loadRequest struct {
+	// Path is a server-side graph file (SNAP text, or .bin).
+	Path string `json:"path"`
+	// Edges is an inline edge list, each element a [u, v] pair.
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if max := s.opts.maxBodyBytes(); max > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, max)
+	}
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: %v", err)
+		return
+	}
+	switch {
+	case req.Path != "" && req.Edges != nil:
+		writeError(w, http.StatusBadRequest, "set exactly one of path and edges")
+		return
+	case req.Path != "":
+		if err := s.LoadFileAsync(name, req.Path); err != nil {
+			// Report the failure class without echoing the underlying
+			// error: gio parse errors quote file contents, which must
+			// not leak to network clients. The detail goes to the log.
+			s.logf("loading %q from %s: %v", name, req.Path, err)
+			if errors.Is(err, fs.ErrNotExist) {
+				writeError(w, http.StatusBadRequest, "loading %s: file not found", req.Path)
+			} else {
+				writeError(w, http.StatusBadRequest, "loading %s: not a readable graph file (see server log)", req.Path)
+			}
+			return
+		}
+	case req.Edges != nil:
+		if limit := s.opts.maxInlineVertexID(); limit > 0 {
+			for _, e := range req.Edges {
+				if int64(e[0]) > limit || int64(e[1]) > limit {
+					writeError(w, http.StatusBadRequest,
+						"inline vertex ID %d exceeds the limit %d (load large graphs by path)",
+						max(e[0], e[1]), limit)
+					return
+				}
+			}
+		}
+		b := graph.NewBuilder(len(req.Edges))
+		for _, e := range req.Edges {
+			b.AddEdge(e[0], e[1])
+		}
+		s.BuildAsync(name, b.Build(), "inline")
+	default:
+		writeError(w, http.StatusBadRequest, "set exactly one of path and edges")
+		return
+	}
+	// The entry can already be gone again if a DELETE raced the load;
+	// report the accepted build rather than dereferencing nothing.
+	info := GraphInfo{Name: name, State: string(StateBuilding)}
+	if e, ok := s.Lookup(name); ok {
+		info = entryInfo(e)
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.Remove(name) {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// withEntry resolves {name} to a registry entry.
+func (s *Server) withEntry(fn func(http.ResponseWriter, *http.Request, *Entry)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.Lookup(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
+			return
+		}
+		fn(w, r, e)
+	}
+}
+
+// withIndex additionally requires a resident index (503 while a first
+// build is still in flight, 500 after a failed build).
+func (s *Server) withIndex(fn func(http.ResponseWriter, *http.Request, *index.TrussIndex)) http.HandlerFunc {
+	return s.withEntry(func(w http.ResponseWriter, r *http.Request, e *Entry) {
+		if e.Index == nil {
+			switch e.State {
+			case StateFailed:
+				writeError(w, http.StatusInternalServerError, "graph %q failed: %s", e.Name, e.Err)
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "graph %q still building", e.Name)
+			}
+			return
+		}
+		fn(w, r, e.Index)
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, e *Entry) {
+	writeJSON(w, http.StatusOK, entryInfo(e))
+}
+
+func (s *Server) handleTruss(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	u, v, ok := edgeParams(w, r)
+	if !ok {
+		return
+	}
+	k, found := ix.TrussNumber(u, v)
+	resp := map[string]any{"u": u, "v": v, "found": found}
+	if found {
+		resp["truss"] = k
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	u, v, ok := edgeParams(w, r)
+	if !ok {
+		return
+	}
+	k64, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
+	if err != nil || k64 < 3 {
+		writeError(w, http.StatusBadRequest, "k must be an integer >= 3")
+		return
+	}
+	k := int32(k64)
+	edges, found := ix.CommunityOf(u, v, k)
+	resp := map[string]any{"u": u, "v": v, "k": k, "found": found}
+	if found {
+		resp["size"] = len(edges)
+		resp["edges"] = edgePairs(ix, edges)
+		resp["vertices"] = ix.Vertices(edges)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// edgePairs expands edge IDs into [u,v] endpoint pairs for JSON output.
+func edgePairs(ix *index.TrussIndex, ids []int32) [][2]uint32 {
+	pairs := make([][2]uint32, len(ids))
+	for i, id := range ids {
+		e := ix.Graph().Edge(id)
+		pairs[i] = [2]uint32{e.U, e.V}
+	}
+	return pairs
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	sizes := ix.Histogram()
+	classes := map[string]int64{}
+	for k, n := range sizes {
+		if n > 0 {
+			classes[strconv.Itoa(k)] = n
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kmax":    ix.KMax(),
+		"edges":   ix.NumEdges(),
+		"classes": classes,
+	})
+}
+
+func (s *Server) handleTopClasses(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	t := 0
+	if raw := r.URL.Query().Get("t"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "t must be a non-negative integer")
+			return
+		}
+		t = v
+	}
+	withEdges := r.URL.Query().Get("edges") == "1"
+	type classJSON struct {
+		K     int32       `json:"k"`
+		Size  int         `json:"size"`
+		Edges [][2]uint32 `json:"edges,omitempty"`
+	}
+	classes := ix.TopClasses(t)
+	out := make([]classJSON, len(classes))
+	for i, c := range classes {
+		out[i] = classJSON{K: c.K, Size: len(c.Edges)}
+		if withEdges {
+			out[i].Edges = edgePairs(ix, c.Edges)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kmax": ix.KMax(), "classes": out})
+}
+
+// edgeParams parses the u and v query parameters, writing a 400 on error.
+func edgeParams(w http.ResponseWriter, r *http.Request) (u, v uint32, ok bool) {
+	q := r.URL.Query()
+	pu, err1 := strconv.ParseUint(q.Get("u"), 10, 32)
+	pv, err2 := strconv.ParseUint(q.Get("v"), 10, 32)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "u and v must be uint32 query parameters")
+		return 0, 0, false
+	}
+	return uint32(pu), uint32(pv), true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,307 @@
+// Package server serves truss-decomposition queries over HTTP: it keeps a
+// registry of named graphs, each decomposed once and frozen into an
+// index.TrussIndex, and answers point queries (truss numbers, k-truss
+// communities, histograms, top classes) against the resident indexes —
+// the "compute once, query forever" serving model the ROADMAP's north
+// star asks for.
+//
+// Concurrency model. The registry is an immutable snapshot behind an
+// atomic pointer: readers load the pointer and never take a lock, so
+// query throughput scales with cores and is never blocked by a build.
+// Writers (load, rebuild, remove) serialize on a mutex, copy the map,
+// and publish a new snapshot. Decompositions run in background
+// goroutines with the parallel peeler; while a graph rebuilds, the
+// previous index keeps serving.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// State is the lifecycle phase of a registered graph.
+type State string
+
+// Graph lifecycle states.
+const (
+	// StateBuilding means a decomposition is in flight. If the graph was
+	// registered before, its previous index keeps answering queries.
+	StateBuilding State = "building"
+	// StateReady means the index is resident and serving.
+	StateReady State = "ready"
+	// StateFailed means the last (re)build errored; Entry.Err has the cause.
+	StateFailed State = "failed"
+)
+
+// Entry is one named graph in the registry. Entries are immutable: a
+// rebuild publishes a fresh Entry rather than mutating the old one.
+type Entry struct {
+	// Name is the registry key.
+	Name string
+	// State is the lifecycle phase (building, ready, failed).
+	State State
+	// Err holds the failure cause when State is StateFailed.
+	Err string
+	// Index is the resident query index; non-nil when State is
+	// StateReady, and also during a rebuild of a previously-ready graph.
+	Index *index.TrussIndex
+	// Source records where the graph came from (a path, or "inline").
+	Source string
+	// LoadedAt is when this entry's build finished (zero while building).
+	LoadedAt time.Time
+	// BuildTime is how long decomposition plus indexing took.
+	BuildTime time.Duration
+	// Epoch increments on every successful rebuild of the same name.
+	Epoch int
+
+	// seq is the build sequence number that produced this entry; installs
+	// are rejected when a newer sequence has already published, so an old
+	// slow rebuild can never clobber a newer result.
+	seq int
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker count handed to the parallel decomposer
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+	// MaxBodyBytes caps the POST /v1/graphs/{name} request body
+	// (0 selects DefaultMaxBodyBytes; negative disables the cap).
+	MaxBodyBytes int64
+	// MaxInlineVertexID caps vertex IDs in inline edge lists — the CSR
+	// representation allocates O(max ID) memory, so an unchecked ID is a
+	// remote allocation of up to 34 GB (0 selects
+	// DefaultMaxInlineVertexID; negative disables the cap). Server-side
+	// files loaded by path are trusted and not subject to this cap.
+	MaxInlineVertexID int64
+}
+
+// Default request-hardening limits for Options zero values.
+const (
+	DefaultMaxBodyBytes      = 32 << 20 // 32 MiB of JSON
+	DefaultMaxInlineVertexID = 1 << 24  // ~16.7M vertex slots ≈ 134 MB CSR offsets
+)
+
+// maxBodyBytes resolves the configured request-body cap.
+func (o Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes == 0 {
+		return DefaultMaxBodyBytes
+	}
+	return o.MaxBodyBytes
+}
+
+// maxInlineVertexID resolves the configured inline vertex-ID cap.
+func (o Options) maxInlineVertexID() int64 {
+	if o.MaxInlineVertexID == 0 {
+		return DefaultMaxInlineVertexID
+	}
+	return o.MaxInlineVertexID
+}
+
+// Server holds the graph registry and implements the HTTP API (see
+// Handler). Create one with New.
+type Server struct {
+	opts Options
+	mu   sync.Mutex // serializes registry writers
+	snap atomic.Pointer[map[string]*Entry]
+
+	// nextSeq hands out per-name build sequence numbers (guarded by mu).
+	nextSeq map[string]int
+}
+
+// New returns an empty Server.
+func New(opts Options) *Server {
+	s := &Server{opts: opts, nextSeq: map[string]int{}}
+	empty := map[string]*Entry{}
+	s.snap.Store(&empty)
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// beginBuild claims the next build sequence number for name.
+func (s *Server) beginBuild(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq[name]++
+	return s.nextSeq[name]
+}
+
+// install publishes e under its name with seq-guarded, epoch-consistent
+// semantics: a ready entry bumps the epoch of whatever it replaces, while
+// building placeholders and failure markers inherit the current entry's
+// index (so the previous decomposition keeps serving) and epoch. The
+// install is rejected — returning false — when a newer build sequence has
+// already published for this name.
+func (s *Server) install(name string, e *Entry, seq int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := (*s.snap.Load())[name]
+	if ok && cur.seq > seq {
+		return false
+	}
+	e.seq = seq
+	switch e.State {
+	case StateReady:
+		e.Epoch = 1
+		if ok {
+			e.Epoch = cur.Epoch + 1
+		}
+	default: // building, failed: keep serving what was there
+		if ok {
+			e.Index = cur.Index
+			e.LoadedAt = cur.LoadedAt
+			e.BuildTime = cur.BuildTime
+			e.Epoch = cur.Epoch
+		}
+	}
+	s.storeLocked(name, e)
+	return true
+}
+
+// storeLocked swaps in a fresh snapshot with name set to e, or removed
+// when e is nil. s.mu must be held.
+func (s *Server) storeLocked(name string, e *Entry) {
+	old := *s.snap.Load()
+	next := make(map[string]*Entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if e != nil {
+		next[name] = e
+	} else {
+		delete(next, name)
+	}
+	s.snap.Store(&next)
+}
+
+// Lookup returns the entry for name from the current snapshot.
+func (s *Server) Lookup(name string) (*Entry, bool) {
+	e, ok := (*s.snap.Load())[name]
+	return e, ok
+}
+
+// Entries returns the current snapshot's entries, unordered.
+func (s *Server) Entries() []*Entry {
+	snap := *s.snap.Load()
+	out := make([]*Entry, 0, len(snap))
+	for _, e := range snap {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Build decomposes g with the parallel peeler, indexes it, and publishes
+// it under name, synchronously. It returns the built entry; when a newer
+// concurrent rebuild of the same name published first, the returned entry
+// is complete but was not installed.
+func (s *Server) Build(name string, g *graph.Graph, source string) *Entry {
+	return s.build(name, g, source, s.beginBuild(name))
+}
+
+func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Entry {
+	start := time.Now()
+	res := core.DecomposeParallel(g, s.opts.Workers)
+	ix := index.Build(res)
+	e := &Entry{
+		Name:      name,
+		State:     StateReady,
+		Index:     ix,
+		Source:    source,
+		LoadedAt:  time.Now(),
+		BuildTime: time.Since(start),
+	}
+	if !s.install(name, e, seq) {
+		s.logf("graph %q build #%d superseded by a newer build", name, seq)
+		return e
+	}
+	s.logf("graph %q ready: n=%d m=%d kmax=%d build=%s",
+		name, g.NumVertices(), g.NumEdges(), ix.KMax(), e.BuildTime.Round(time.Millisecond))
+	return e
+}
+
+// BuildAsync publishes a building placeholder for name (retaining the
+// previous index, if any, so queries keep working during a rebuild) and
+// runs the build in a background goroutine.
+func (s *Server) BuildAsync(name string, g *graph.Graph, source string) {
+	seq := s.beginBuild(name)
+	s.install(name, &Entry{Name: name, State: StateBuilding, Source: source}, seq)
+	go func() {
+		defer func() {
+			// A panicking build must not take the whole server down;
+			// surface it as a failed entry (which install lets keep
+			// serving the previous index, if one was resident).
+			if p := recover(); p != nil {
+				s.install(name, &Entry{
+					Name: name, State: StateFailed,
+					Err: fmt.Sprint(p), Source: source,
+				}, seq)
+				s.logf("graph %q build panicked: %v", name, p)
+			}
+		}()
+		s.build(name, g, source, seq)
+	}()
+}
+
+// LoadFileAsync loads a graph file (SNAP text or .bin) and builds its
+// index in the background. The file read itself happens on the calling
+// goroutine so malformed paths fail fast; only the decomposition is
+// deferred.
+func (s *Server) LoadFileAsync(name, path string) error {
+	g, err := gio.LoadGraph(path, nil)
+	if err != nil {
+		return err
+	}
+	s.BuildAsync(name, g, path)
+	return nil
+}
+
+// Remove drops name from the registry. It reports whether the name was
+// present. An in-flight rebuild of the same name may re-publish it.
+func (s *Server) Remove(name string) bool {
+	s.mu.Lock()
+	_, ok := (*s.snap.Load())[name]
+	if ok {
+		s.storeLocked(name, nil)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.logf("graph %q removed", name)
+	}
+	return ok
+}
+
+// WaitReady blocks until name is ready (nil), fails (its error), or the
+// timeout expires. It is a polling convenience for startup preloads and
+// tests; the HTTP API reports state without blocking.
+func (s *Server) WaitReady(name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		e, ok := s.Lookup(name)
+		if ok {
+			switch e.State {
+			case StateReady:
+				return nil
+			case StateFailed:
+				return fmt.Errorf("graph %q failed: %s", name, e.Err)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("graph %q not ready after %s", name, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Workers: 2, Logf: t.Logf})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// getJSON fetches path and decodes the response, returning the status.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServeQueries loads the paper's running example over HTTP and checks
+// every query endpoint against the known decomposition.
+func TestServeQueries(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Load the paper example as an inline edge list.
+	var pairs [][2]uint32
+	for _, e := range gen.PaperExample().Edges() {
+		pairs = append(pairs, [2]uint32{e.U, e.V})
+	}
+	if code := postJSON(t, ts, "/v1/graphs/paper", map[string]any{"edges": pairs}); code != http.StatusAccepted {
+		t.Fatalf("load: status %d", code)
+	}
+	if err := s.WaitReady("paper", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truss numbers for every edge match the paper's Example 2.
+	for key, want := range gen.PaperExamplePhi() {
+		u, v := uint32(key>>32), uint32(key)
+		var resp struct {
+			Found bool  `json:"found"`
+			Truss int32 `json:"truss"`
+		}
+		if code := getJSON(t, ts, fmt.Sprintf("/v1/graphs/paper/truss?u=%d&v=%d", u, v), &resp); code != 200 {
+			t.Fatalf("truss(%d,%d): status %d", u, v, code)
+		}
+		if !resp.Found || resp.Truss != want {
+			t.Fatalf("truss(%d,%d) = %+v want %d", u, v, resp, want)
+		}
+	}
+	// A non-edge is found=false, not an error.
+	var miss struct {
+		Found bool `json:"found"`
+	}
+	if code := getJSON(t, ts, "/v1/graphs/paper/truss?u=0&v=11", &miss); code != 200 || miss.Found {
+		t.Fatalf("non-edge lookup: code=%d found=%v", code, miss.Found)
+	}
+
+	// Histogram matches the Example 2 class sizes.
+	var hist struct {
+		KMax    int32            `json:"kmax"`
+		Classes map[string]int64 `json:"classes"`
+	}
+	getJSON(t, ts, "/v1/graphs/paper/histogram", &hist)
+	wantClasses := map[string]int64{"2": 1, "3": 9, "4": 6, "5": 10}
+	if hist.KMax != 5 || len(hist.Classes) != len(wantClasses) {
+		t.Fatalf("histogram = %+v", hist)
+	}
+	for k, n := range wantClasses {
+		if hist.Classes[k] != n {
+			t.Fatalf("histogram class %s = %d want %d", k, hist.Classes[k], n)
+		}
+	}
+
+	// Top-2 classes are k=5 and k=4.
+	var top struct {
+		Classes []struct {
+			K     int32       `json:"k"`
+			Size  int         `json:"size"`
+			Edges [][2]uint32 `json:"edges"`
+		} `json:"classes"`
+	}
+	getJSON(t, ts, "/v1/graphs/paper/topclasses?t=2&edges=1", &top)
+	if len(top.Classes) != 2 || top.Classes[0].K != 5 || top.Classes[1].K != 4 {
+		t.Fatalf("topclasses = %+v", top)
+	}
+	if top.Classes[0].Size != 10 || len(top.Classes[0].Edges) != 10 {
+		t.Fatalf("top class = %+v", top.Classes[0])
+	}
+
+	// The 5-truss community of edge (0,1) is the clique {a..e} = {0..4}.
+	var comm struct {
+		Found    bool        `json:"found"`
+		Size     int         `json:"size"`
+		Vertices []uint32    `json:"vertices"`
+		Edges    [][2]uint32 `json:"edges"`
+	}
+	getJSON(t, ts, "/v1/graphs/paper/community?u=0&v=1&k=5", &comm)
+	if !comm.Found || comm.Size != 10 || len(comm.Vertices) != 5 {
+		t.Fatalf("community(0,1,k=5) = %+v", comm)
+	}
+	for i, v := range comm.Vertices {
+		if v != uint32(i) {
+			t.Fatalf("community vertices = %v want 0..4", comm.Vertices)
+		}
+	}
+	// Edge (8,10) has truss number 2: no community at any k >= 3.
+	getJSON(t, ts, "/v1/graphs/paper/community?u=8&v=10&k=3", &comm)
+	if comm.Found {
+		t.Fatalf("community(8,10,k=3) should not exist")
+	}
+
+	// Graph info reflects the build.
+	var info GraphInfo
+	getJSON(t, ts, "/v1/graphs/paper", &info)
+	if info.State != string(StateReady) || info.KMax != 5 || info.Edges != 26 || info.Epoch != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestLoadFromFile exercises the path-based load route.
+func TestLoadFromFile(t *testing.T) {
+	s, ts := newTestServer(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	var buf bytes.Buffer
+	buf.WriteString("# test graph\n")
+	for _, e := range gen.PaperExample().Edges() {
+		fmt.Fprintf(&buf, "%d %d\n", e.U, e.V)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts, "/v1/graphs/file", map[string]any{"path": path}); code != http.StatusAccepted {
+		t.Fatalf("load: status %d", code)
+	}
+	if err := s.WaitReady("file", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Truss int32 `json:"truss"`
+	}
+	getJSON(t, ts, "/v1/graphs/file/truss?u=0&v=1", &resp)
+	if resp.Truss != 5 {
+		t.Fatalf("truss(0,1) from file = %d want 5", resp.Truss)
+	}
+	// A bad path fails synchronously with 400.
+	if code := postJSON(t, ts, "/v1/graphs/bad", map[string]any{"path": filepath.Join(dir, "absent.txt")}); code != http.StatusBadRequest {
+		t.Fatalf("bad path: status %d", code)
+	}
+}
+
+// TestErrorPaths checks the failure contract of every route.
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := getJSON(t, ts, "/v1/graphs/nope/truss?u=1&v=2", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d", code)
+	}
+	if code := postJSON(t, ts, "/v1/graphs/x", map[string]any{}); code != http.StatusBadRequest {
+		t.Fatalf("empty load body: status %d", code)
+	}
+	if code := postJSON(t, ts, "/v1/graphs/x", map[string]any{"path": "p", "edges": [][2]uint32{{0, 1}}}); code != http.StatusBadRequest {
+		t.Fatalf("ambiguous load body: status %d", code)
+	}
+	_ = postJSON(t, ts, "/v1/graphs/g", map[string]any{"edges": [][2]uint32{{0, 1}, {1, 2}, {0, 2}}})
+	if code := getJSON(t, ts, "/v1/graphs/g/truss?u=zero&v=2", nil); code != http.StatusBadRequest && code != http.StatusServiceUnavailable {
+		t.Fatalf("bad u param: status %d", code)
+	}
+	if code := getJSON(t, ts, "/v1/graphs/g/community?u=0&v=1&k=2", nil); code != http.StatusBadRequest && code != http.StatusServiceUnavailable {
+		t.Fatalf("k below 3: status %d", code)
+	}
+	resp, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown: status %d", res.StatusCode)
+	}
+}
+
+// TestDeleteAndRebuild exercises remove plus the epoch bump on rebuild.
+func TestDeleteAndRebuild(t *testing.T) {
+	s, ts := newTestServer(t)
+	g := gen.PaperExample()
+	s.Build("g", g, "test")
+	s.Build("g", g, "test")
+	e, _ := s.Lookup("g")
+	if e.Epoch != 2 {
+		t.Fatalf("epoch after rebuild = %d want 2", e.Epoch)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/g", nil)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", res.StatusCode)
+	}
+	if _, ok := s.Lookup("g"); ok {
+		t.Fatal("graph still present after delete")
+	}
+}
+
+// TestConcurrentQueriesDuringRebuild hammers the query path from many
+// goroutines while the graph is concurrently rebuilt, verifying the
+// snapshot scheme: readers always see a complete index, old or new.
+func TestConcurrentQueriesDuringRebuild(t *testing.T) {
+	s, ts := newTestServer(t)
+	g := gen.Community(6, 12, 0.8, 1.5, 3)
+	s.Build("g", g, "test")
+	want := core.Decompose(g).Phi
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := i % g.NumEdges()
+				i++
+				e := g.Edge(int32(id))
+				resp, err := client.Get(ts.URL + fmt.Sprintf("/v1/graphs/g/truss?u=%d&v=%d", e.U, e.V))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				var body struct {
+					Found bool  `json:"found"`
+					Truss int32 `json:"truss"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil || !body.Found {
+					t.Errorf("query failed mid-rebuild: %v %+v", err, body)
+					return
+				}
+				if body.Truss != want[id] {
+					t.Errorf("truss mismatch mid-rebuild: edge %d got %d want %d", id, body.Truss, want[id])
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 5; r++ {
+		s.BuildAsync("g", g, "test")
+		if err := s.WaitReady("g", 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	e, _ := s.Lookup("g")
+	if e.Epoch < 2 {
+		t.Fatalf("expected several rebuild epochs, got %d", e.Epoch)
+	}
+}
+
+// TestStaleBuildDoesNotClobber simulates two overlapping rebuilds where
+// the older one finishes last: its install must be rejected.
+func TestStaleBuildDoesNotClobber(t *testing.T) {
+	s := New(Options{Logf: t.Logf})
+	seqOld := s.beginBuild("g")
+	seqNew := s.beginBuild("g")
+	s.build("g", gen.PaperExample(), "new", seqNew) // newer build publishes first
+	s.build("g", gen.Managers(), "old", seqOld)     // stale build lands late
+	e, ok := s.Lookup("g")
+	if !ok || e.Source != "new" {
+		t.Fatalf("registry serves %+v, want the newer build", e)
+	}
+	if e.Index.KMax() != 5 {
+		t.Fatalf("kmax = %d, want the paper example's 5", e.Index.KMax())
+	}
+	if e.Epoch != 1 {
+		t.Fatalf("epoch = %d want 1 (stale build must not bump it)", e.Epoch)
+	}
+}
+
+// TestFailedRebuildKeepsServing drives the panic-recovery path with a nil
+// graph: the entry turns failed but retains the previous index.
+func TestFailedRebuildKeepsServing(t *testing.T) {
+	s := New(Options{Logf: t.Logf})
+	s.Build("g", gen.PaperExample(), "v1")
+	s.BuildAsync("g", nil, "broken") // decomposing nil panics in the goroutine
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		e, _ := s.Lookup("g")
+		if e.State == StateFailed {
+			if e.Index == nil {
+				t.Fatal("failed rebuild dropped the previous index")
+			}
+			if k, ok := e.Index.TrussNumber(0, 1); !ok || k != 5 {
+				t.Fatalf("previous index unusable after failed rebuild: %d %v", k, ok)
+			}
+			if e.Err == "" {
+				t.Fatal("failed entry has no error message")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("build never failed; entry = %+v", e)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLoadHardening checks the request limits on the load endpoint: a
+// huge inline vertex ID must be rejected before it turns into a giant CSR
+// allocation, oversized bodies get 413, and file-load parse errors must
+// not echo file contents back to the client.
+func TestLoadHardening(t *testing.T) {
+	s, ts := newTestServer(t)
+	if code := postJSON(t, ts, "/v1/graphs/big", map[string]any{"edges": [][2]uint32{{0, 4294967295}}}); code != http.StatusBadRequest {
+		t.Fatalf("huge vertex ID: status %d want 400", code)
+	}
+	if _, ok := s.Lookup("big"); ok {
+		t.Fatal("rejected graph was registered")
+	}
+
+	// Oversized body → 413.
+	small := New(Options{MaxBodyBytes: 64})
+	tsSmall := httptest.NewServer(small.Handler())
+	defer tsSmall.Close()
+	var edges [][2]uint32
+	for i := uint32(0); i < 100; i++ {
+		edges = append(edges, [2]uint32{i, i + 1})
+	}
+	if code := postJSON(t, tsSmall, "/v1/graphs/x", map[string]any{"edges": edges}); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d want 413", code)
+	}
+
+	// A non-graph file's contents must not appear in the error response.
+	dir := t.TempDir()
+	secret := filepath.Join(dir, "secret.txt")
+	if err := os.WriteFile(secret, []byte("hunter2:supersecret\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(map[string]any{"path": secret})
+	resp, err := http.Post(ts.URL+"/v1/graphs/leak", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad file: status %d want 400", resp.StatusCode)
+	}
+	if bytes.Contains(body, []byte("hunter2")) {
+		t.Fatalf("error response leaks file contents: %s", body)
+	}
+	// A missing file still gets a distinguishable, content-free message.
+	raw, _ = json.Marshal(map[string]any{"path": filepath.Join(dir, "absent.txt")})
+	resp, err = http.Post(ts.URL+"/v1/graphs/absent", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("file not found")) {
+		t.Fatalf("missing file error = %s", body)
+	}
+}

@@ -18,6 +18,16 @@
 // text (or binary) files with LoadGraph. Supporting analyses used by the
 // paper's evaluation — k-core decomposition, clustering coefficients, and
 // the kmax-truss versus cmax-core comparison — are exposed as well.
+//
+// For online serving, BuildIndex freezes a decomposition into an Index
+// that answers truss-number, community, histogram, and top-class queries
+// in O(answer) time, and NewServer exposes a registry of such indexes
+// over HTTP (the `trussd serve` subcommand).
+//
+// Many exported names here are type aliases for internal packages
+// (Graph = internal/graph.Graph, Result = internal/core.Result, and so
+// on). The aliases are the supported API: internal packages can be
+// restructured between releases, the facade is kept stable.
 package truss
 
 import (
@@ -29,10 +39,12 @@ import (
 	"repro/internal/emtd"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/index"
 	"repro/internal/kcore"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/server"
 	"repro/internal/viz"
 )
 
@@ -308,3 +320,42 @@ func Communities(r *Result, k int32) []Community { return community.Detect(r, k)
 // WriteDOT renders a decomposition as a Graphviz graph with edges colored
 // by truss number (the paper's Figure 2 shading).
 func WriteDOT(w io.Writer, r *Result, name string) error { return viz.WriteDOT(w, r, name) }
+
+// Index is an immutable, query-optimized view of a truss decomposition:
+// truss numbers, k-classes, k-trusses, and triangle-connected k-truss
+// communities are all answered in O(answer) time without re-peeling.
+// It is safe for concurrent readers. Index is an alias for the internal
+// index.TrussIndex; build one with BuildIndex.
+type Index = index.TrussIndex
+
+// IndexClass is one k-class as returned by Index.TopClasses.
+type IndexClass = index.Class
+
+// BuildIndex freezes a decomposition into an Index. The cost is two
+// triangle enumerations (a counting pre-pass sizes the triangle buffer
+// exactly) plus the per-level community tables — run it once per
+// decomposition, then query freely:
+//
+//	ix := truss.BuildIndex(truss.Decompose(g))
+//	k, ok := ix.TrussNumber(u, v)
+func BuildIndex(r *Result) *Index { return index.Build(r) }
+
+// Server is an HTTP truss-query server: a registry of named graphs, each
+// frozen into an Index, queried concurrently through immutable snapshots
+// and rebuilt in the background. Server is an alias for the internal
+// server.Server; create one with NewServer and mount Handler on any
+// net/http mux (or use the `trussd serve` subcommand).
+type Server = server.Server
+
+// ServerOptions configures NewServer.
+type ServerOptions = server.Options
+
+// NewServer returns an empty query server. Register graphs with its
+// Build/BuildAsync/LoadFileAsync methods or over HTTP, then serve
+// Handler:
+//
+//	srv := truss.NewServer(truss.ServerOptions{})
+//	srv.Build("mygraph", g, "inline")
+//	http.ListenAndServe(":8080", srv.Handler())
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
