@@ -7,9 +7,11 @@
 package truss_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	truss "repro"
 	"repro/internal/core"
 	"repro/internal/embu"
 	"repro/internal/emtd"
@@ -41,6 +43,44 @@ func externalBudget(g *graph.Graph) int64 {
 		bud = 1 << 12
 	}
 	return bud
+}
+
+// --- Unified engine API (truss.Run) ----------------------------------------
+
+// BenchmarkRun measures every engine through the unified truss.Run entry
+// point on small fixture graphs — the engine × graph matrix the CI bench
+// job captures as BENCH_PR.json. TD-MR runs only on the smallest analog
+// (as in the paper's Table 4; it is orders of magnitude slower).
+func BenchmarkRun(b *testing.B) {
+	ctx := context.Background()
+	allEngines := []truss.Engine{
+		truss.EngineInMem, truss.EngineBaseline, truss.EngineParallel,
+		truss.EngineBottomUp, truss.EngineTopDown, truss.EngineMapReduce,
+	}
+	for _, name := range []string{"P2P", "HEP"} {
+		g := quickDataset(b, name)
+		for _, eng := range allEngines {
+			if eng == truss.EngineMapReduce && name != "P2P" {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", eng, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d, err := truss.Run(ctx, truss.FromGraph(g),
+						truss.WithEngine(eng),
+						truss.WithBudget(externalBudget(g)),
+						truss.WithSeed(1),
+						truss.WithTempDir(b.TempDir()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d.KMax() == 0 {
+						b.Fatal("kmax 0")
+					}
+					d.Close()
+				}
+			})
+		}
+	}
 }
 
 // --- Table 2: dataset statistics ------------------------------------------
@@ -94,7 +134,7 @@ func BenchmarkTable4_TDBottomup(b *testing.B) {
 		g := quickDataset(b, name)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := embu.DecomposeGraph(g, embu.Config{
+				res, err := embu.DecomposeGraph(context.Background(), g, embu.Config{
 					Budget: externalBudget(g), Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {
@@ -130,7 +170,7 @@ func BenchmarkTable5_TopDownTop20(b *testing.B) {
 		g := quickDataset(b, name)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := emtd.DecomposeGraph(g, emtd.Config{
+				res, err := emtd.DecomposeGraph(context.Background(), g, emtd.Config{
 					TopT: 20, Budget: externalBudget(g), Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {
@@ -147,7 +187,7 @@ func BenchmarkTable5_TopDownAll(b *testing.B) {
 		g := quickDataset(b, name)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := emtd.DecomposeGraph(g, emtd.Config{
+				res, err := emtd.DecomposeGraph(context.Background(), g, emtd.Config{
 					Budget: externalBudget(g), Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {
@@ -164,7 +204,7 @@ func BenchmarkTable5_Bottomup(b *testing.B) {
 		g := quickDataset(b, name)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := embu.DecomposeGraph(g, embu.Config{
+				res, err := embu.DecomposeGraph(context.Background(), g, embu.Config{
 					Budget: externalBudget(g), Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {
@@ -204,7 +244,7 @@ func BenchmarkAblation_KInit(b *testing.B) {
 	}{{"shortcut-on", false}, {"shortcut-off", true}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := emtd.DecomposeGraph(g, emtd.Config{
+				res, err := emtd.DecomposeGraph(context.Background(), g, emtd.Config{
 					TopT: 20, Budget: externalBudget(g), Seed: 1,
 					TempDir: b.TempDir(), DisableKInit: tc.disable,
 				})
@@ -231,7 +271,7 @@ func BenchmarkAblation_PartitionStrategy(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := embu.DecomposeGraph(g, embu.Config{
+				res, err := embu.DecomposeGraph(context.Background(), g, embu.Config{
 					Budget: externalBudget(g), Strategy: tc.strat, Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {
@@ -254,7 +294,7 @@ func BenchmarkAblation_BudgetSweep(b *testing.B) {
 	}{{"budget-30pct", 30}, {"budget-60pct", 60}, {"budget-120pct", 120}, {"budget-240pct", 240}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := embu.DecomposeGraph(g, embu.Config{
+				res, err := embu.DecomposeGraph(context.Background(), g, embu.Config{
 					Budget: entries * tc.share / 100, Seed: 1, TempDir: b.TempDir(),
 				})
 				if err != nil {

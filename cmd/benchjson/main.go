@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact (BENCH_PR.json) so CI can track the performance trajectory of
+// the engines across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkRun$' -benchtime 1x . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_PR.json
+//
+// Every benchmark line is captured; lines under BenchmarkRun/<engine>/<graph>
+// additionally get engine and graph fields, yielding the engine × graph →
+// ns/op matrix the roadmap's perf tracking asks for.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Engine and Graph are set for BenchmarkRun/<engine>/<graph> entries.
+	Engine string `json:"engine,omitempty"`
+	Graph  string `json:"graph,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRun/inmem/P2P-8   	      12	  95123456 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	in := flag.String("in", "", "benchmark text output (default stdin)")
+	out := flag.String("out", "BENCH_PR.json", "output JSON path")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if parts := strings.Split(m[1], "/"); len(parts) == 3 && parts[0] == "BenchmarkRun" {
+			e.Engine, e.Graph = parts[1], parts[2]
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	doc := map[string]any{"benchmarks": entries}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark entries to %s\n", len(entries), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,10 +29,16 @@ func main() {
 	mr := flag.String("mr", "", "comma-separated datasets for TD-MR (default \"P2P,HEP\"); \"none\" disables")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the harness context: long external
+	// decompositions abort at their next partition round.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.Options{
 		Quick:   *quick,
 		TempDir: *tmp,
 		Out:     os.Stdout,
+		Ctx:     ctx,
 	}
 	switch *mr {
 	case "":

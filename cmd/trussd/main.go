@@ -4,12 +4,17 @@
 //
 // Batch usage:
 //
-//	trussd -in graph.txt [-algo inmem|baseline|bottomup|topdown|mr]
+//	trussd -in graph.txt [-algo inmem|baseline|parallel|bottomup|topdown|mr]
 //	       [-top t] [-budget N] [-out classes.txt] [-v]
 //
 // Serving usage:
 //
 //	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait]
+//
+// Batch mode is a thin shell over the library's unified entry point,
+// truss.Run: the -algo flag picks the engine, -budget/-top/-tmp map to the
+// corresponding options, and SIGINT/SIGTERM cancel the run's context so
+// even multi-hour external decompositions stop promptly.
 //
 // The serve subcommand decomposes each loaded graph once (with the
 // parallel peeler), keeps the resulting TrussIndex resident, and answers
@@ -22,10 +27,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	truss "repro"
@@ -40,14 +48,14 @@ func main() {
 		return
 	}
 	in := flag.String("in", "", "input graph file (SNAP text, or .bin)")
-	algo := flag.String("algo", "inmem", "algorithm: inmem, baseline, bottomup, topdown, mr")
+	algo := flag.String("algo", "inmem", "engine: inmem, baseline, parallel, bottomup, topdown, mr")
 	topT := flag.Int("top", 0, "topdown only: compute the top-t k-classes (0 = all)")
-	budget := flag.Int64("budget", 0, "memory budget in adjacency entries for external algorithms (0 = default)")
+	budget := flag.Int64("budget", 0, "memory budget in adjacency entries for external engines (0 = default)")
 	outPath := flag.String("out", "", "write per-edge classes 'u v k' to this file")
-	dotPath := flag.String("dot", "", "write a Graphviz rendering colored by class (in-memory algorithms only)")
-	communitiesAt := flag.Int("communities", 0, "list the k-truss communities at this k (in-memory algorithms only)")
-	tmp := flag.String("tmp", os.TempDir(), "temp directory for external algorithms")
-	verbose := flag.Bool("v", false, "print I/O statistics and traces")
+	dotPath := flag.String("dot", "", "write a Graphviz rendering colored by class (in-memory engines only)")
+	communitiesAt := flag.Int("communities", 0, "list the k-truss communities at this k (in-memory engines only)")
+	tmp := flag.String("tmp", os.TempDir(), "temp directory for external engines")
+	verbose := flag.Bool("v", false, "print I/O statistics, traces, and per-level progress")
 	flag.Parse()
 
 	if *in == "" {
@@ -55,49 +63,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *algo, *topT, *budget, *outPath, *dotPath, *communitiesAt, *tmp, *verbose); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *in, *algo, *topT, *budget, *outPath, *dotPath, *communitiesAt, *tmp, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "trussd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, algo string, topT int, budget int64, outPath, dotPath string, communitiesAt int, tmp string, verbose bool) error {
+func run(ctx context.Context, in, algo string, topT int, budget int64, outPath, dotPath string, communitiesAt int, tmp string, verbose bool) error {
+	eng, err := truss.ParseEngine(algo)
+	if err != nil {
+		return err
+	}
+	inMemoryEngine := eng == truss.EngineInMem || eng == truss.EngineBaseline || eng == truss.EngineParallel
+	if (dotPath != "" || communitiesAt >= 3) && !inMemoryEngine {
+		// Reject before the (potentially hours-long) run, not after.
+		return fmt.Errorf("-dot and -communities need an in-memory engine (inmem, baseline, parallel), not %s", eng)
+	}
 	start := time.Now()
-	var sizes map[int32]int64
-	var kmax int32
-	var edges func(emit func(u, v uint32, k int32) error) error
-
 	var st truss.IOStats
-	opts := truss.ExternalOptions{MemoryBudget: budget, TempDir: tmp, Stats: &st}
+	opts := []truss.Option{
+		truss.WithEngine(eng),
+		truss.WithBudget(budget),
+		truss.WithTopT(topT),
+		truss.WithTempDir(tmp),
+		truss.WithStats(&st),
+	}
+	if verbose {
+		opts = append(opts, truss.WithProgress(func(p truss.Progress) {
+			if p.Stage == truss.StageLevel {
+				fmt.Fprintf(os.Stderr, "progress: %s at level %d\n", p.Engine, p.K)
+			}
+		}))
+	}
+	d, err := truss.Run(ctx, truss.FromFile(in), opts...)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
 
-	switch algo {
-	case "inmem", "baseline":
-		g, err := truss.LoadGraph(in)
-		if err != nil {
-			return err
-		}
-		var res *truss.Result
-		if algo == "inmem" {
-			res = truss.Decompose(g)
-		} else {
-			res = truss.DecomposeBaseline(g)
-		}
-		kmax = res.KMax
-		sizes = map[int32]int64{}
-		for k, n := range res.ClassSizes() {
-			if n > 0 {
-				sizes[int32(k)] = n
-			}
-		}
-		edges = func(emit func(u, v uint32, k int32) error) error {
-			for id, p := range res.Phi {
-				e := g.Edge(int32(id))
-				if err := emit(e.U, e.V, p); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
+	// Extras that need the full in-memory Result.
+	if res, ok := truss.AsInMemory(d); ok {
 		if dotPath != "" {
 			f, err := os.Create(dotPath)
 			if err != nil {
@@ -123,77 +130,30 @@ func run(in, algo string, topT int, budget int64, outPath, dotPath string, commu
 				fmt.Printf("  #%d: %d edges over %d vertices\n", i+1, len(c.Edges), len(c.Vertices))
 			}
 		}
-	case "bottomup":
-		res, err := truss.BottomUpFile(in, opts)
-		if err != nil {
-			return err
-		}
-		defer res.Close()
-		kmax = res.KMax
-		sizes = res.ClassSizes
-		edges = func(emit func(u, v uint32, k int32) error) error {
-			m, err := res.PhiMap()
-			if err != nil {
-				return err
-			}
-			return emitMap(m, emit)
-		}
-		if verbose {
-			fmt.Printf("trace: %+v\n", res.Trace)
-		}
-	case "topdown":
-		res, err := truss.TopDownFile(in, topT, opts)
-		if err != nil {
-			return err
-		}
-		defer res.Close()
-		kmax = res.KMax
-		sizes = res.ClassSizes
-		edges = func(emit func(u, v uint32, k int32) error) error {
-			m, err := res.PhiMap()
-			if err != nil {
-				return err
-			}
-			return emitMap(m, emit)
-		}
-		if verbose {
-			fmt.Printf("trace: %+v\n", res.Trace)
-		}
-	case "mr":
-		g, err := truss.LoadGraph(in)
-		if err != nil {
-			return err
-		}
-		res := truss.MapReduceDecompose(g)
-		kmax = res.KMax
-		sizes = map[int32]int64{}
-		for _, p := range res.Phi {
-			sizes[p]++
-		}
-		edges = func(emit func(u, v uint32, k int32) error) error {
-			return emitMap(res.Phi, emit)
-		}
-		if verbose {
-			fmt.Printf("cluster work: %s\n", res.Counters.String())
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 
 	elapsed := time.Since(start)
 	fmt.Printf("algorithm:  %s\n", algo)
 	fmt.Printf("elapsed:    %s\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("kmax:       %d\n", kmax)
-	var ks []int32
-	for k := range sizes {
-		ks = append(ks, k)
+	fmt.Printf("kmax:       %d\n", d.KMax())
+	hist := d.Histogram()
+	for k, n := range hist {
+		if n > 0 {
+			fmt.Printf("|Phi_%d| = %d\n", k, n)
+		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	for _, k := range ks {
-		fmt.Printf("|Phi_%d| = %d\n", k, sizes[k])
-	}
-	if verbose && (algo == "bottomup" || algo == "topdown") {
-		fmt.Printf("io: %s\n", st.String())
+	if verbose {
+		if res, ok := truss.AsBottomUp(d); ok {
+			fmt.Printf("trace: %+v\n", res.Trace)
+			fmt.Printf("io: %s\n", st.String())
+		}
+		if res, ok := truss.AsTopDown(d); ok {
+			fmt.Printf("trace: %+v\n", res.Trace)
+			fmt.Printf("io: %s\n", st.String())
+		}
+		if res, ok := truss.AsMapReduce(d); ok {
+			fmt.Printf("cluster work: %s\n", res.Counters.String())
+		}
 	}
 
 	if outPath != "" {
@@ -202,7 +162,7 @@ func run(in, algo string, topT int, budget int64, outPath, dotPath string, commu
 			return err
 		}
 		w := bufio.NewWriter(f)
-		err = edges(func(u, v uint32, k int32) error {
+		err = sortedEdges(d, func(u, v uint32, k int32) error {
 			_, werr := fmt.Fprintf(w, "%d\t%d\t%d\n", u, v, k)
 			return werr
 		})
@@ -222,16 +182,24 @@ func run(in, algo string, topT int, budget int64, outPath, dotPath string, commu
 	return nil
 }
 
-func emitMap(m map[uint64]int32, emit func(u, v uint32, k int32) error) error {
-	keys := make([]uint64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// sortedEdges emits the classified edges in canonical (u, v) order so
+// -out files are deterministic across engines.
+func sortedEdges(d truss.Decomposition, emit func(u, v uint32, k int32) error) error {
+	type rec struct {
+		key uint64
+		k   int32
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
-		u := uint32(key >> 32)
-		v := uint32(key)
-		if err := emit(u, v, m[key]); err != nil {
+	recs := make([]rec, 0, d.NumEdges())
+	err := d.Edges(func(u, v uint32, k int32) error {
+		recs = append(recs, rec{uint64(u)<<32 | uint64(v), k})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	for _, r := range recs {
+		if err := emit(uint32(r.key>>32), uint32(r.key), r.k); err != nil {
 			return err
 		}
 	}

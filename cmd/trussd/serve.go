@@ -86,8 +86,14 @@ func serveMain(args []string) error {
 		logger.Printf("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		// Drain in-flight HTTP requests first, then cancel background
+		// rebuilds: their lifecycle context aborts the decomposition at
+		// its next peeling checkpoint.
 		if err := hs.Shutdown(shutCtx); err != nil {
 			return err
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("aborting background builds: %w", err)
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err

@@ -1,10 +1,39 @@
 package truss_test
 
 import (
+	"context"
 	"fmt"
 
 	truss "repro"
 )
+
+// ExampleRun decomposes a graph through the unified entry point: any of
+// the paper's five algorithms (plus the parallel extension) runs behind
+// the same call, returns the same Decomposition interface, and honors the
+// context for cancellation.
+func ExampleRun() {
+	g := truss.FromEdges([]truss.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, // 4-clique on 0..3
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5}, // pendant triangle
+	})
+	d, err := truss.Run(context.Background(), truss.FromGraph(g),
+		truss.WithEngine(truss.EngineInMem))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer d.Close()
+	fmt.Println("kmax:", d.KMax())
+	hist := d.Histogram()
+	for k := int32(3); k <= d.KMax(); k++ {
+		fmt.Printf("|Phi_%d| = %d\n", k, hist[k])
+	}
+	// Output:
+	// kmax: 4
+	// |Phi_3| = 3
+	// |Phi_4| = 6
+}
 
 // ExampleDecompose decomposes a small graph: a 4-clique with a pendant
 // triangle hanging off it.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -23,11 +24,14 @@ func main() {
 	fmt.Printf("topology: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
 
 	const topT = 3
-	res, err := truss.TopDown(g, topT, truss.ExternalOptions{})
+	d, err := truss.Run(context.Background(), truss.FromGraph(g),
+		truss.WithEngine(truss.EngineTopDown),
+		truss.WithTopT(topT))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer res.Close()
+	defer d.Close()
+	res, _ := truss.AsTopDown(d) // kinit trace + per-class sizes
 
 	fmt.Printf("kmax = %d; top-%d classes:\n", res.KMax, topT)
 	var ks []int32

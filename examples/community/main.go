@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	truss "repro"
 	"repro/internal/gen"
@@ -32,7 +34,11 @@ func main() {
 
 	// Community structure through the truss hierarchy: as k rises, the
 	// k-truss splits into tightly-knit components — the communities.
-	res := truss.Decompose(g)
+	d, err := truss.Run(context.Background(), truss.FromGraph(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := truss.AsInMemory(d)
 	fmt.Println("truss hierarchy (communities emerge as k rises):")
 	for k := int32(3); k <= res.KMax; k++ {
 		tk := res.Truss(k)

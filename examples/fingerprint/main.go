@@ -10,7 +10,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	truss "repro"
 	"repro/internal/gen"
@@ -31,7 +33,12 @@ var families = []family{
 }
 
 func profileOf(g *graph.Graph) []float64 {
-	return metrics.TrussProfile(truss.Decompose(g))
+	d, err := truss.Run(context.Background(), truss.FromGraph(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := truss.AsInMemory(d)
+	return metrics.TrussProfile(res)
 }
 
 func sparkline(p []float64) string {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,17 +40,26 @@ func main() {
 
 	// Budget: one third of the graph's adjacency entries — the graph
 	// cannot be held in memory, so the external machinery must partition.
+	// The file streams straight into the engine's input spool (never
+	// materialized in RAM), the context would let us cancel a multi-hour
+	// run, and the progress observer watches the bottom-up rounds.
 	budget := int64(2*g.NumEdges()) / 3
 	var st truss.IOStats
-	res, err := truss.BottomUpFile(path, truss.ExternalOptions{
-		MemoryBudget: budget,
-		TempDir:      dir,
-		Stats:        &st,
-	})
+	d, err := truss.Run(context.Background(), truss.FromFile(path),
+		truss.WithEngine(truss.EngineBottomUp),
+		truss.WithBudget(budget),
+		truss.WithTempDir(dir),
+		truss.WithStats(&st),
+		truss.WithProgress(func(p truss.Progress) {
+			if p.Stage == truss.StageLevel {
+				fmt.Printf("  [progress] peeling class k=%d\n", p.K)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer res.Close()
+	defer d.Close()
+	res, _ := truss.AsBottomUp(d) // trace + disk-resident classes
 
 	fmt.Printf("memory budget:        %d adjacency entries (%.0f%% of graph)\n",
 		budget, 100*float64(budget)/float64(2*g.NumEdges()))

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,10 +29,17 @@ func main() {
 	g := b.Build()
 	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
 
-	// Decompose: phi(e) is the largest k such that edge e belongs to the
-	// k-truss (the largest subgraph where every edge closes >= k-2
-	// triangles inside the subgraph).
-	res := truss.Decompose(g)
+	// Decompose through the unified entry point: phi(e) is the largest k
+	// such that edge e belongs to the k-truss (the largest subgraph where
+	// every edge closes >= k-2 triangles inside the subgraph). EngineInMem
+	// is the default; swap WithEngine to try any of the paper's five
+	// algorithms through the same call.
+	d, err := truss.Run(context.Background(), truss.FromGraph(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	res, _ := truss.AsInMemory(d) // the full in-memory Result API
 	fmt.Printf("kmax = %d\n", res.KMax)
 	for k := int32(2); k <= res.KMax; k++ {
 		fmt.Printf("|Phi_%d| = %2d   (edges whose truss number is exactly %d)\n",

@@ -13,9 +13,39 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/triangle"
 )
+
+// Hooks observes a decomposition as it runs. The zero value observes
+// nothing and costs nothing.
+type Hooks struct {
+	// OnLevel is invoked when peeling reaches a new level k (including the
+	// initial level 2). It runs on the decomposing goroutine and must be
+	// cheap.
+	OnLevel func(k int32)
+}
+
+// ctxCheckMask throttles cancellation checks in the peeling loops: the
+// context is polled once per (mask+1) removed edges, so cancellation costs
+// one select per ~1k edges and nothing at all under context.Background().
+const ctxCheckMask = 1023
+
+// cancelled reports whether done (a context's Done channel, possibly nil)
+// has fired.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Result is a truss decomposition of a graph: the truss number of every
 // edge plus derived views (classes and trusses).
@@ -85,8 +115,16 @@ func (r *Result) ClassMap() map[uint64]int32 {
 // edge's triangles through its lower-degree endpoint with a membership
 // test, giving O(m^1.5) total time.
 func Decompose(g *graph.Graph) *Result {
+	r, _ := DecomposeCtx(context.Background(), g, Hooks{})
+	return r
+}
+
+// DecomposeCtx is Decompose with cancellation and observation: the context
+// is checked between peeling levels and every ~1k removed edges, and hooks
+// (if set) see each level transition. The only possible error is ctx.Err().
+func DecomposeCtx(ctx context.Context, g *graph.Graph, h Hooks) (*Result, error) {
 	sup := triangle.Supports(g)
-	return decomposePeel(g, sup, false)
+	return decomposePeel(ctx, g, sup, false, h)
 }
 
 // DecomposeBaseline runs Cohen's algorithm (Algorithm 1, TD-inmem) as
@@ -98,18 +136,25 @@ func Decompose(g *graph.Graph) *Result {
 // On graphs with high-degree hubs this is the bottleneck the paper's
 // Table 3 measures; Decompose replaces both with O(m^1.5) machinery.
 func DecomposeBaseline(g *graph.Graph) *Result {
+	r, _ := DecomposeBaselineCtx(context.Background(), g, Hooks{})
+	return r
+}
+
+// DecomposeBaselineCtx is DecomposeBaseline with cancellation and
+// observation, mirroring DecomposeCtx.
+func DecomposeBaselineCtx(ctx context.Context, g *graph.Graph, h Hooks) (*Result, error) {
 	sup := triangle.SupportsNaive(g)
-	return decomposePeel(g, sup, true)
+	return decomposePeel(ctx, g, sup, true, h)
 }
 
 // decomposePeel is the shared bin-sorted peeling loop. When fullMerge is
 // true, triangle enumeration uses the Algorithm 1 strategy; otherwise the
 // Algorithm 2 strategy.
-func decomposePeel(g *graph.Graph, sup []int32, fullMerge bool) *Result {
+func decomposePeel(ctx context.Context, g *graph.Graph, sup []int32, fullMerge bool, h Hooks) (*Result, error) {
 	m := g.NumEdges()
 	res := &Result{G: g, Phi: make([]int32, m)}
 	if m == 0 {
-		return res
+		return res, nil
 	}
 
 	// Bin sort edge IDs by support (the sorted edge array A of the paper).
@@ -159,11 +204,24 @@ func decomposePeel(g *graph.Graph, sup []int32, fullMerge bool) *Result {
 		sup[x]--
 	}
 
+	done := ctx.Done()
 	k := int32(2)
+	if h.OnLevel != nil {
+		h.OnLevel(k)
+	}
 	for i := 0; i < m; i++ {
+		if i&ctxCheckMask == 0 && cancelled(done) {
+			return nil, ctx.Err()
+		}
 		e := arr[i]
 		if sup[e]+2 > k {
 			k = sup[e] + 2
+			if h.OnLevel != nil {
+				h.OnLevel(k)
+			}
+			if cancelled(done) {
+				return nil, ctx.Err()
+			}
 		}
 		res.Phi[e] = k
 		removed[e] = true
@@ -192,7 +250,7 @@ func decomposePeel(g *graph.Graph, sup []int32, fullMerge bool) *Result {
 		}
 	}
 	res.KMax = k
-	return res
+	return res, nil
 }
 
 // forEachTriangleProbe enumerates the live triangles of edge (u,v) with

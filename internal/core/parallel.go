@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,12 +19,22 @@ import (
 // to exactly one frontier edge so supports never double-decrement.
 // workers <= 0 selects GOMAXPROCS.
 func DecomposeParallel(g *graph.Graph, workers int) *Result {
+	r, _ := DecomposeParallelCtx(context.Background(), g, workers, Hooks{})
+	return r
+}
+
+// DecomposeParallelCtx is DecomposeParallel with cancellation and
+// observation: the context is checked between peeling sub-rounds (the
+// barrier points of the level-synchronized scheme) and hooks see each
+// level. The only possible error is ctx.Err().
+func DecomposeParallelCtx(ctx context.Context, g *graph.Graph, workers int, h Hooks) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := g.NumEdges()
 	if m == 0 || workers == 1 {
-		return Decompose(g)
+		sup := triangle.Supports(g)
+		return decomposePeel(ctx, g, sup, false, h)
 	}
 
 	res := &Result{G: g, Phi: make([]int32, m)}
@@ -96,10 +107,17 @@ func DecomposeParallel(g *graph.Graph, workers int) *Result {
 		}
 	}
 
+	done := ctx.Done()
 	remaining := m
 	k := int32(2)
 	var cur []int32
 	for remaining > 0 {
+		if cancelled(done) {
+			return nil, ctx.Err()
+		}
+		if h.OnLevel != nil {
+			h.OnLevel(k)
+		}
 		// Collect the level-k frontier.
 		cur = cur[:0]
 		for e := 0; e < m; e++ {
@@ -109,6 +127,9 @@ func DecomposeParallel(g *graph.Graph, workers int) *Result {
 			}
 		}
 		for len(cur) > 0 {
+			if cancelled(done) {
+				return nil, ctx.Err()
+			}
 			var nextEdges []int32
 			if len(cur) < 256 || workers == 1 {
 				// Small frontiers: parallel dispatch costs more than it
@@ -161,5 +182,5 @@ func DecomposeParallel(g *graph.Graph, workers int) *Result {
 		}
 	}
 	res.KMax = k
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package embu
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math"
@@ -16,7 +17,10 @@ import (
 // Decompose runs the full bottom-up external-memory truss decomposition
 // (Algorithm 4) over a disk-resident edge stream. n is the vertex-ID space
 // (max vertex ID + 1); pass n <= 0 to have it derived with one extra scan.
-func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error) {
+// The context is checked between LowerBounding iterations, partition
+// rounds, and Procedure 9 passes; on cancellation the returned error is
+// ctx.Err() and all result spools are removed.
+func Decompose(ctx context.Context, input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if n <= 0 {
 		maxV := int64(-1)
@@ -45,19 +49,23 @@ func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error
 	}
 	cw := &classWriter{w: cwr, sizes: map[int32]int64{}}
 	res := &Result{Classes: classes, ClassSizes: cw.sizes, NumVertices: n}
-
-	gnew, err := LowerBound(input, n, cfg, cw, &res.Trace)
-	if err != nil {
+	fail := func(err error) (*Result, error) {
 		cwr.Close()
+		classes.Remove()
 		return nil, err
+	}
+
+	gnew, err := LowerBound(ctx, input, n, cfg, cw, &res.Trace)
+	if err != nil {
+		return fail(err)
 	}
 	defer gnew.Remove()
 
-	if err := bottomUpClasses(gnew, n, cfg, cw, &res.Trace); err != nil {
-		cwr.Close()
-		return nil, err
+	if err := bottomUpClasses(ctx, gnew, n, cfg, cw, &res.Trace); err != nil {
+		return fail(err)
 	}
 	if err := cwr.Close(); err != nil {
+		classes.Remove()
 		return nil, err
 	}
 	res.KMax = cw.kmax
@@ -67,7 +75,7 @@ func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error
 // DecomposeGraph is a convenience wrapper: it spools g's edges to disk and
 // runs Decompose, so tests and benchmarks can exercise the external
 // algorithm on in-memory graphs.
-func DecomposeGraph(g *graph.Graph, cfg Config) (*Result, error) {
+func DecomposeGraph(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	sp, err := gio.NewSpool[gio.EdgeRec](cfg.TempDir, "input", gio.EdgeCodec{}, cfg.Stats)
 	if err != nil {
@@ -87,15 +95,18 @@ func DecomposeGraph(g *graph.Graph, cfg Config) (*Result, error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return Decompose(sp, g.NumVertices(), cfg)
+	return Decompose(ctx, sp, g.NumVertices(), cfg)
 }
 
 // bottomUpClasses is the second stage (Algorithm 4, Steps 2-9): for k = 3
 // upward, extract the candidate subgraph NS(U_k) from Gnew, peel Phi_k out
 // of it, and delete Phi_k from Gnew.
-func bottomUpClasses(gnew *gio.Spool[gio.EdgeAux2], n int, cfg Config, cw *classWriter, trace *Trace) error {
+func bottomUpClasses(ctx context.Context, gnew *gio.Spool[gio.EdgeAux2], n int, cfg Config, cw *classWriter, trace *Trace) error {
 	k := int32(3)
 	for gnew.Count() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Scan 1: the smallest lower bound tells us the next k with a
 		// possibly non-empty class (phi is a lower bound on the truss
 		// number, so classes below min phi are empty).
@@ -112,6 +123,9 @@ func bottomUpClasses(gnew *gio.Spool[gio.EdgeAux2], n int, cfg Config, cw *class
 			k = minPhi
 		}
 		trace.Rounds++
+		if cfg.OnRound != nil {
+			cfg.OnRound(k)
+		}
 
 		// Scan 2: U_k = endpoints of edges whose bound admits class k.
 		uk := graph.NewVertexSet(n)
@@ -161,26 +175,35 @@ func bottomUpClasses(gnew *gio.Spool[gio.EdgeAux2], n int, cfg Config, cw *class
 		if err != nil {
 			if spillW != nil {
 				spillW.Close()
+				spill.Remove()
 			}
 			return err
 		}
 
 		removed, err := gio.NewSpool[gio.EdgeRec](cfg.TempDir, "phik", gio.EdgeCodec{}, cfg.Stats)
 		if err != nil {
+			if spillW != nil {
+				spillW.Close()
+				spill.Remove()
+			}
 			return err
 		}
 		if spillW != nil {
 			if err := spillW.Close(); err != nil {
+				spill.Remove()
+				removed.Remove()
 				return err
 			}
 			trace.OversizeRounds++
-			err = procedure9(spill, uk, n, k, cfg, cw, removed, trace)
+			err = procedure9(ctx, spill, uk, n, k, cfg, cw, removed, trace)
 			spill.Remove()
 			if err != nil {
+				removed.Remove()
 				return err
 			}
 		} else {
 			if err := procedure5(mem, uk, k, cw, removed); err != nil {
+				removed.Remove()
 				return err
 			}
 		}
@@ -249,7 +272,7 @@ func procedure5(recs []gio.EdgeAux2, uk *graph.VertexSet, k int32, cw *classWrit
 //     peeling stalls, this implementation computes the exact support of
 //     every H edge with the partitioned accumulation of ExactSupports and
 //     either certifies the fixpoint or removes the stragglers and resumes.
-func procedure9(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, cw *classWriter, removed *gio.Spool[gio.EdgeRec], trace *Trace) error {
+func procedure9(ctx context.Context, h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, cw *classWriter, removed *gio.Spool[gio.EdgeRec], trace *Trace) error {
 	rw, err := removed.Create()
 	if err != nil {
 		return err
@@ -267,14 +290,17 @@ func procedure9(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32,
 	}
 
 	for pass := 0; ; pass++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		trace.Proc9Passes++
 		// One local pass collapses within-part cascades cheaply; the
 		// certification pass then removes every cross-part straggler in
 		// one batch and decides termination.
-		if _, err := localPeelPass(h, uk, n, k, cfg, cfg.Seed+int64(pass), emit); err != nil {
+		if _, err := localPeelPass(ctx, h, uk, n, k, cfg, cfg.Seed+int64(pass), emit); err != nil {
 			return err
 		}
-		nCert, err := certifyPass(h, uk, n, k, cfg, int64(1000*(pass+1)), emit)
+		nCert, err := certifyPass(ctx, h, uk, n, k, cfg, int64(1000*(pass+1)), emit)
 		if err != nil {
 			return err
 		}
@@ -290,7 +316,7 @@ func procedure9(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32,
 // localPeelPass is one partitioned peel over H: every part-internal edge
 // with support <= k-2 within its part's neighborhood subgraph is removed
 // (with cascades), emitted, and deleted from H. Returns the removal count.
-func localPeelPass(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, seed int64, emit func(u, v uint32) error) (int, error) {
+func localPeelPass(ctx context.Context, h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, seed int64, emit func(u, v uint32) error) (int, error) {
 	deg := make([]int32, n)
 	if err := h.ForEach(func(r gio.EdgeAux2) error {
 		deg[r.U]++
@@ -312,8 +338,12 @@ func localPeelPass(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int
 	if err != nil {
 		return 0, err
 	}
+	defer removeSpools(buckets) // no-op on success; cleanup on abort
 	passRemoved := map[uint64]bool{}
 	for pi := range parts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		recs, err := buckets[pi].ReadAll()
 		if err != nil {
 			return 0, err
@@ -357,8 +387,8 @@ func localPeelPass(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int
 // certifyPass computes exact supports of every H edge and removes internal
 // edges at or below k-2, returning how many were removed (0 certifies the
 // fixpoint).
-func certifyPass(h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, seedOffset int64, emit func(u, v uint32) error) (int64, error) {
-	sups, err := ExactSupports(h, n, Config{
+func certifyPass(ctx context.Context, h *gio.Spool[gio.EdgeAux2], uk *graph.VertexSet, n int, k int32, cfg Config, seedOffset int64, emit func(u, v uint32) error) (int64, error) {
+	sups, err := ExactSupports(ctx, h, n, Config{
 		Budget:   cfg.Budget,
 		Strategy: partition.Randomized,
 		Seed:     cfg.Seed + seedOffset,
@@ -434,8 +464,9 @@ func rewriteWithout(sp *gio.Spool[gio.EdgeAux2], drop map[uint64]bool, cfg Confi
 // disk-resident edge set h (with respect to h itself), returning a spool of
 // (u, v, sup) records. It uses the same shrinking-residual accumulation as
 // LowerBounding: every triangle is counted at the unique (iteration, part)
-// where its first edge becomes part-internal.
-func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gio.EdgeAux], error) {
+// where its first edge becomes part-internal. The context is checked once
+// per accumulation iteration and once per part.
+func ExactSupports(ctx context.Context, h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gio.EdgeAux], error) {
 	cfg = cfg.withDefaults()
 	work, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, "supwork", gio.EdgeAux2Codec{}, cfg.Stats)
 	if err != nil {
@@ -465,16 +496,26 @@ func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gi
 	}
 	ow, err := out.Create()
 	if err != nil {
+		out.Remove()
 		return nil, err
 	}
+	// Every early return below (I/O error or cancellation) must drop the
+	// partial output spool.
+	success := false
 	defer func() {
 		if ow != nil {
 			ow.Close()
+		}
+		if !success {
+			out.Remove()
 		}
 	}()
 
 	fruitless := 0
 	for iter := 0; work.Count() > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Fast path: once the residual fits in the budget it forms a
 		// single part whose neighborhood subgraph is the residual itself;
 		// finish in memory without bucket files or sort runs.
@@ -511,13 +552,18 @@ func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gi
 		if err != nil {
 			return nil, err
 		}
+		defer removeSpools(buckets) // no-op on success; cleanup on abort
 		sorter := extsort.NewSorter[gio.EdgeAux2](gio.EdgeAux2Codec{}, recLess, extsort.Config{
 			Budget: int(cfg.Budget),
 			Dir:    cfg.TempDir,
 			Stats:  cfg.Stats,
 		})
+		defer sorter.Discard() // no-op once Sort hands runs to the iterator
 		progress := false
 		for pi := range parts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			recs, err := buckets[pi].ReadAll()
 			if err != nil {
 				return nil, err
@@ -554,11 +600,13 @@ func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gi
 		}
 		nw, err := next.Create()
 		if err != nil {
+			next.Remove()
 			return nil, err
 		}
 		it, err := sorter.Sort()
 		if err != nil {
 			nw.Close()
+			next.Remove()
 			return nil, err
 		}
 		var pending *gio.EdgeAux2
@@ -580,9 +628,11 @@ func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gi
 		}
 		if mergeErr != nil {
 			nw.Close()
+			next.Remove()
 			return nil, mergeErr
 		}
 		if err := nw.Close(); err != nil {
+			next.Remove()
 			return nil, err
 		}
 		if err := work.ReplaceWith(next); err != nil {
@@ -599,6 +649,7 @@ func ExactSupports(h *gio.Spool[gio.EdgeAux2], n int, cfg Config) (*gio.Spool[gi
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	success = true
 	return out, nil
 }
 

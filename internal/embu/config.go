@@ -37,6 +37,10 @@ type Config struct {
 	TempDir string
 	// Stats, if non-nil, accumulates all disk traffic.
 	Stats *gio.Stats
+	// OnRound, if non-nil, is invoked at the start of every bottom-up
+	// candidate round with the class level k being attempted. It runs on
+	// the decomposing goroutine and must be cheap.
+	OnRound func(k int32)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,7 @@
 package embu
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 func checkMatchesInMemory(t *testing.T, g *graph.Graph, cfg Config) *Result {
 	t.Helper()
 	cfg.TempDir = t.TempDir()
-	res, err := DecomposeGraph(g, cfg)
+	res, err := DecomposeGraph(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatalf("external decompose: %v", err)
 	}
@@ -165,7 +166,7 @@ func TestDecomposeFromSpoolDerivesN(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Decompose(sp, 0, Config{TempDir: dir}) // n derived
+	res, err := Decompose(context.Background(), sp, 0, Config{TempDir: dir}) // n derived
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestIOAccounting(t *testing.T) {
 	var st gio.Stats
 	g := gen.PaperExample()
 	cfg := Config{Budget: 64, Stats: &st, TempDir: t.TempDir()}
-	res, err := DecomposeGraph(g, cfg)
+	res, err := DecomposeGraph(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package embu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -27,21 +28,21 @@ const maxFruitlessIters = 64
 // for every edge, a lower bound phi(e) on the truss number and the exact
 // support sup(e) in the input graph, emits the 2-class to cw, and returns
 // the residual graph Gnew as a stream of (u, v, phi, sup) records.
-func LowerBound(input *gio.Spool[gio.EdgeRec], n int, cfg Config, cw *classWriter, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
-	return lowerBoundEmit(input, n, cfg, func(u, v uint32) error { return cw.emit(u, v, 2) }, trace)
+func LowerBound(ctx context.Context, input *gio.Spool[gio.EdgeRec], n int, cfg Config, cw *classWriter, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
+	return lowerBoundEmit(ctx, input, n, cfg, func(u, v uint32) error { return cw.emit(u, v, 2) }, trace)
 }
 
 // Prepare is the exported form of the LowerBounding stage used by the
 // top-down algorithm (Algorithm 7, Step 1 calls Algorithm 3): phi2 receives
 // every 2-class edge, and the returned Gnew carries (phi, sup) per edge.
 // The returned trace reports the iteration count.
-func Prepare(input *gio.Spool[gio.EdgeRec], n int, cfg Config, phi2 func(u, v uint32) error) (*gio.Spool[gio.EdgeAux2], Trace, error) {
+func Prepare(ctx context.Context, input *gio.Spool[gio.EdgeRec], n int, cfg Config, phi2 func(u, v uint32) error) (*gio.Spool[gio.EdgeAux2], Trace, error) {
 	var trace Trace
-	gnew, err := lowerBoundEmit(input, n, cfg, phi2, &trace)
+	gnew, err := lowerBoundEmit(ctx, input, n, cfg, phi2, &trace)
 	return gnew, trace, err
 }
 
-func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 func(u, v uint32) error, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
+func lowerBoundEmit(ctx context.Context, input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 func(u, v uint32) error, trace *Trace) (*gio.Spool[gio.EdgeAux2], error) {
 	cfg = cfg.withDefaults()
 
 	// Initialize the residual: phi = 2, accumulated support = 0.
@@ -69,21 +70,34 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 
 	gnew, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, "gnew", gio.EdgeAux2Codec{}, cfg.Stats)
 	if err != nil {
+		cur.Remove()
 		return nil, err
 	}
 	gw, err := gnew.Create()
 	if err != nil {
+		cur.Remove()
+		gnew.Remove()
 		return nil, err
 	}
+	// Every early return below (I/O error or cancellation) is a failure:
+	// drop the working spools so an aborted run leaves nothing behind.
+	success := false
 	defer func() {
 		if gw != nil {
 			gw.Close()
+		}
+		if !success {
+			cur.Remove()
+			gnew.Remove()
 		}
 	}()
 
 	fruitless := 0
 	strategy := cfg.Strategy
 	for iter := 0; cur.Count() > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		trace.LBIterations++
 
 		// Fast path: a residual that fits in the budget is one part whose
@@ -95,7 +109,10 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 				return nil, err
 			}
 			sg, recOf := buildSubgraph(recs)
-			localPhi := core.Decompose(sg)
+			localPhi, err := core.DecomposeCtx(ctx, sg, core.Hooks{})
+			if err != nil {
+				return nil, err
+			}
 			localSup := triangle.Supports(sg)
 			for id, e := range sg.Edges() {
 				rec := recs[recOf[id]]
@@ -137,6 +154,7 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 		if err != nil {
 			return nil, err
 		}
+		defer removeSpools(buckets) // no-op on success; cleanup on abort
 
 		// Lower-bound updates for external (cross-part) edges: the copy in
 		// the lower endpoint's part carries the previous state, the other
@@ -146,6 +164,7 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 			Dir:    cfg.TempDir,
 			Stats:  cfg.Stats,
 		})
+		defer sorter.Discard() // no-op once Sort hands runs to the iterator
 
 		progress := false
 		for pi := range parts {
@@ -160,7 +179,10 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 				continue
 			}
 			sg, recOf := buildSubgraph(recs)
-			localPhi := core.Decompose(sg)
+			localPhi, err := core.DecomposeCtx(ctx, sg, core.Hooks{})
+			if err != nil {
+				return nil, err
+			}
 			localSup := triangle.Supports(sg)
 			for id, e := range sg.Edges() {
 				rec := recs[recOf[id]]
@@ -201,11 +223,13 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 		}
 		nw, err := next.Create()
 		if err != nil {
+			next.Remove()
 			return nil, err
 		}
 		it, err := sorter.Sort()
 		if err != nil {
 			nw.Close()
+			next.Remove()
 			return nil, err
 		}
 		var pending *gio.EdgeAux2
@@ -229,13 +253,16 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 		})
 		if mergeErr != nil {
 			nw.Close()
+			next.Remove()
 			return nil, mergeErr
 		}
 		if pending != nil {
 			nw.Close()
+			next.Remove()
 			return nil, fmt.Errorf("embu: unpaired trailing update for edge (%d,%d)", pending.U, pending.V)
 		}
 		if err := nw.Close(); err != nil {
+			next.Remove()
 			return nil, err
 		}
 		if err := cur.ReplaceWith(next); err != nil {
@@ -263,6 +290,7 @@ func lowerBoundEmit(input *gio.Spool[gio.EdgeRec], n int, cfg Config, emitPhi2 f
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	success = true
 	return gnew, nil
 }
 
@@ -295,6 +323,17 @@ func makePartIndex(n int, parts partition.Parts) []int32 {
 	return idx
 }
 
+// removeSpools best-effort deletes whatever bucket files a cancelled or
+// failed pass left behind. Buckets already consumed (and removed) by the
+// pass are gone; their second Remove error is ignored.
+func removeSpools[T any](sps []*gio.Spool[T]) {
+	for _, sp := range sps {
+		if sp != nil {
+			sp.Remove()
+		}
+	}
+}
+
 // maxOpenBuckets bounds simultaneously open bucket writers; when a
 // partition has more parts, the residual is scanned once per wave of
 // buckets (the file-handle analog of the memory budget).
@@ -308,6 +347,7 @@ func bucketByPart(cur *gio.Spool[gio.EdgeAux2], nParts int, partOf []int32, cfg 
 	for i := range buckets {
 		sp, err := gio.NewSpool[gio.EdgeAux2](cfg.TempDir, fmt.Sprintf("bucket%d", i), gio.EdgeAux2Codec{}, cfg.Stats)
 		if err != nil {
+			removeSpools(buckets)
 			return nil, err
 		}
 		buckets[i] = sp
@@ -321,6 +361,10 @@ func bucketByPart(cur *gio.Spool[gio.EdgeAux2], nParts int, partOf []int32, cfg 
 		for i := range writers {
 			w, err := buckets[lo+i].Create()
 			if err != nil {
+				for _, open := range writers[:i] {
+					open.Close()
+				}
+				removeSpools(buckets)
 				return nil, err
 			}
 			writers[i] = w
@@ -346,6 +390,7 @@ func bucketByPart(cur *gio.Spool[gio.EdgeAux2], nParts int, partOf []int32, cfg 
 			}
 		}
 		if err != nil {
+			removeSpools(buckets)
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package embu
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestLowerBoundInvariants(t *testing.T) {
 	}
 	cw := &classWriter{w: cwr, sizes: map[int32]int64{}}
 	var trace Trace
-	gnew, err := LowerBound(input, g.NumVertices(), cfg, cw, &trace)
+	gnew, err := LowerBound(context.Background(), input, g.NumVertices(), cfg, cw, &trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestExactSupportsMatchesInMemory(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatal(err)
 		}
-		sups, err := ExactSupports(h, g.NumVertices(), Config{Budget: 48, Seed: int64(trial), TempDir: dir})
+		sups, err := ExactSupports(context.Background(), h, g.NumVertices(), Config{Budget: 48, Seed: int64(trial), TempDir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}

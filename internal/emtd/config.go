@@ -46,6 +46,11 @@ type Config struct {
 	// smallest k whose candidate fits in memory and decomposes it in one
 	// in-memory pass. Used by the ablation benchmarks.
 	DisableKInit bool
+	// OnRound, if non-nil, is invoked at the start of every top-down
+	// candidate round (and once when the kinit shortcut fires) with the
+	// class level k being attempted. It runs on the decomposing goroutine
+	// and must be cheap.
+	OnRound func(k int32)
 }
 
 func (c Config) withDefaults() Config {

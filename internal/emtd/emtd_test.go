@@ -1,6 +1,7 @@
 package emtd
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ import (
 func checkTopDown(t *testing.T, g *graph.Graph, cfg Config) *Result {
 	t.Helper()
 	cfg.TempDir = t.TempDir()
-	res, err := DecomposeGraph(g, cfg)
+	res, err := DecomposeGraph(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatalf("top-down decompose: %v", err)
 	}

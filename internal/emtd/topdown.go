@@ -1,6 +1,7 @@
 package emtd
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -17,8 +18,11 @@ import (
 // (Algorithm 7) over a disk-resident edge stream: preparation via
 // Algorithm 3 (exact supports, 2-class removed), UpperBounding, then per-k
 // candidate rounds from kmax downward until the top-t classes are known
-// (or every edge is classified when cfg.TopT == 0).
-func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error) {
+// (or every edge is classified when cfg.TopT == 0). The context is checked
+// between preparation iterations, candidate rounds, and Procedure 10
+// passes; on cancellation the returned error is ctx.Err() and all result
+// spools are removed.
+func Decompose(ctx context.Context, input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if n <= 0 {
 		maxV := int64(-1)
@@ -50,15 +54,19 @@ func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error
 		res.ClassSizes[k]++
 		return cwr.Write(gio.EdgeAux{U: u, V: v, Aux: k})
 	}
+	fail := func(err error) (*Result, error) {
+		cwr.Close()
+		classes.Remove()
+		return nil, err
+	}
 
 	// Stage 1 (Algorithm 7, Step 1): Algorithm 3 computing sup(e); the
 	// 2-class is established here as a byproduct.
-	gnew2, lbTrace, err := embu.Prepare(input, n, cfg.embu(), func(u, v uint32) error {
+	gnew2, lbTrace, err := embu.Prepare(ctx, input, n, cfg.embu(), func(u, v uint32) error {
 		return emit(u, v, 2)
 	})
 	if err != nil {
-		cwr.Close()
-		return nil, err
+		return fail(err)
 	}
 	res.Trace.LBIterations = lbTrace.LBIterations
 
@@ -66,24 +74,23 @@ func Decompose(input *gio.Spool[gio.EdgeRec], n int, cfg Config) (*Result, error
 	gnew, err := upperBound(gnew2, cfg)
 	gnew2.Remove()
 	if err != nil {
-		cwr.Close()
-		return nil, err
+		return fail(err)
 	}
 	defer gnew.Remove()
 
 	// Stage 3: top-down rounds.
-	if err := topDownRounds(gnew, n, cfg, res, emit); err != nil {
-		cwr.Close()
-		return nil, err
+	if err := topDownRounds(ctx, gnew, n, cfg, res, emit); err != nil {
+		return fail(err)
 	}
 	if err := cwr.Close(); err != nil {
+		classes.Remove()
 		return nil, err
 	}
 	return res, nil
 }
 
 // DecomposeGraph spools g's edges and runs Decompose (test/bench helper).
-func DecomposeGraph(g *graph.Graph, cfg Config) (*Result, error) {
+func DecomposeGraph(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	sp, err := gio.NewSpool[gio.EdgeRec](cfg.TempDir, "tdinput", gio.EdgeCodec{}, cfg.Stats)
 	if err != nil {
@@ -103,7 +110,7 @@ func DecomposeGraph(g *graph.Graph, cfg Config) (*Result, error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return Decompose(sp, g.NumVertices(), cfg)
+	return Decompose(ctx, sp, g.NumVertices(), cfg)
 }
 
 // roundScan is the per-round bookkeeping collected in one pass over the
@@ -128,7 +135,7 @@ func scanResidual(gnew *gio.Spool[gio.EdgeRec5]) (roundScan, error) {
 	return rs, err
 }
 
-func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result, emit func(u, v uint32, k int32) error) error {
+func topDownRounds(ctx context.Context, gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result, emit func(u, v uint32, k int32) error) error {
 	var kmaxSeen int32
 
 	stopK := func() int32 {
@@ -151,7 +158,7 @@ func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 	// in memory and decompose that candidate in one in-memory pass,
 	// classifying every edge with truss number >= kinit at once.
 	if !cfg.DisableKInit {
-		done, err := kinitShortcut(gnew, n, cfg, res, emit, &kmaxSeen, &k)
+		done, err := kinitShortcut(ctx, gnew, n, cfg, res, emit, &kmaxSeen, &k)
 		if err != nil {
 			return err
 		}
@@ -161,6 +168,9 @@ func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 	}
 
 	for k > stopK() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rs, err := scanResidual(gnew)
 		if err != nil {
 			return err
@@ -175,6 +185,9 @@ func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 			break
 		}
 		res.Trace.Rounds++
+		if cfg.OnRound != nil {
+			cfg.OnRound(k)
+		}
 
 		// U_k: endpoints of unclassified edges whose bound admits class k.
 		uk := graph.NewVertexSet(n)
@@ -223,6 +236,7 @@ func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 		if err != nil {
 			if spillW != nil {
 				spillW.Close()
+				spill.Remove()
 			}
 			return err
 		}
@@ -230,10 +244,11 @@ func topDownRounds(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 		var phiK []graph.Edge
 		if spillW != nil {
 			if err := spillW.Close(); err != nil {
+				spill.Remove()
 				return err
 			}
 			res.Trace.OversizeRounds++
-			phiK, err = procedure10(spill, n, k, cfg, &res.Trace)
+			phiK, err = procedure10(ctx, spill, n, k, cfg, &res.Trace)
 			spill.Remove()
 			if err != nil {
 				return err
@@ -328,7 +343,7 @@ func procedure8(recs []gio.EdgeRec5, k int32) []graph.Edge {
 // with the partitioned accumulation of embu.ExactSupports, removes the
 // candidates below the threshold, and stops when none remain; the
 // surviving candidates are Phi_k.
-func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *Trace) ([]graph.Edge, error) {
+func procedure10(ctx context.Context, h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *Trace) ([]graph.Edge, error) {
 	// E: the eligible subgraph, annotated with candidacy (A=1 candidate,
 	// A=0 classified), kept sorted by edge key so support joins stream.
 	sorter := extsort.NewSorter[gio.EdgeAux2](gio.EdgeAux2Codec{}, func(a, b gio.EdgeAux2) bool {
@@ -337,6 +352,7 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 		}
 		return a.V < b.V
 	}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+	defer sorter.Discard() // no-op once Sort hands runs to the iterator
 	err := h.ForEach(func(r gio.EdgeRec5) error {
 		switch {
 		case r.Classified():
@@ -372,14 +388,17 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 	}
 
 	for pass := 0; ; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		trace.Proc10Passes++
 		// One partitioned local peel collapses within-part cascades (the
 		// paper's Procedure 10 pass); the exact-support certification then
 		// removes every cross-part straggler and decides termination.
-		if _, err := localPeelPass10(elig, n, k, cfg, cfg.Seed+int64(pass)); err != nil {
+		if _, err := localPeelPass10(ctx, elig, n, k, cfg, cfg.Seed+int64(pass)); err != nil {
 			return nil, err
 		}
-		sups, err := embu.ExactSupports(elig, n, cfg.embu())
+		sups, err := embu.ExactSupports(ctx, elig, n, cfg.embu())
 		if err != nil {
 			return nil, err
 		}
@@ -390,6 +409,7 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 			}
 			return a.V < b.V
 		}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+		defer supSorter.Discard()
 		if err := sups.ForEach(func(r gio.EdgeAux) error { return supSorter.Push(r) }); err != nil {
 			sups.Remove()
 			return nil, err
@@ -409,12 +429,14 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 		}
 		nw, err := next.Create()
 		if err != nil {
+			next.Remove()
 			supIt.Close()
 			return nil, err
 		}
 		er, err := elig.Open()
 		if err != nil {
 			nw.Close()
+			next.Remove()
 			supIt.Close()
 			return nil, err
 		}
@@ -452,9 +474,11 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 		supIt.Close()
 		if joinErr != nil {
 			nw.Close()
+			next.Remove()
 			return nil, joinErr
 		}
 		if err := nw.Close(); err != nil {
+			next.Remove()
 			return nil, err
 		}
 		if err := elig.ReplaceWith(next); err != nil {
@@ -484,7 +508,7 @@ func procedure10(h *gio.Spool[gio.EdgeRec5], n int, k int32, cfg Config, trace *
 // subgraph falls below k-2 are removed from the eligible set (they are
 // provably outside T_k). Returns the number removed. The eligible spool's
 // key order is preserved.
-func localPeelPass10(elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, seed int64) (int, error) {
+func localPeelPass10(ctx context.Context, elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, seed int64) (int, error) {
 	deg := make([]int32, n)
 	if err := elig.ForEach(func(r gio.EdgeAux2) error {
 		deg[r.U]++
@@ -512,6 +536,15 @@ func localPeelPass10(elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, 
 
 	// Bucket eligible edges by incident part (single scan, two writes max).
 	buckets := make([]*gio.Spool[gio.EdgeAux2], len(parts))
+	defer func() {
+		// No-op on success (each bucket is removed as it is consumed);
+		// cleanup when an error or cancellation aborts the pass early.
+		for _, b := range buckets {
+			if b != nil {
+				b.Remove()
+			}
+		}
+	}()
 	writers := make([]*gio.SpoolWriter[gio.EdgeAux2], len(parts))
 	const wave = 256
 	for lo := 0; lo < len(parts); lo += wave {
@@ -557,6 +590,9 @@ func localPeelPass10(elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, 
 
 	removed := map[uint64]bool{}
 	for pi := range parts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		recs, err := buckets[pi].ReadAll()
 		if err != nil {
 			return 0, err
@@ -603,6 +639,7 @@ func localPeelPass10(elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, 
 	}
 	nw, err := next.Create()
 	if err != nil {
+		next.Remove()
 		return 0, err
 	}
 	err = elig.ForEach(func(r gio.EdgeAux2) error {
@@ -613,9 +650,11 @@ func localPeelPass10(elig *gio.Spool[gio.EdgeAux2], n int, k int32, cfg Config, 
 	})
 	if err != nil {
 		nw.Close()
+		next.Remove()
 		return 0, err
 	}
 	if err := nw.Close(); err != nil {
+		next.Remove()
 		return 0, err
 	}
 	if err := elig.ReplaceWith(next); err != nil {
@@ -723,7 +762,7 @@ func pruneClassified(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, trace *Tr
 //
 // Returns done=true when the classes required by cfg.TopT are fully
 // covered. On partial coverage, *k is set to kinit-1 for the main loop.
-func kinitShortcut(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result, emit func(u, v uint32, k int32) error, kmaxSeen *int32, k *int32) (bool, error) {
+func kinitShortcut(ctx context.Context, gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result, emit func(u, v uint32, k int32) error, kmaxSeen *int32, k *int32) (bool, error) {
 	// Per-vertex aggregates: degree and max psi over unclassified edges.
 	deg := make([]int32, n)
 	maxPsi := make([]int32, n)
@@ -770,6 +809,9 @@ func kinitShortcut(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 	res.Trace.KInitUsed = true
 	res.Trace.KInit = kinit
 	*k = kinit - 1
+	if cfg.OnRound != nil {
+		cfg.OnRound(kinit)
+	}
 
 	// Extract and decompose the candidate in memory.
 	var recs []gio.EdgeRec5
@@ -789,7 +831,10 @@ func kinitShortcut(gnew *gio.Spool[gio.EdgeRec5], n int, cfg Config, res *Result
 		edges[i] = graph.Edge{U: r.U, V: r.V}
 	}
 	sg := graph.FromEdges(edges)
-	local := core.Decompose(sg)
+	local, err := core.DecomposeCtx(ctx, sg, core.Hooks{})
+	if err != nil {
+		return false, err
+	}
 
 	if local.KMax < kinit {
 		// No class at or above kinit exists; the loop continues below.

@@ -30,6 +30,7 @@ func upperBound(gnew *gio.Spool[gio.EdgeAux2], cfg Config) (*gio.Spool[gio.EdgeR
 		}
 		return a.V < b.V
 	}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+	defer byVertex.Discard() // no-op once Sort hands runs to the iterator
 	err := gnew.ForEach(func(r gio.EdgeAux2) error {
 		if err := byVertex.Push(gio.EdgeAux2{U: r.U, V: r.V, A: r.B}); err != nil {
 			return err
@@ -52,6 +53,7 @@ func upperBound(gnew *gio.Spool[gio.EdgeAux2], cfg Config) (*gio.Spool[gio.EdgeR
 		}
 		return a.V < b.V
 	}, extsort.Config{Budget: int(cfg.Budget), Dir: cfg.TempDir, Stats: cfg.Stats})
+	defer byEdge.Discard() // no-op once Sort hands runs to the iterator
 
 	var group []gio.EdgeAux2
 	flush := func() error {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -33,6 +34,17 @@ type Options struct {
 	// MRDatasets lists dataset names TD-MR runs on (default P2P and HEP,
 	// as in the paper — the larger sets are reported as "-" there too).
 	MRDatasets []string
+	// Ctx, when non-nil, bounds the run: cancelling it aborts the
+	// external decompositions at their next partition round (cmd/
+	// experiments wires SIGINT here).
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) datasets() []gen.Dataset {
@@ -231,7 +243,7 @@ func Table4(o Options) error {
 		var st gio.Stats
 		cfg := embu.Config{Budget: budgetFor(g), Seed: 1, TempDir: o.TempDir, Stats: &st}
 		start := time.Now()
-		res, err := embu.DecomposeGraph(g, cfg)
+		res, err := embu.DecomposeGraph(o.ctx(), g, cfg)
 		if err != nil {
 			return fmt.Errorf("table 4: %s bottom-up: %w", name, err)
 		}
@@ -288,7 +300,7 @@ func Table5(o Options) error {
 		run := func(topT int) (time.Duration, int32, error) {
 			cfg := emtd.Config{TopT: topT, Budget: budget, Seed: 1, TempDir: o.TempDir}
 			start := time.Now()
-			res, err := emtd.DecomposeGraph(g, cfg)
+			res, err := emtd.DecomposeGraph(o.ctx(), g, cfg)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -311,7 +323,7 @@ func Table5(o Options) error {
 
 		cfgBU := embu.Config{Budget: budget, Seed: 1, TempDir: o.TempDir}
 		start := time.Now()
-		bres, err := embu.DecomposeGraph(g, cfgBU)
+		bres, err := embu.DecomposeGraph(o.ctx(), g, cfgBU)
 		if err != nil {
 			return fmt.Errorf("table 5: %s bottomup: %w", name, err)
 		}

@@ -97,6 +97,19 @@ func (s *Sorter[T]) spill() error {
 	return nil
 }
 
+// Discard drops buffered records and deletes any spilled run files. It is
+// the abort path for a sorter that will never reach Sort (an error or a
+// cancelled context mid-Push); after a successful Sort the runs belong to
+// the iterator and Discard is a no-op, so `defer sorter.Discard()` is
+// always safe.
+func (s *Sorter[T]) Discard() {
+	s.buf = nil
+	for _, p := range s.runs {
+		os.Remove(p)
+	}
+	s.runs = nil
+}
+
 // mergeItem is a heap entry: the head record of one run.
 type mergeItem[T any] struct {
 	rec T

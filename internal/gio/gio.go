@@ -335,14 +335,14 @@ func (r *Reader[T]) Close() error {
 	return nil
 }
 
-// ReadTextEdges parses a whitespace-separated edge list (the SNAP dataset
+// ScanTextEdges streams a whitespace-separated edge list (the SNAP dataset
 // format): one "u v" pair per line, lines beginning with '#' or '%' are
-// comments. Self-loops are dropped; duplicates are kept (the graph builder
-// deduplicates).
-func ReadTextEdges(r io.Reader) ([]graph.Edge, error) {
+// comments. Each canonical edge is passed to fn as it is parsed — nothing
+// is accumulated, so arbitrarily large files scan in O(1) memory.
+// Self-loops are dropped; duplicates are kept (callers deduplicate).
+func ScanTextEdges(r io.Reader, fn func(graph.Edge) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []graph.Edge
 	line := 0
 	for sc.Scan() {
 		line++
@@ -352,29 +352,45 @@ func ReadTextEdges(r io.Reader) ([]graph.Edge, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("gio: line %d: expected two vertex IDs, got %q", line, text)
+			return fmt.Errorf("gio: line %d: expected two vertex IDs, got %q", line, text)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+			return fmt.Errorf("gio: line %d: %v", line, err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+			return fmt.Errorf("gio: line %d: %v", line, err)
 		}
 		if err := graph.CheckVertexRange(u); err != nil {
-			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+			return fmt.Errorf("gio: line %d: %v", line, err)
 		}
 		if err := graph.CheckVertexRange(v); err != nil {
-			return nil, fmt.Errorf("gio: line %d: %v", line, err)
+			return fmt.Errorf("gio: line %d: %v", line, err)
 		}
 		if u == v {
 			continue
 		}
-		edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)}.Canon())
+		if err := fn(graph.Edge{U: uint32(u), V: uint32(v)}.Canon()); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("gio: scan: %v", err)
+		return fmt.Errorf("gio: scan: %v", err)
+	}
+	return nil
+}
+
+// ReadTextEdges parses a SNAP edge list into memory; see ScanTextEdges for
+// the format (and for the streaming variant the external pipelines use).
+func ReadTextEdges(r io.Reader) ([]graph.Edge, error) {
+	var edges []graph.Edge
+	err := ScanTextEdges(r, func(e graph.Edge) error {
+		edges = append(edges, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return edges, nil
 }

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+
 	"repro/internal/graph"
 )
 
@@ -38,6 +40,15 @@ type Result struct {
 
 // TrussDecompose runs the full TD-MR decomposition of g.
 func TrussDecompose(g *graph.Graph) *Result {
+	r, _ := TrussDecomposeCtx(context.Background(), g, nil)
+	return r
+}
+
+// TrussDecomposeCtx is TrussDecompose with cancellation and observation:
+// the context is checked between fixpoint passes (each pass is one batch of
+// simulated MapReduce rounds), and onLevel (if non-nil) sees each truss
+// level k whose fixpoint starts. The only possible error is ctx.Err().
+func TrussDecomposeCtx(ctx context.Context, g *graph.Graph, onLevel func(k int32)) (*Result, error) {
 	res := &Result{Phi: make(map[uint64]int32, g.NumEdges())}
 	edges := append([]graph.Edge(nil), g.Edges()...)
 	for _, e := range edges {
@@ -45,8 +56,18 @@ func TrussDecompose(g *graph.Graph) *Result {
 	}
 	k := int32(3)
 	for len(edges) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if onLevel != nil {
+			onLevel(k)
+		}
 		var dropped []graph.Edge
-		edges, dropped = trussFixpoint(&res.Counters, edges, k)
+		var err error
+		edges, dropped, err = trussFixpoint(ctx, &res.Counters, edges, k)
+		if err != nil {
+			return nil, err
+		}
 		for _, e := range dropped {
 			res.Phi[e.Key()] = k - 1
 			if k-1 > res.KMax {
@@ -59,7 +80,7 @@ func TrussDecompose(g *graph.Graph) *Result {
 			k++
 		}
 	}
-	return res
+	return res, nil
 }
 
 // KTruss computes the k-truss edge set of g with the MR pipeline alone.
@@ -67,15 +88,19 @@ func KTruss(g *graph.Graph, k int32) ([]graph.Edge, Counters) {
 	var c Counters
 	edges := append([]graph.Edge(nil), g.Edges()...)
 	for kk := int32(3); kk <= k; kk++ {
-		edges, _ = trussFixpoint(&c, edges, kk)
+		edges, _, _ = trussFixpoint(context.Background(), &c, edges, kk)
 	}
 	return edges, c
 }
 
 // trussFixpoint repeatedly drops edges with fewer than k-2 triangles until
-// stable, returning the surviving and dropped edges.
-func trussFixpoint(c *Counters, edges []graph.Edge, k int32) (kept, dropped []graph.Edge) {
+// stable, returning the surviving and dropped edges. The context is checked
+// before each pass; on cancellation the error is ctx.Err().
+func trussFixpoint(ctx context.Context, c *Counters, edges []graph.Edge, k int32) (kept, dropped []graph.Edge, err error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		counts := triangleCounts(c, edges)
 		var drop []graph.Edge
 		var keep []graph.Edge
@@ -112,7 +137,7 @@ func trussFixpoint(c *Counters, edges []graph.Edge, k int32) (kept, dropped []gr
 		dropped = append(dropped, drop...)
 		edges = keep
 		if len(drop) == 0 {
-			return edges, dropped
+			return edges, dropped, nil
 		}
 	}
 }

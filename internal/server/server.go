@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -116,14 +117,48 @@ type Server struct {
 
 	// nextSeq hands out per-name build sequence numbers (guarded by mu).
 	nextSeq map[string]int
+
+	// baseCtx is the lifecycle context every decomposition runs under;
+	// Shutdown cancels it, which aborts in-flight builds promptly at their
+	// next peeling checkpoint. builds tracks background build goroutines;
+	// down (guarded by mu) refuses new ones once Shutdown has begun, so
+	// builds.Add never races builds.Wait.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	builds  sync.WaitGroup
+	down    bool
 }
 
 // New returns an empty Server.
 func New(opts Options) *Server {
-	s := &Server{opts: opts, nextSeq: map[string]int{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{opts: opts, nextSeq: map[string]int{}, baseCtx: ctx, stop: cancel}
 	empty := map[string]*Entry{}
 	s.snap.Store(&empty)
 	return s
+}
+
+// Shutdown cancels every in-flight background build and waits for the
+// build goroutines to exit, bounded by ctx. The registry stays readable —
+// resident indexes keep answering queries — but no new decomposition will
+// complete after Shutdown returns: later BuildAsync calls are refused.
+// Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.down = true
+	s.mu.Unlock()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.builds.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -138,6 +173,20 @@ func (s *Server) beginBuild(name string) int {
 	defer s.mu.Unlock()
 	s.nextSeq[name]++
 	return s.nextSeq[name]
+}
+
+// beginAsyncBuild additionally claims a WaitGroup slot for a background
+// build, refusing (ok == false) once Shutdown has begun. Claiming the slot
+// under mu orders every Add before Shutdown's Wait.
+func (s *Server) beginAsyncBuild(name string) (seq int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return 0, false
+	}
+	s.nextSeq[name]++
+	s.builds.Add(1)
+	return s.nextSeq[name], true
 }
 
 // install publishes e under its name with seq-guarded, epoch-consistent
@@ -214,7 +263,15 @@ func (s *Server) Build(name string, g *graph.Graph, source string) *Entry {
 
 func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Entry {
 	start := time.Now()
-	res := core.DecomposeParallel(g, s.opts.Workers)
+	res, err := core.DecomposeParallelCtx(s.baseCtx, g, s.opts.Workers, core.Hooks{})
+	if err != nil {
+		// The lifecycle context was canceled (Shutdown): record the abort
+		// without clobbering a previously resident index.
+		e := &Entry{Name: name, State: StateFailed, Err: "build aborted: " + err.Error(), Source: source}
+		s.install(name, e, seq)
+		s.logf("graph %q build aborted: %v", name, err)
+		return e
+	}
 	ix := index.Build(res)
 	e := &Entry{
 		Name:      name,
@@ -237,9 +294,16 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 // previous index, if any, so queries keep working during a rebuild) and
 // runs the build in a background goroutine.
 func (s *Server) BuildAsync(name string, g *graph.Graph, source string) {
-	seq := s.beginBuild(name)
+	seq, ok := s.beginAsyncBuild(name)
+	if !ok {
+		// Shutting down: leave the registry as is (a resident index keeps
+		// serving) rather than spawn a build that cannot complete.
+		s.logf("graph %q build refused: server shutting down", name)
+		return
+	}
 	s.install(name, &Entry{Name: name, State: StateBuilding, Source: source}, seq)
 	go func() {
+		defer s.builds.Done()
 		defer func() {
 			// A panicking build must not take the whole server down;
 			// surface it as a failed entry (which install lets keep

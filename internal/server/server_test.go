@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -409,5 +410,52 @@ func TestLoadHardening(t *testing.T) {
 	resp.Body.Close()
 	if !bytes.Contains(body, []byte("file not found")) {
 		t.Fatalf("missing file error = %s", body)
+	}
+}
+
+// TestShutdownCancelsBuilds: Shutdown must cancel in-flight background
+// decompositions through the lifecycle context and return once their
+// goroutines exit; already-resident indexes keep serving.
+func TestShutdownCancelsBuilds(t *testing.T) {
+	s := New(Options{Workers: 2, Logf: t.Logf})
+	s.Build("ready", gen.PaperExample(), "v1")
+
+	// A stream of rebuilds large enough that some are in flight when
+	// Shutdown fires.
+	big := gen.Community(40, 18, 0.6, 2.0, 7)
+	for i := 0; i < 4; i++ {
+		s.BuildAsync("big", big, "test")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	t.Logf("shutdown took %s", time.Since(start))
+
+	// The resident index still answers queries.
+	e, ok := s.Lookup("ready")
+	if !ok || e.Index == nil {
+		t.Fatal("resident index lost after shutdown")
+	}
+	if k, found := e.Index.TrussNumber(0, 1); !found || k != 5 {
+		t.Fatalf("query after shutdown: %d %v", k, found)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// No decomposition may complete after Shutdown: a fresh build under
+	// the canceled lifecycle context must record an aborted entry.
+	e2 := s.Build("late", gen.PaperExample(), "v2")
+	if e2.State != StateFailed {
+		t.Fatalf("post-shutdown build state = %s, want failed", e2.State)
+	}
+	// A background build after Shutdown is refused outright (no WaitGroup
+	// Add racing Wait, no registry churn).
+	s.BuildAsync("refused", gen.PaperExample(), "v3")
+	if _, ok := s.Lookup("refused"); ok {
+		t.Fatal("post-shutdown BuildAsync registered an entry")
 	}
 }

@@ -1,0 +1,139 @@
+package truss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/embu"
+	"repro/internal/emtd"
+	"repro/internal/mapreduce"
+)
+
+// Run computes the truss decomposition of src with the engine selected by
+// opts (EngineInMem when none is given) and returns the result behind the
+// common Decomposition interface. It is the single entry point to all five
+// of the paper's algorithms plus the parallel extension:
+//
+//	d, err := truss.Run(ctx, truss.FromFile("lj.txt"),
+//	    truss.WithEngine(truss.EngineBottomUp),
+//	    truss.WithBudget(1<<24))
+//	defer d.Close()
+//
+// The context is honored throughout: peeling levels in the in-memory
+// engines, partition rounds and spool passes in the external engines, and
+// fixpoint passes in the MapReduce engine all poll it, so cancellation and
+// deadlines abort a run promptly with ctx.Err(). WithProgress observes the
+// run; WithStats accounts its disk traffic.
+func Run(ctx context.Context, src Source, opts ...Option) (Decomposition, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if src == nil {
+		return nil, errors.New("truss: Run requires a non-nil Source")
+	}
+	var cfg runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	runner, ok := engines[cfg.engine]
+	if !ok {
+		return nil, fmt.Errorf("truss: unknown engine %v", cfg.engine)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg.emit(StageLoad, 0)
+	d, err := runner(ctx, src, &cfg)
+	if err != nil {
+		return nil, fmt.Errorf("truss: %v engine on %s: %w", cfg.engine, src.describe(), err)
+	}
+	cfg.emit(StageDone, d.KMax())
+	return d, nil
+}
+
+// engineRunner is one pluggable decomposition engine: it consumes the
+// source the way it prefers (materialize or stream) and returns the
+// adapted result.
+type engineRunner func(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error)
+
+// engines is the registry Run dispatches on. Each of the paper's
+// algorithms is one entry; engine choice is a tuning knob, not a separate
+// API.
+var engines = map[Engine]engineRunner{
+	EngineInMem:     runInMemory(EngineInMem),
+	EngineBaseline:  runInMemory(EngineBaseline),
+	EngineParallel:  runInMemory(EngineParallel),
+	EngineBottomUp:  runBottomUp,
+	EngineTopDown:   runTopDown,
+	EngineMapReduce: runMapReduce,
+}
+
+// runInMemory builds the runner for the three in-memory peelers.
+func runInMemory(eng Engine) engineRunner {
+	return func(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error) {
+		g, err := src.load(ctx, cfg.stats)
+		if err != nil {
+			return nil, err
+		}
+		cfg.emit(StageDecompose, 0)
+		hooks := core.Hooks{OnLevel: cfg.levelHook()}
+		var res *core.Result
+		switch eng {
+		case EngineBaseline:
+			res, err = core.DecomposeBaselineCtx(ctx, g, hooks)
+		case EngineParallel:
+			res, err = core.DecomposeParallelCtx(ctx, g, cfg.workers, hooks)
+		default:
+			res, err = core.DecomposeCtx(ctx, g, hooks)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &inmemDecomposition{eng: eng, res: res}, nil
+	}
+}
+
+func runBottomUp(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error) {
+	sp, n, err := src.stream(ctx, cfg.tempDir, cfg.budget, cfg.stats)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Remove()
+	cfg.emit(StageDecompose, 0)
+	res, err := embu.Decompose(ctx, sp, n, cfg.embuConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &bottomUpDecomposition{res: res}, nil
+}
+
+func runTopDown(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error) {
+	sp, n, err := src.stream(ctx, cfg.tempDir, cfg.budget, cfg.stats)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Remove()
+	cfg.emit(StageDecompose, 0)
+	res, err := emtd.Decompose(ctx, sp, n, cfg.emtdConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &topDownDecomposition{res: res}, nil
+}
+
+func runMapReduce(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error) {
+	g, err := src.load(ctx, cfg.stats)
+	if err != nil {
+		return nil, err
+	}
+	cfg.emit(StageDecompose, 0)
+	res, err := mapreduce.TrussDecomposeCtx(ctx, g, cfg.levelHook())
+	if err != nil {
+		return nil, err
+	}
+	return &mapReduceDecomposition{res: res, n: g.NumVertices()}, nil
+}

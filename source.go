@@ -1,0 +1,239 @@
+package truss
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/extsort"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// Source abstracts where Run reads its graph from: an in-memory *Graph
+// (FromGraph), a SNAP-text or binary edge file (FromFile), or an io.Reader
+// of SNAP text (FromReader). In-memory engines materialize the source as a
+// Graph; external engines stream it into a canonical on-disk edge spool
+// without ever building the graph in memory.
+type Source interface {
+	// describe names the origin for logs and errors.
+	describe() string
+	// load materializes the source as an in-memory graph.
+	load(ctx context.Context, st *gio.Stats) (*Graph, error)
+	// stream spools the source's edges to disk, canonicalized (U < V,
+	// self-loops dropped) and deduplicated, returning the spool and the
+	// vertex-ID space n. The caller owns the spool.
+	stream(ctx context.Context, tempDir string, budget int64, st *gio.Stats) (*gio.Spool[gio.EdgeRec], int, error)
+}
+
+// FromGraph wraps an in-memory graph as a Source.
+func FromGraph(g *Graph) Source { return graphSource{g} }
+
+// FromFile names a graph file as a Source: SNAP text, or a binary EdgeRec
+// stream when the path ends in ".bin". External engines stream the file
+// straight to their input spool — the graph is never materialized in
+// memory, whatever its size; canonicalization and deduplication happen
+// out of core via an external sort bounded by the run's memory budget.
+func FromFile(path string) Source { return fileSource{path} }
+
+// FromReader wraps a SNAP-text edge stream as a Source. The reader is
+// consumed by the Run that uses it, so a Source built from a plain
+// io.Reader is good for exactly one Run.
+func FromReader(r io.Reader) Source { return &readerSource{r: r} }
+
+// graphSource serves an already-built in-memory graph.
+type graphSource struct{ g *Graph }
+
+func (s graphSource) describe() string { return "in-memory graph" }
+
+func (s graphSource) load(ctx context.Context, st *gio.Stats) (*Graph, error) {
+	return s.g, nil
+}
+
+func (s graphSource) stream(ctx context.Context, tempDir string, budget int64, st *gio.Stats) (*gio.Spool[gio.EdgeRec], int, error) {
+	// CSR edges are already canonical and deduplicated; spool them
+	// directly so the external engines honestly exercise their disk paths.
+	sp, err := gio.NewSpool[gio.EdgeRec](tempDir, "input", gio.EdgeCodec{}, st)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := sp.Create()
+	if err != nil {
+		sp.Remove()
+		return nil, 0, err
+	}
+	for i, e := range s.g.Edges() {
+		if i&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				w.Close()
+				sp.Remove()
+				return nil, 0, err
+			}
+		}
+		if err := w.Write(gio.EdgeRec{U: e.U, V: e.V}); err != nil {
+			w.Close()
+			sp.Remove()
+			return nil, 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		sp.Remove()
+		return nil, 0, err
+	}
+	return sp, s.g.NumVertices(), nil
+}
+
+// fileSource reads a graph file lazily.
+type fileSource struct{ path string }
+
+func (s fileSource) describe() string { return s.path }
+
+func (s fileSource) load(ctx context.Context, st *gio.Stats) (*Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return gio.LoadGraph(s.path, st)
+}
+
+func (s fileSource) stream(ctx context.Context, tempDir string, budget int64, st *gio.Stats) (*gio.Spool[gio.EdgeRec], int, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(s.path, ".bin") {
+		rd := gio.NewReader[gio.EdgeRec](f, gio.EdgeCodec{}, st)
+		return spoolEdges(ctx, func(fn func(graph.Edge) error) error {
+			return rd.ForEach(func(r gio.EdgeRec) error {
+				return fn(graph.Edge{U: r.U, V: r.V})
+			})
+		}, tempDir, budget, st)
+	}
+	return spoolEdges(ctx, func(fn func(graph.Edge) error) error {
+		return gio.ScanTextEdges(f, fn)
+	}, tempDir, budget, st)
+}
+
+// readerSource parses SNAP text from an arbitrary reader, once.
+type readerSource struct {
+	r    io.Reader
+	used bool
+}
+
+func (s *readerSource) describe() string { return "reader" }
+
+func (s *readerSource) consume() error {
+	if s.used {
+		return errReaderReused
+	}
+	s.used = true
+	return nil
+}
+
+var errReaderReused = errors.New("a FromReader source can back only one Run (the reader is consumed)")
+
+func (s *readerSource) load(ctx context.Context, st *gio.Stats) (*Graph, error) {
+	if err := s.consume(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	edges, err := gio.ReadTextEdges(s.r)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(edges), nil
+}
+
+func (s *readerSource) stream(ctx context.Context, tempDir string, budget int64, st *gio.Stats) (*gio.Spool[gio.EdgeRec], int, error) {
+	if err := s.consume(); err != nil {
+		return nil, 0, err
+	}
+	return spoolEdges(ctx, func(fn func(graph.Edge) error) error {
+		return gio.ScanTextEdges(s.r, fn)
+	}, tempDir, budget, st)
+}
+
+// spoolEdges streams edges into a canonical, deduplicated on-disk spool
+// without materializing the graph: edges are canonicalized on the fly
+// (U < V, self-loops dropped), external-sorted by endpoint pair under the
+// memory budget, and adjacent duplicates are dropped during the merge.
+// Peak memory is the sort buffer (budget records), independent of graph
+// size. Returns the spool — sorted by (U, V), which the external engines
+// accept as one valid canonical order — and the vertex-ID space n.
+func spoolEdges(ctx context.Context, scan func(func(graph.Edge) error) error, tempDir string, budget int64, st *gio.Stats) (*gio.Spool[gio.EdgeRec], int, error) {
+	recBudget := int(budget)
+	if recBudget <= 0 {
+		recBudget = 1 << 20
+	}
+	sorter := extsort.NewSorter[gio.EdgeRec](gio.EdgeCodec{}, func(a, b gio.EdgeRec) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	}, extsort.Config{Budget: recBudget, Dir: tempDir, Stats: st})
+	// A scan error or cancellation before Sort would otherwise orphan the
+	// sorter's spilled run files (after Sort this is a no-op: the iterator
+	// owns and deletes them).
+	defer sorter.Discard()
+
+	maxID := int64(-1)
+	count := 0
+	err := scan(func(e graph.Edge) error {
+		if count&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		count++
+		e = e.Canon()
+		if e.U == e.V {
+			return nil
+		}
+		if int64(e.V) > maxID {
+			maxID = int64(e.V)
+		}
+		return sorter.Push(gio.EdgeRec{U: e.U, V: e.V})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	sp, err := gio.NewSpool[gio.EdgeRec](tempDir, "input", gio.EdgeCodec{}, st)
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := sp.Create()
+	if err != nil {
+		sp.Remove()
+		return nil, 0, err
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		w.Close()
+		sp.Remove()
+		return nil, 0, err
+	}
+	var last gio.EdgeRec
+	have := false
+	err = it.ForEach(func(r gio.EdgeRec) error {
+		if have && r == last {
+			return nil
+		}
+		last, have = r, true
+		return w.Write(r)
+	})
+	if err != nil {
+		w.Close()
+		sp.Remove()
+		return nil, 0, err
+	}
+	if err := w.Close(); err != nil {
+		sp.Remove()
+		return nil, 0, err
+	}
+	return sp, int(maxID) + 1, nil
+}

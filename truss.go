@@ -1,18 +1,18 @@
 // Package truss is the public API of this reproduction of "Truss
 // Decomposition in Massive Networks" (Jia Wang and James Cheng, PVLDB
-// 5(9), 2012). It exposes the paper's four decomposition algorithms behind
-// a small facade:
+// 5(9), 2012). The paper presents one problem — truss decomposition —
+// solved by five interchangeable algorithms, and the API mirrors that:
+// a single entry point,
 //
-//   - Decompose — the improved in-memory algorithm (TD-inmem+, Algorithm
-//     2): O(m^1.5) time, O(m+n) space.
-//   - DecomposeBaseline — Cohen's in-memory algorithm (TD-inmem,
-//     Algorithm 1), kept as the paper's baseline.
-//   - BottomUp — the I/O-efficient bottom-up decomposition (Algorithms
-//     3-4) for graphs larger than memory.
-//   - TopDown — the I/O-efficient top-down computation of the top-t
-//     k-classes (Algorithm 7).
-//   - MapReduceDecompose — Cohen's distributed algorithm (TD-MR) on a
-//     simulated MapReduce cluster, the baseline of Table 4.
+//	d, err := truss.Run(ctx, source, opts...)
+//
+// runs any of the engines (EngineInMem, EngineBaseline, EngineParallel,
+// EngineBottomUp, EngineTopDown, EngineMapReduce — see WithEngine) over
+// any Source (FromGraph, FromFile, FromReader) and returns one
+// Decomposition interface. The context is threaded through every engine's
+// hot loops, so cancellation and deadlines work for in-memory peels and
+// multi-hour external runs alike; WithProgress observes levels and
+// rounds, WithStats accounts disk traffic in the paper's I/O model.
 //
 // Graphs are built with NewBuilder / FromEdges or loaded from SNAP-format
 // text (or binary) files with LoadGraph. Supporting analyses used by the
@@ -24,6 +24,10 @@
 // in O(answer) time, and NewServer exposes a registry of such indexes
 // over HTTP (the `trussd serve` subcommand).
 //
+// The pre-Run facade functions (Decompose, DecomposeBaseline,
+// DecomposeParallel, BottomUp, BottomUpFile, TopDown, TopDownFile,
+// MapReduceDecompose) remain as thin deprecated wrappers over Run.
+//
 // Many exported names here are type aliases for internal packages
 // (Graph = internal/graph.Graph, Result = internal/core.Result, and so
 // on). The aliases are the supported API: internal packages can be
@@ -31,6 +35,7 @@
 package truss
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/community"
@@ -76,22 +81,44 @@ func SaveGraph(path string, g *Graph) error { return gio.SaveGraph(path, g, nil)
 // derived views.
 type Result = core.Result
 
+// mustInMemory unwraps a Run that cannot fail (in-memory engine, inert
+// source, background context); it exists so the deprecated wrappers keep
+// their error-free signatures.
+func mustInMemory(d Decomposition, err error) *Result {
+	if err != nil {
+		panic("truss: " + err.Error())
+	}
+	r, _ := AsInMemory(d)
+	return r
+}
+
 // Decompose computes the truss decomposition of g with the paper's
 // improved in-memory algorithm (TD-inmem+, Algorithm 2).
-func Decompose(g *Graph) *Result { return core.Decompose(g) }
+//
+// Deprecated: use Run with FromGraph(g); EngineInMem is the default.
+func Decompose(g *Graph) *Result {
+	return mustInMemory(Run(context.Background(), FromGraph(g)))
+}
 
 // DecomposeBaseline computes the truss decomposition with Cohen's
 // in-memory algorithm (TD-inmem, Algorithm 1). It produces identical
 // results to Decompose but scans both full adjacency lists per removed
 // edge, which is the bottleneck the paper's Table 3 measures.
-func DecomposeBaseline(g *Graph) *Result { return core.DecomposeBaseline(g) }
+//
+// Deprecated: use Run with WithEngine(EngineBaseline).
+func DecomposeBaseline(g *Graph) *Result {
+	return mustInMemory(Run(context.Background(), FromGraph(g), WithEngine(EngineBaseline)))
+}
 
 // DecomposeParallel computes the truss decomposition with
 // level-synchronized parallel peeling across the given number of workers
 // (0 = GOMAXPROCS) — a multicore extension beyond the paper. Results are
 // identical to Decompose.
+//
+// Deprecated: use Run with WithEngine(EngineParallel) and WithWorkers.
 func DecomposeParallel(g *Graph, workers int) *Result {
-	return core.DecomposeParallel(g, workers)
+	return mustInMemory(Run(context.Background(), FromGraph(g),
+		WithEngine(EngineParallel), WithWorkers(workers)))
 }
 
 // Verify checks a decomposition against the k-truss definition (membership
@@ -125,6 +152,18 @@ type ExternalOptions struct {
 	Stats *IOStats
 }
 
+// options translates the legacy option struct into Run options.
+func (o ExternalOptions) options(engine Engine) []Option {
+	return []Option{
+		WithEngine(engine),
+		WithBudget(o.MemoryBudget),
+		WithPartition(o.Strategy),
+		WithSeed(o.Seed),
+		WithTempDir(o.TempDir),
+		WithStats(o.Stats),
+	}
+}
+
 // IOStats counts disk traffic in the Aggarwal-Vitter model; IOs(B) reports
 // block transfers.
 type IOStats = gio.Stats
@@ -137,31 +176,30 @@ type ExternalResult = embu.Result
 // (Algorithms 3 and 4) on g under the given memory budget. The graph is
 // spooled to disk first, so the run honestly exercises the external-memory
 // code paths regardless of g's size.
+//
+// Deprecated: use Run with WithEngine(EngineBottomUp) and AsBottomUp on
+// the result.
 func BottomUp(g *Graph, opts ExternalOptions) (*ExternalResult, error) {
-	return embu.DecomposeGraph(g, embu.Config{
-		Budget:   opts.MemoryBudget,
-		Strategy: opts.Strategy,
-		Seed:     opts.Seed,
-		TempDir:  opts.TempDir,
-		Stats:    opts.Stats,
-	})
-}
-
-// BottomUpFile decomposes a graph file (SNAP text or .bin) without ever
-// materializing it in memory.
-func BottomUpFile(path string, opts ExternalOptions) (*ExternalResult, error) {
-	sp, n, err := spoolFile(path, opts)
+	d, err := Run(context.Background(), FromGraph(g), opts.options(EngineBottomUp)...)
 	if err != nil {
 		return nil, err
 	}
-	defer sp.Remove()
-	return embu.Decompose(sp, n, embu.Config{
-		Budget:   opts.MemoryBudget,
-		Strategy: opts.Strategy,
-		Seed:     opts.Seed,
-		TempDir:  opts.TempDir,
-		Stats:    opts.Stats,
-	})
+	res, _ := AsBottomUp(d)
+	return res, nil
+}
+
+// BottomUpFile decomposes a graph file (SNAP text or .bin) without ever
+// materializing it in memory: the file streams straight into the engine's
+// input spool, with canonicalization and deduplication done out of core.
+//
+// Deprecated: use Run with FromFile(path) and WithEngine(EngineBottomUp).
+func BottomUpFile(path string, opts ExternalOptions) (*ExternalResult, error) {
+	d, err := Run(context.Background(), FromFile(path), opts.options(EngineBottomUp)...)
+	if err != nil {
+		return nil, err
+	}
+	res, _ := AsBottomUp(d)
+	return res, nil
 }
 
 // TopDownResult is the output of the top-down algorithm.
@@ -169,59 +207,31 @@ type TopDownResult = emtd.Result
 
 // TopDown computes the top-t k-classes of g (t = 0 means all classes) with
 // the I/O-efficient top-down algorithm (Algorithm 7).
+//
+// Deprecated: use Run with WithEngine(EngineTopDown), WithTopT(t), and
+// AsTopDown on the result.
 func TopDown(g *Graph, topT int, opts ExternalOptions) (*TopDownResult, error) {
-	return emtd.DecomposeGraph(g, emtd.Config{
-		TopT:     topT,
-		Budget:   opts.MemoryBudget,
-		Strategy: opts.Strategy,
-		Seed:     opts.Seed,
-		TempDir:  opts.TempDir,
-		Stats:    opts.Stats,
-	})
-}
-
-// TopDownFile is TopDown over a graph file.
-func TopDownFile(path string, topT int, opts ExternalOptions) (*TopDownResult, error) {
-	sp, n, err := spoolFile(path, opts)
+	d, err := Run(context.Background(), FromGraph(g),
+		append(opts.options(EngineTopDown), WithTopT(topT))...)
 	if err != nil {
 		return nil, err
 	}
-	defer sp.Remove()
-	return emtd.Decompose(sp, n, emtd.Config{
-		TopT:     topT,
-		Budget:   opts.MemoryBudget,
-		Strategy: opts.Strategy,
-		Seed:     opts.Seed,
-		TempDir:  opts.TempDir,
-		Stats:    opts.Stats,
-	})
+	res, _ := AsTopDown(d)
+	return res, nil
 }
 
-// spoolFile converts a graph file into a canonical edge spool, returning
-// the vertex-ID space.
-func spoolFile(path string, opts ExternalOptions) (*gio.Spool[gio.EdgeRec], int, error) {
-	g, err := gio.LoadGraph(path, opts.Stats)
+// TopDownFile is TopDown over a graph file, streamed without ever
+// materializing the graph in memory.
+//
+// Deprecated: use Run with FromFile(path) and WithEngine(EngineTopDown).
+func TopDownFile(path string, topT int, opts ExternalOptions) (*TopDownResult, error) {
+	d, err := Run(context.Background(), FromFile(path),
+		append(opts.options(EngineTopDown), WithTopT(topT))...)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	sp, err := gio.NewSpool[gio.EdgeRec](opts.TempDir, "input", gio.EdgeCodec{}, opts.Stats)
-	if err != nil {
-		return nil, 0, err
-	}
-	w, err := sp.Create()
-	if err != nil {
-		return nil, 0, err
-	}
-	for _, e := range g.Edges() {
-		if err := w.Write(gio.EdgeRec{U: e.U, V: e.V}); err != nil {
-			w.Close()
-			return nil, 0, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return nil, 0, err
-	}
-	return sp, g.NumVertices(), nil
+	res, _ := AsTopDown(d)
+	return res, nil
 }
 
 // CountTrianglesExternal counts the triangles of a graph file without
@@ -230,7 +240,8 @@ func spoolFile(path string, opts ExternalOptions) (*gio.Spool[gio.EdgeRec], int,
 // unique partition round where its first edge becomes internal — the
 // I/O-efficient scheme of Chu & Cheng the paper builds on).
 func CountTrianglesExternal(path string, opts ExternalOptions) (int64, error) {
-	sp, n, err := spoolFile(path, opts)
+	ctx := context.Background()
+	sp, n, err := fileSource{path}.stream(ctx, opts.TempDir, opts.MemoryBudget, opts.Stats)
 	if err != nil {
 		return 0, err
 	}
@@ -253,7 +264,7 @@ func CountTrianglesExternal(path string, opts ExternalOptions) (int64, error) {
 	if err := w.Close(); err != nil {
 		return 0, err
 	}
-	sups, err := embu.ExactSupports(aux, n, embu.Config{
+	sups, err := embu.ExactSupports(ctx, aux, n, embu.Config{
 		Budget:   opts.MemoryBudget,
 		Strategy: opts.Strategy,
 		Seed:     opts.Seed,
@@ -280,7 +291,17 @@ type MapReduceResult = mapreduce.Result
 
 // MapReduceDecompose runs Cohen's graph-twiddling truss decomposition
 // (TD-MR) on the in-process MapReduce simulator.
-func MapReduceDecompose(g *Graph) *MapReduceResult { return mapreduce.TrussDecompose(g) }
+//
+// Deprecated: use Run with WithEngine(EngineMapReduce) and AsMapReduce on
+// the result.
+func MapReduceDecompose(g *Graph) *MapReduceResult {
+	d, err := Run(context.Background(), FromGraph(g), WithEngine(EngineMapReduce))
+	if err != nil {
+		panic("truss: " + err.Error())
+	}
+	res, _ := AsMapReduce(d)
+	return res
+}
 
 // CoreResult is a k-core decomposition.
 type CoreResult = kcore.Result
@@ -358,4 +379,3 @@ type ServerOptions = server.Options
 //	srv.Build("mygraph", g, "inline")
 //	http.ListenAndServe(":8080", srv.Handler())
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
-
