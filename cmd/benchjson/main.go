@@ -1,15 +1,22 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // artifact (BENCH_PR.json) so CI can track the performance trajectory of
-// the engines across PRs.
+// the engines across PRs, and compares such artifacts against the
+// committed baseline.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '^BenchmarkRun$' -benchtime 1x . | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_PR.json
+//	benchjson -compare BENCH_PR.json -baseline BENCH_BASELINE.json [-fail-over 3.0]
 //
 // Every benchmark line is captured; lines under BenchmarkRun/<engine>/<graph>
 // additionally get engine and graph fields, yielding the engine × graph →
 // ns/op matrix the roadmap's perf tracking asks for.
+//
+// Compare mode prints a per-benchmark ratio table and flags entries slower
+// than the baseline by more than -threshold (default 1.5x). It exits
+// non-zero only when -fail-over is set and some ratio exceeds it — CI
+// runners are noisy, so reporting is the default and gating is opt-in.
 package main
 
 import (
@@ -17,8 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,7 +53,21 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 func main() {
 	in := flag.String("in", "", "benchmark text output (default stdin)")
 	out := flag.String("out", "BENCH_PR.json", "output JSON path")
+	compare := flag.String("compare", "", "compare this JSON artifact against -baseline instead of converting")
+	baseline := flag.String("baseline", "", "baseline JSON artifact for -compare")
+	threshold := flag.Float64("threshold", 1.5, "report entries slower than baseline by this factor")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when a ratio exceeds this factor (0 = never fail)")
 	flag.Parse()
+
+	if *compare != "" {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-compare requires -baseline"))
+		}
+		if err := compareArtifacts(*compare, *baseline, *threshold, *failOver); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	r := os.Stdin
 	if *in != "" {
@@ -100,6 +123,85 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmark entries to %s\n", len(entries), *out)
+}
+
+// artifact mirrors the written JSON document.
+type artifact struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func readArtifact(path string) (map[string]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc artifact
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	byName := make(map[string]Entry, len(doc.Benchmarks))
+	for _, e := range doc.Benchmarks {
+		byName[e.Name] = e
+	}
+	return byName, nil
+}
+
+// compareArtifacts prints a ratio table of pr against base and reports
+// regressions beyond threshold; ratios beyond failOver (if set) make the
+// comparison fail.
+func compareArtifacts(prPath, basePath string, threshold, failOver float64) error {
+	pr, err := readArtifact(prPath)
+	if err != nil {
+		return err
+	}
+	base, err := readArtifact(basePath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(pr))
+	for name := range pr {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", prPath, basePath)
+	}
+	regressions, failures := 0, 0
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "PR ns/op", "ratio")
+	for _, name := range names {
+		b, p := base[name], pr[name]
+		ratio := math.Inf(1)
+		if b.NsPerOp > 0 {
+			ratio = p.NsPerOp / b.NsPerOp
+		}
+		mark := ""
+		if ratio > threshold {
+			mark = "  <-- regression"
+			regressions++
+		}
+		if failOver > 0 && ratio > failOver {
+			mark = "  <-- FAIL"
+			failures++
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %7.2fx%s\n", name, b.NsPerOp, p.NsPerOp, ratio, mark)
+	}
+	for name := range pr {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-52s (new: no baseline)\n", name)
+		}
+	}
+	for name := range base {
+		if _, ok := pr[name]; !ok {
+			fmt.Printf("%-52s (dropped from PR run)\n", name)
+		}
+	}
+	fmt.Printf("%d/%d benchmarks above the %.2fx reporting threshold\n", regressions, len(names), threshold)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmarks regressed beyond the %.2fx failure threshold", failures, failOver)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -9,7 +9,7 @@
 //
 // Serving usage:
 //
-//	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait]
+//	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait] [-data-dir dir]
 //
 // Batch mode is a thin shell over the library's unified entry point,
 // truss.Run: the -algo flag picks the engine, -budget/-top/-tmp map to the
@@ -19,7 +19,12 @@
 // The serve subcommand decomposes each loaded graph once (with the
 // parallel peeler), keeps the resulting TrussIndex resident, and answers
 // truss-number, community, histogram, and top-class queries over a JSON
-// HTTP API; see the internal/server package for the routes.
+// HTTP API; see the internal/server package for the routes. Graphs are
+// mutable while serving (POST/DELETE /v1/graphs/{name}/edges maintain the
+// decomposition incrementally), and with -data-dir the registry is
+// durable: snapshots plus a mutation WAL are replayed on startup, so a
+// restarted server answers at its pre-crash versions without
+// recomputing anything.
 //
 // The input is a SNAP-format edge list ("u v" per line, '#' comments) or a
 // binary edge file when the path ends in ".bin".

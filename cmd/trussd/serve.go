@@ -34,10 +34,11 @@ func serveMain(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "decomposition workers (0 = GOMAXPROCS)")
 	wait := fs.Bool("wait", false, "block until preloaded graphs are ready before listening")
+	dataDir := fs.String("data-dir", "", "durable state directory: snapshots + mutation WALs, restored on startup")
 	var loads multiFlag
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: trussd serve [-addr :8080] [-workers N] [-load name=path]... [-wait]")
+		fmt.Fprintln(os.Stderr, "usage: trussd serve [-addr :8080] [-workers N] [-load name=path]... [-wait] [-data-dir dir]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -48,7 +49,15 @@ func serveMain(args []string) error {
 	srv := truss.NewServer(truss.ServerOptions{
 		Workers: *workers,
 		Logf:    logger.Printf,
+		DataDir: *dataDir,
 	})
+	if *dataDir != "" {
+		// Restore persisted graphs before preloads: a -load of an already
+		// persisted name deliberately rebuilds (and re-snapshots) it.
+		if err := srv.Recover(); err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+	}
 	var names []string
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")

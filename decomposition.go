@@ -1,7 +1,12 @@
 package truss
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/embu"
 	"repro/internal/emtd"
 	"repro/internal/gio"
@@ -33,10 +38,31 @@ type Decomposition interface {
 	// Edges streams every classified edge with its truss number. The
 	// order is engine-dependent.
 	Edges(fn func(u, v uint32, phi int32) error) error
+	// Update applies a batch of edge insertions and deletions and
+	// maintains the decomposition incrementally: only the affected region
+	// is re-peeled (with a full recompute fallback when the region grows
+	// past the WithMaxRegion fraction), and the result is exactly what a
+	// fresh Run over the mutated graph would produce. Supported by the
+	// in-memory engines (use Open to guarantee it); the external and
+	// MapReduce engines return ErrUpdateUnsupported. Update replaces the
+	// decomposition in place — results previously unwrapped with
+	// AsInMemory keep describing the pre-update state — and must not run
+	// concurrently with readers of the same Decomposition.
+	Update(ctx context.Context, adds, dels []Edge) (*UpdateStats, error)
 	// Close releases disk-backed resources (a no-op for in-memory
 	// engines).
 	Close() error
 }
+
+// UpdateStats describes how a Decomposition.Update was carried out:
+// region and boundary sizes, expansion rounds, the number of changed
+// edges, and whether the maintainer fell back to a full recompute.
+type UpdateStats = dynamic.Stats
+
+// ErrUpdateUnsupported is returned by Decomposition.Update when the
+// engine that produced the decomposition has no incremental maintenance
+// path (external and MapReduce engines).
+var ErrUpdateUnsupported = errors.New("truss: this decomposition does not support incremental updates (use Open or an in-memory engine)")
 
 // AsInMemory returns the underlying in-memory Result when d was produced
 // by EngineInMem, EngineBaseline, or EngineParallel — the full Result API
@@ -80,6 +106,10 @@ func AsMapReduce(d Decomposition) (*MapReduceResult, bool) {
 type inmemDecomposition struct {
 	eng Engine
 	res *core.Result
+	// maxRegion and workers configure incremental maintenance (set from
+	// WithMaxRegion / WithWorkers at Run time).
+	maxRegion float64
+	workers   int
 }
 
 func (d *inmemDecomposition) Engine() Engine   { return d.eng }
@@ -87,6 +117,20 @@ func (d *inmemDecomposition) KMax() int32      { return d.res.KMax }
 func (d *inmemDecomposition) NumVertices() int { return d.res.G.NumVertices() }
 func (d *inmemDecomposition) NumEdges() int64  { return int64(len(d.res.Phi)) }
 func (d *inmemDecomposition) Close() error     { return nil }
+
+func (d *inmemDecomposition) Update(ctx context.Context, adds, dels []Edge) (*UpdateStats, error) {
+	res, err := dynamic.Update(ctx, d.res.G, d.res.Phi,
+		dynamic.Batch{Adds: adds, Dels: dels},
+		dynamic.Config{MaxRegionFraction: d.maxRegion, Workers: d.workers})
+	if err != nil {
+		return nil, err
+	}
+	// Swap in a fresh Result: previously unwrapped Results stay valid
+	// immutable snapshots of the pre-update state.
+	d.res = &core.Result{G: res.G, Phi: res.Phi, KMax: res.KMax}
+	st := res.Stats
+	return &st, nil
+}
 
 func (d *inmemDecomposition) Histogram() []int64 { return d.res.ClassSizes() }
 
@@ -120,6 +164,11 @@ func spoolEdgesIter(classes *gio.Spool[gio.EdgeAux], fn func(u, v uint32, phi in
 	})
 }
 
+// errNoUpdate builds the per-engine ErrUpdateUnsupported error.
+func errNoUpdate(eng Engine) error {
+	return fmt.Errorf("%w: engine %v", ErrUpdateUnsupported, eng)
+}
+
 // bottomUpDecomposition adapts an embu.Result.
 type bottomUpDecomposition struct{ res *embu.Result }
 
@@ -130,6 +179,10 @@ func (d *bottomUpDecomposition) NumEdges() int64  { return d.res.Classes.Count()
 func (d *bottomUpDecomposition) Histogram() []int64 {
 	return histogramFromSizes(d.res.KMax, d.res.ClassSizes)
 }
+func (d *bottomUpDecomposition) Update(ctx context.Context, adds, dels []Edge) (*UpdateStats, error) {
+	return nil, errNoUpdate(EngineBottomUp)
+}
+
 func (d *bottomUpDecomposition) Close() error { return d.res.Close() }
 
 func (d *bottomUpDecomposition) Edges(fn func(u, v uint32, phi int32) error) error {
@@ -146,6 +199,10 @@ func (d *topDownDecomposition) NumEdges() int64  { return d.res.Classes.Count() 
 func (d *topDownDecomposition) Histogram() []int64 {
 	return histogramFromSizes(d.res.KMax, d.res.ClassSizes)
 }
+func (d *topDownDecomposition) Update(ctx context.Context, adds, dels []Edge) (*UpdateStats, error) {
+	return nil, errNoUpdate(EngineTopDown)
+}
+
 func (d *topDownDecomposition) Close() error { return d.res.Close() }
 
 func (d *topDownDecomposition) Edges(fn func(u, v uint32, phi int32) error) error {
@@ -162,7 +219,11 @@ func (d *mapReduceDecomposition) Engine() Engine   { return EngineMapReduce }
 func (d *mapReduceDecomposition) KMax() int32      { return d.res.KMax }
 func (d *mapReduceDecomposition) NumVertices() int { return d.n }
 func (d *mapReduceDecomposition) NumEdges() int64  { return int64(len(d.res.Phi)) }
-func (d *mapReduceDecomposition) Close() error     { return nil }
+func (d *mapReduceDecomposition) Update(ctx context.Context, adds, dels []Edge) (*UpdateStats, error) {
+	return nil, errNoUpdate(EngineMapReduce)
+}
+
+func (d *mapReduceDecomposition) Close() error { return nil }
 
 func (d *mapReduceDecomposition) Histogram() []int64 {
 	out := make([]int64, d.res.KMax+1)

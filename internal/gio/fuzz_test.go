@@ -1,0 +1,72 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzScanTextEdges throws arbitrary bytes at the SNAP text parser. The
+// contract under fuzzing: never panic, never yield a non-canonical edge
+// or a self-loop, and accept-or-reject deterministically.
+func FuzzScanTextEdges(f *testing.F) {
+	for _, seed := range []string{
+		"0 1\n1 2\n",
+		"# comment\n% comment\n\n  3\t4  \n",
+		"1 2 extra columns\n",
+		"0 1\r\n2 3\r\n",           // CRLF line endings
+		"4294967295 0\n",           // max uint32
+		"4294967296 0\n",           // one past uint32
+		"99999999999999999999 1\n", // overflows int64
+		"-5 2\n",
+		"a b\n",
+		"7\n",
+		"1 1\n",        // self-loop
+		"0 1",          // no trailing newline
+		"\x00\x01 2\n", // binary junk
+		strings.Repeat("9", 5000) + " 1\n",
+		"1 " + strings.Repeat("2", 5000) + "\n",
+		strings.Repeat("x", 2000000) + "\n", // longer than the scanner buffer
+		"0 1\n",                             // non-breaking space is not a separator
+		"+3 4\n",
+		"0x10 1\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := ScanTextEdges(bytes.NewReader(data), func(e graph.Edge) error {
+			if e.U >= e.V {
+				t.Fatalf("parser yielded non-canonical edge %v", e)
+			}
+			return nil
+		})
+		// Parse errors are fine; panics and bad edges are not. But a
+		// successful parse must be repeatable (determinism guard).
+		if err == nil {
+			if err2 := ScanTextEdges(bytes.NewReader(data), func(graph.Edge) error { return nil }); err2 != nil {
+				t.Fatalf("accepted once, rejected on re-parse: %v", err2)
+			}
+		}
+	})
+}
+
+// FuzzBinaryEdgeReader feeds arbitrary bytes to the binary record reader:
+// it must stop cleanly at EOF or a truncated record, never panic.
+func FuzzBinaryEdgeReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader[EdgeRec](bytes.NewReader(data), EdgeCodec{}, nil)
+		n := 0
+		err := rd.ForEach(func(EdgeRec) error {
+			n++
+			return nil
+		})
+		if err == nil && n != len(data)/8 {
+			t.Fatalf("read %d records from %d bytes", n, len(data))
+		}
+	})
+}

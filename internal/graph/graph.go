@@ -235,16 +235,29 @@ func FromEdges(edges []Edge) *Graph {
 }
 
 // fromSortedEdges builds the CSR arrays from a sorted, deduplicated canonical
-// edge list. n must be at least maxVertexID+1.
+// edge list in O(m+n), with no sorting at all. n must be at least
+// maxVertexID+1.
+//
+// The trick: for any vertex x, every neighbor contributed by an edge (u,x)
+// (x on the V side, u < x) is smaller than every neighbor contributed by an
+// edge (x,v) (x on the U side, v > x), and because the edge list is sorted
+// by (U,V) each side arrives already in ascending order. So each adjacency
+// range is split into a low half (V-side entries) and a high half (U-side
+// entries) and filled with two cursors; the result is sorted by
+// construction. This is also what makes ApplyBatch rebuilds cheap: merging
+// an already-sorted edge list with a sorted batch feeds straight into this
+// linear pass.
 func fromSortedEdges(edges []Edge, n int) *Graph {
 	g := &Graph{
 		off:   make([]int64, n+1),
 		edges: edges,
 	}
 	deg := make([]int32, n)
+	low := make([]int32, n) // # neighbors smaller than v = # edges with V == v
 	for _, e := range edges {
 		deg[e.U]++
 		deg[e.V]++
+		low[e.V]++
 	}
 	var total int64
 	for v := 0; v < n; v++ {
@@ -254,46 +267,21 @@ func fromSortedEdges(edges []Edge, n int) *Graph {
 	g.off[n] = total
 	g.adjV = make([]uint32, total)
 	g.adjE = make([]int32, total)
-	// Fill position cursors.
-	cur := make([]int64, n)
-	copy(cur, g.off[:n])
-	for id, e := range edges {
-		g.adjV[cur[e.U]] = e.V
-		g.adjE[cur[e.U]] = int32(id)
-		cur[e.U]++
-		g.adjV[cur[e.V]] = e.U
-		g.adjE[cur[e.V]] = int32(id)
-		cur[e.V]++
-	}
-	// Each vertex's neighbors must be sorted. Since edges are sorted by
-	// (U,V), the entries contributed as "U-side" are already in order, but
-	// V-side entries interleave; sort each adjacency range (with parallel
-	// edge IDs).
+	lowCur := make([]int64, n)  // next slot for a smaller neighbor
+	highCur := make([]int64, n) // next slot for a larger neighbor
 	for v := 0; v < n; v++ {
-		lo, hi := g.off[v], g.off[v+1]
-		sortAdj(g.adjV[lo:hi], g.adjE[lo:hi])
+		lowCur[v] = g.off[v]
+		highCur[v] = g.off[v] + int64(low[v])
+	}
+	for id, e := range edges {
+		g.adjV[highCur[e.U]] = e.V
+		g.adjE[highCur[e.U]] = int32(id)
+		highCur[e.U]++
+		g.adjV[lowCur[e.V]] = e.U
+		g.adjE[lowCur[e.V]] = int32(id)
+		lowCur[e.V]++
 	}
 	return g
-}
-
-// sortAdj sorts vs ascending, permuting es identically.
-func sortAdj(vs []uint32, es []int32) {
-	if len(vs) < 2 || sort.SliceIsSorted(vs, func(i, j int) bool { return vs[i] < vs[j] }) {
-		return
-	}
-	idx := make([]int32, len(vs))
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	sort.Slice(idx, func(i, j int) bool { return vs[idx[i]] < vs[idx[j]] })
-	vs2 := make([]uint32, len(vs))
-	es2 := make([]int32, len(es))
-	for i, j := range idx {
-		vs2[i] = vs[j]
-		es2[i] = es[j]
-	}
-	copy(vs, vs2)
-	copy(es, es2)
 }
 
 // Validate checks structural invariants (sorted adjacency, symmetric edges,

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applyNaive computes the expected post-batch graph the slow way: rebuild
+// from the final edge set with the ordinary Builder.
+func applyNaive(g *Graph, adds, dels []Edge) *Graph {
+	final := map[uint64]Edge{}
+	for _, e := range g.Edges() {
+		final[e.Key()] = e
+	}
+	for _, e := range dels {
+		if e.U != e.V {
+			delete(final, e.Canon().Key())
+		}
+	}
+	maxV := uint32(0)
+	for _, e := range adds {
+		if e.U == e.V {
+			continue
+		}
+		c := e.Canon()
+		final[c.Key()] = c
+		if c.V > maxV {
+			maxV = c.V
+		}
+	}
+	b := NewBuilder(len(final))
+	for _, e := range final {
+		b.AddEdge(e.U, e.V)
+	}
+	if g.NumVertices() > 0 {
+		b.DeclareVertex(uint32(g.NumVertices() - 1))
+	}
+	if maxV > 0 {
+		b.DeclareVertex(maxV)
+	}
+	return b.Build()
+}
+
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("n = %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("m = %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	for id, e := range want.Edges() {
+		if got.Edge(int32(id)) != e {
+			t.Fatalf("edge %d = %v, want %v", id, got.Edge(int32(id)), e)
+		}
+	}
+}
+
+func checkRemap(t *testing.T, old, now *Graph, re *Remap) {
+	t.Helper()
+	if len(re.OldToNew) != old.NumEdges() || len(re.NewToOld) != now.NumEdges() {
+		t.Fatalf("remap sizes %d/%d, want %d/%d",
+			len(re.OldToNew), len(re.NewToOld), old.NumEdges(), now.NumEdges())
+	}
+	deleted := map[int32]bool{}
+	for _, d := range re.Deleted {
+		deleted[d] = true
+	}
+	for oldID, newID := range re.OldToNew {
+		switch {
+		case newID < 0:
+			if !deleted[int32(oldID)] {
+				t.Fatalf("old edge %d mapped to -1 but not in Deleted", oldID)
+			}
+		default:
+			if old.Edge(int32(oldID)) != now.Edge(newID) {
+				t.Fatalf("old edge %d %v remapped to %v", oldID, old.Edge(int32(oldID)), now.Edge(newID))
+			}
+			if re.NewToOld[newID] != int32(oldID) {
+				t.Fatalf("NewToOld[%d] = %d, want %d", newID, re.NewToOld[newID], oldID)
+			}
+		}
+	}
+	added := map[int32]bool{}
+	for _, a := range re.Added {
+		added[a] = true
+	}
+	for newID, oldID := range re.NewToOld {
+		if oldID < 0 && !added[int32(newID)] {
+			t.Fatalf("new edge %d has no old ID but not in Added", newID)
+		}
+		if oldID >= 0 && added[int32(newID)] {
+			t.Fatalf("new edge %d both remapped and Added", newID)
+		}
+	}
+}
+
+func TestApplyBatchBasic(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	g2, re := g.ApplyBatch([]Edge{{3, 0}, {1, 3}}, []Edge{{2, 3}})
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g2, applyNaive(g, []Edge{{3, 0}, {1, 3}}, []Edge{{2, 3}}))
+	checkRemap(t, g, g2, re)
+	if len(re.Added) != 2 || len(re.Deleted) != 1 {
+		t.Fatalf("added %d deleted %d, want 2/1", len(re.Added), len(re.Deleted))
+	}
+}
+
+func TestApplyBatchNoOps(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 2}})
+	// Self-loops, duplicate adds, adds of present edges, dels of absent
+	// edges, and delete+re-add must all collapse to no changes.
+	g2, re := g.ApplyBatch(
+		[]Edge{{1, 0}, {0, 1}, {2, 2}, {1, 2}},
+		[]Edge{{0, 1}, {5, 6}, {3, 3}},
+	)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g2, g)
+	checkRemap(t, g, g2, re)
+	if len(re.Added) != 0 || len(re.Deleted) != 0 {
+		t.Fatalf("added %v deleted %v, want none", re.Added, re.Deleted)
+	}
+}
+
+func TestApplyBatchGrowsVertexSpace(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}})
+	g2, _ := g.ApplyBatch([]Edge{{7, 9}}, nil)
+	if g2.NumVertices() != 10 {
+		t.Fatalf("n = %d, want 10", g2.NumVertices())
+	}
+	// Deleting the last edge of a vertex keeps the slot.
+	g3, _ := g2.ApplyBatch(nil, []Edge{{7, 9}})
+	if g3.NumVertices() != 10 {
+		t.Fatalf("n after delete = %d, want 10", g3.NumVertices())
+	}
+	if g3.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1", g3.NumEdges())
+	}
+}
+
+func TestApplyBatchEmptyGraph(t *testing.T) {
+	var g Graph
+	g2, re := g.ApplyBatch([]Edge{{0, 1}, {1, 2}}, nil)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || g2.NumVertices() != 3 {
+		t.Fatalf("got m=%d n=%d", g2.NumEdges(), g2.NumVertices())
+	}
+	checkRemap(t, &g, g2, re)
+}
+
+func TestApplyBatchRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, Edge{uint32(rng.Intn(n)), uint32(rng.Intn(n))})
+		}
+		g := FromEdges(edges)
+		var adds, dels []Edge
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			adds = append(adds, Edge{uint32(rng.Intn(n + 5)), uint32(rng.Intn(n + 5))})
+		}
+		old := g.Edges()
+		for i := 0; i < 1+rng.Intn(10) && len(old) > 0; i++ {
+			dels = append(dels, old[rng.Intn(len(old))])
+		}
+		g2, re := g.ApplyBatch(adds, dels)
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sameGraph(t, g2, applyNaive(g, adds, dels))
+		checkRemap(t, g, g2, re)
+	}
+}
+
+func TestFromCanonicalEdges(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 5}}
+	g, err := FromCanonicalEdges(edges, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for _, bad := range [][]Edge{
+		{{1, 0}},         // not canonical
+		{{0, 1}, {0, 1}}, // duplicate
+		{{0, 2}, {0, 1}}, // out of order
+		{{0, 9}},         // beyond n
+		{{3, 3}},         // self-loop
+	} {
+		if _, err := FromCanonicalEdges(bad, 6); err == nil {
+			t.Fatalf("FromCanonicalEdges(%v) accepted invalid input", bad)
+		}
+	}
+}

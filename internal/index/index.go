@@ -80,13 +80,20 @@ type Class struct {
 // pre-pass) while the levels are snapshotted — it is meant to run once
 // per decomposition, off the query path.
 func Build(r *core.Result) *TrussIndex {
-	g := r.G
-	m := g.NumEdges()
 	ix := &TrussIndex{
-		g:    g,
+		g:    r.G,
 		phi:  append([]int32(nil), r.Phi...),
 		kmax: r.KMax,
 	}
+	ix.initArrays()
+	ix.buildLevels()
+	return ix
+}
+
+// initArrays fills the per-edge permutation tables (sizes, cnt, byPhi,
+// pos) from ix.phi and ix.kmax in O(m).
+func (ix *TrussIndex) initArrays() {
+	m := len(ix.phi)
 	ix.sizes = make([]int64, ix.kmax+1)
 	for _, p := range ix.phi {
 		ix.sizes[p]++
@@ -110,9 +117,6 @@ func Build(r *core.Result) *TrussIndex {
 		ix.pos[id] = cursor[p]
 		cursor[p]++
 	}
-
-	ix.buildLevels()
-	return ix
 }
 
 // buildLevels materializes the triangle-connected components of every
@@ -242,6 +246,11 @@ func (ix *TrussIndex) TrussNumber(u, v uint32) (int32, bool) {
 
 // EdgeTruss returns the truss number of the edge with the given ID.
 func (ix *TrussIndex) EdgeTruss(id int32) int32 { return ix.phi[id] }
+
+// PhiView returns the index's truss numbers indexed by edge ID. The slice
+// aliases index storage and must not be modified; it is the zero-copy
+// input the incremental-maintenance path feeds back into dynamic.Update.
+func (ix *TrussIndex) PhiView() []int32 { return ix.phi }
 
 // Histogram returns |Phi_k| for k = 0..KMax (entries 0 and 1 are zero, and
 // entry 2 counts the triangle-free edges). The slice is freshly allocated.

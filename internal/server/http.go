@@ -21,10 +21,16 @@ import (
 //	POST   /v1/graphs/{name}                 load a graph: {"path":"..."} or {"edges":[[u,v],...]}
 //	DELETE /v1/graphs/{name}                 drop a graph
 //	GET    /v1/graphs/{name}                 graph status + summary stats
+//	POST   /v1/graphs/{name}/edges           insert edges: {"edges":[[u,v],...]} (or {"adds":...,"dels":...})
+//	DELETE /v1/graphs/{name}/edges           delete edges: {"edges":[[u,v],...]}
 //	GET    /v1/graphs/{name}/truss?u=&v=     truss number of one edge
 //	GET    /v1/graphs/{name}/community?u=&v=&k=   k-truss community containing an edge
 //	GET    /v1/graphs/{name}/histogram       class sizes |Phi_k| for all k
 //	GET    /v1/graphs/{name}/topclasses?t=&edges=1   top-t k-classes, optionally with edges
+//
+// The mutation endpoints maintain the decomposition incrementally and
+// bump the graph's monotonic version counter; with -data-dir they are
+// durable (WAL + snapshot) and survive restarts.
 
 // GraphInfo is the JSON summary of a registry entry.
 type GraphInfo struct {
@@ -36,6 +42,7 @@ type GraphInfo struct {
 	Edges     int    `json:"edges,omitempty"`
 	KMax      int32  `json:"kmax,omitempty"`
 	Epoch     int    `json:"epoch,omitempty"`
+	Version   uint64 `json:"version,omitempty"`
 	BuildMS   int64  `json:"build_ms,omitempty"`
 	IndexSize int64  `json:"index_bytes,omitempty"`
 	LoadedAt  string `json:"loaded_at,omitempty"`
@@ -43,11 +50,12 @@ type GraphInfo struct {
 
 func entryInfo(e *Entry) GraphInfo {
 	info := GraphInfo{
-		Name:   e.Name,
-		State:  string(e.State),
-		Error:  e.Err,
-		Source: e.Source,
-		Epoch:  e.Epoch,
+		Name:    e.Name,
+		State:   string(e.State),
+		Error:   e.Err,
+		Source:  e.Source,
+		Epoch:   e.Epoch,
+		Version: e.Version,
 	}
 	if e.Index != nil {
 		info.Vertices = e.Index.Graph().NumVertices()
@@ -72,6 +80,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoad)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.withEntry(s.handleInfo))
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutate(false))
+	mux.HandleFunc("DELETE /v1/graphs/{name}/edges", s.handleMutate(true))
 	mux.HandleFunc("GET /v1/graphs/{name}/truss", s.withIndex(s.handleTruss))
 	mux.HandleFunc("GET /v1/graphs/{name}/community", s.withIndex(s.handleCommunity))
 	mux.HandleFunc("GET /v1/graphs/{name}/histogram", s.withIndex(s.handleHistogram))
@@ -157,6 +167,93 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		info = entryInfo(e)
 	}
 	writeJSON(w, http.StatusAccepted, info)
+}
+
+// mutateRequest is the body of the mutation endpoints. POST treats Edges
+// as insertions (Adds/Dels allow a mixed batch); DELETE treats Edges as
+// deletions.
+type mutateRequest struct {
+	Edges [][2]uint32 `json:"edges"`
+	Adds  [][2]uint32 `json:"adds"`
+	Dels  [][2]uint32 `json:"dels"`
+}
+
+// handleMutate serves POST (insert / mixed) and DELETE (delete) on
+// /v1/graphs/{name}/edges.
+func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if max := s.opts.maxBodyBytes(); max > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+		var req mutateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, "bad request body: %v", err)
+			return
+		}
+		var adds, dels [][2]uint32
+		if deleteMode {
+			if req.Adds != nil || req.Dels != nil {
+				writeError(w, http.StatusBadRequest, "DELETE takes only edges (use POST for mixed batches)")
+				return
+			}
+			dels = req.Edges
+		} else {
+			adds = append(req.Edges, req.Adds...)
+			dels = req.Dels
+		}
+		if len(adds) == 0 && len(dels) == 0 {
+			writeError(w, http.StatusBadRequest, "empty mutation batch")
+			return
+		}
+		if limit := s.opts.maxInlineVertexID(); limit > 0 {
+			// Insertions allocate O(max vertex ID); deletions of absent
+			// edges are no-ops and need no cap.
+			for _, e := range adds {
+				if int64(e[0]) > limit || int64(e[1]) > limit {
+					writeError(w, http.StatusBadRequest,
+						"vertex ID %d exceeds the limit %d", max(e[0], e[1]), limit)
+					return
+				}
+			}
+		}
+		entry, res, err := s.Mutate(r.Context(), name, toEdges(adds), toEdges(dels))
+		switch {
+		case errors.Is(err, ErrNoGraph):
+			writeError(w, http.StatusNotFound, "no graph %q", name)
+			return
+		case errors.Is(err, ErrNotReady):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "graph %q still building", name)
+			return
+		case err != nil:
+			writeError(w, http.StatusConflict, "mutating %q: %v", name, err)
+			return
+		}
+		info := entryInfo(entry)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph":      info,
+			"version":    entry.Version,
+			"changed":    res.Stats.Changed,
+			"region":     res.Stats.Region,
+			"fallback":   res.Stats.FellBack,
+			"expansions": res.Stats.Expansions,
+		})
+	}
+}
+
+// toEdges converts JSON pairs to canonical graph edges.
+func toEdges(pairs [][2]uint32) []graph.Edge {
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return out
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Store persists the registry under a data directory so trussd restarts
+// warm. Each graph gets its own subdirectory holding two files:
+//
+//   - snapshot.bin — the full decomposition at some version: a versioned
+//     header, the canonical edge list, and the per-edge truss numbers,
+//     closed by a CRC32. Written atomically (temp file + rename).
+//   - wal.bin — mutations applied after the snapshot, one length- and
+//     CRC-prefixed record per batch: {version, adds, dels}. Appended (and
+//     synced) before a mutation is published, so a crash between the WAL
+//     write and the in-memory install replays to the same state.
+//
+// Recovery loads the snapshot, replays the WAL in order, and stops at the
+// first truncated or corrupt record — the tail that a crash mid-append
+// leaves behind is discarded, everything before it is kept. When the WAL
+// outgrows its snapshot the server folds it in: it rewrites the snapshot
+// at the current version and truncates the WAL (compaction).
+//
+// Store methods are not synchronized; the Server serializes access per
+// graph with its mutation locks.
+type Store struct {
+	dir string
+}
+
+// Snapshot file layout constants.
+const (
+	snapshotMagic = "TRUSSNP1"
+	snapshotFile  = "snapshot.bin"
+	walFile       = "wal.bin"
+	graphDirPre   = "g-"
+)
+
+// errCorrupt tags snapshot integrity failures.
+var errCorrupt = errors.New("corrupt snapshot")
+
+// NewStore opens (creating if necessary) a data directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the data directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// graphDir maps a registry name to its subdirectory. Names are hex-coded
+// so arbitrary registry names (slashes, dots, unicode) stay inside one
+// flat, filesystem-safe namespace.
+func (st *Store) graphDir(name string) string {
+	return filepath.Join(st.dir, graphDirPre+hex.EncodeToString([]byte(name)))
+}
+
+// PersistedGraph is one recovered graph: the snapshot state plus the WAL
+// mutations to replay on top of it.
+type PersistedGraph struct {
+	Name    string
+	Source  string
+	Version uint64
+	G       *graph.Graph
+	Phi     []int32
+	KMax    int32
+	// Mutations are the WAL records appended after the snapshot, in
+	// order; Version above is the snapshot's, each record carries its own.
+	Mutations []MutationRec
+}
+
+// MutationRec is one durable mutation batch.
+type MutationRec struct {
+	Version uint64
+	Adds    []graph.Edge
+	Dels    []graph.Edge
+}
+
+// SaveSnapshot atomically writes the full decomposition of name at
+// version and truncates its WAL (the snapshot subsumes it).
+func (st *Store) SaveSnapshot(name, source string, version uint64, g *graph.Graph, phi []int32, kmax int32) error {
+	dir := st.graphDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(tmp, crc), 1<<16)
+	// bufio.Writer errors are sticky: the final Flush reports them.
+	var scratch [8]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, _ = bw.Write(scratch[:4])
+	}
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, _ = bw.Write(scratch[:8])
+	}
+	_, _ = bw.WriteString(snapshotMagic)
+	writeU64(version)
+	writeU32(uint32(g.NumVertices()))
+	writeU32(uint32(kmax))
+	writeU64(uint64(g.NumEdges()))
+	writeU32(uint32(len(source)))
+	_, _ = bw.WriteString(source)
+	for _, e := range g.Edges() {
+		writeU32(e.U)
+		writeU32(e.V)
+	}
+	for _, p := range phi {
+		writeU32(uint32(p))
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	sum := crc.Sum32()
+	binary.LittleEndian.PutUint32(scratch[:4], sum)
+	if _, err := tmp.Write(scratch[:4]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile)); err != nil {
+		return err
+	}
+	// The WAL is now folded into the snapshot.
+	if err := os.Remove(filepath.Join(dir, walFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// AppendMutation durably appends one mutation batch to name's WAL and
+// returns the WAL's size in bytes afterwards (the compaction signal).
+func (st *Store) AppendMutation(name string, version uint64, adds, dels []graph.Edge) (int64, error) {
+	dir := st.graphDir(name)
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, 0, 16+8*(len(adds)+len(dels)))
+	payload = binary.LittleEndian.AppendUint64(payload, version)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(adds)))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(dels)))
+	for _, e := range adds {
+		payload = binary.LittleEndian.AppendUint32(payload, e.U)
+		payload = binary.LittleEndian.AppendUint32(payload, e.V)
+	}
+	for _, e := range dels {
+		payload = binary.LittleEndian.AppendUint32(payload, e.U)
+		payload = binary.LittleEndian.AppendUint32(payload, e.V)
+	}
+	rec := make([]byte, 0, 8+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return size, err
+}
+
+// Remove deletes name's persisted state entirely.
+func (st *Store) Remove(name string) error {
+	return os.RemoveAll(st.graphDir(name))
+}
+
+// LoadAll recovers every persisted graph in the data directory. Graphs
+// whose snapshot fails integrity checks are returned in broken with their
+// errors; a corrupt or truncated WAL tail only drops the tail.
+func (st *Store) LoadAll() (graphs []*PersistedGraph, broken map[string]error, err error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	broken = map[string]error{}
+	for _, de := range entries {
+		if !de.IsDir() || !strings.HasPrefix(de.Name(), graphDirPre) {
+			continue
+		}
+		raw, decErr := hex.DecodeString(strings.TrimPrefix(de.Name(), graphDirPre))
+		if decErr != nil {
+			continue // not ours
+		}
+		name := string(raw)
+		pg, loadErr := st.load(name)
+		if loadErr != nil {
+			broken[name] = loadErr
+			continue
+		}
+		graphs = append(graphs, pg)
+	}
+	return graphs, broken, nil
+}
+
+// load reads one graph's snapshot and WAL.
+func (st *Store) load(name string) (*PersistedGraph, error) {
+	dir := st.graphDir(name)
+	pg, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	pg.Name = name
+	pg.Mutations, err = readWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// readSnapshot parses and integrity-checks a snapshot file.
+func readSnapshot(path string) (*PersistedGraph, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapshotMagic)+28+4 || string(raw[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad header", errCorrupt)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	r := body[8:]
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(r); r = r[4:]; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(r); r = r[8:]; return v }
+	pg := &PersistedGraph{Version: u64()}
+	n := int(u32())
+	pg.KMax = int32(u32())
+	m := u64()
+	srcLen := int(u32())
+	if uint64(len(r)) != uint64(srcLen)+12*m {
+		return nil, fmt.Errorf("%w: size mismatch", errCorrupt)
+	}
+	pg.Source = string(r[:srcLen])
+	r = r[srcLen:]
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: u32(), V: u32()}
+	}
+	pg.Phi = make([]int32, m)
+	for i := range pg.Phi {
+		pg.Phi[i] = int32(u32())
+	}
+	pg.G, err = graph.FromCanonicalEdges(edges, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return pg, nil
+}
+
+// readWAL parses WAL records up to the first truncated or corrupt one.
+func readWAL(path string) ([]MutationRec, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []MutationRec
+	for len(raw) >= 8 {
+		size := binary.LittleEndian.Uint32(raw)
+		sum := binary.LittleEndian.Uint32(raw[4:])
+		if uint64(len(raw)) < 8+uint64(size) || size < 16 {
+			break // truncated tail: a crash mid-append
+		}
+		payload := raw[8 : 8+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn write: discard from here on
+		}
+		rec := MutationRec{Version: binary.LittleEndian.Uint64(payload)}
+		nAdds := binary.LittleEndian.Uint32(payload[8:])
+		nDels := binary.LittleEndian.Uint32(payload[12:])
+		if uint64(size) != 16+8*(uint64(nAdds)+uint64(nDels)) {
+			break
+		}
+		p := payload[16:]
+		u32 := func() uint32 { v := binary.LittleEndian.Uint32(p); p = p[4:]; return v }
+		for i := uint32(0); i < nAdds; i++ {
+			rec.Adds = append(rec.Adds, graph.Edge{U: u32(), V: u32()})
+		}
+		for i := uint32(0); i < nDels; i++ {
+			rec.Dels = append(rec.Dels, graph.Edge{U: u32(), V: u32()})
+		}
+		recs = append(recs, rec)
+		raw = raw[8+size:]
+	}
+	return recs, nil
+}

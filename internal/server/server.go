@@ -16,12 +16,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/index"
@@ -61,6 +63,11 @@ type Entry struct {
 	BuildTime time.Duration
 	// Epoch increments on every successful rebuild of the same name.
 	Epoch int
+	// Version is the graph's monotonic state counter: 1 after the first
+	// build, +1 for every mutation batch and every rebuild. Queries
+	// answered by this entry see exactly the state of this version, and
+	// the durability layer replays a restarted server to it.
+	Version uint64
 
 	// seq is the build sequence number that produced this entry; installs
 	// are rejected when a newer sequence has already published, so an old
@@ -82,14 +89,29 @@ type Options struct {
 	// representation allocates O(max ID) memory, so an unchecked ID is a
 	// remote allocation of up to 34 GB (0 selects
 	// DefaultMaxInlineVertexID; negative disables the cap). Server-side
-	// files loaded by path are trusted and not subject to this cap.
+	// files loaded by path are trusted and not subject to this cap. The
+	// same cap applies to mutation endpoints.
 	MaxInlineVertexID int64
+	// DataDir, when non-empty, makes the registry durable: every build
+	// writes a snapshot, every mutation appends to a WAL, and Recover
+	// restores all graphs at their pre-shutdown versions without
+	// re-decomposing anything.
+	DataDir string
+	// MaxRegionFraction is the incremental-maintenance fallback knob
+	// passed to dynamic.Update (0 selects its default).
+	MaxRegionFraction float64
+	// WALCompactBytes is the WAL size that triggers folding the WAL into
+	// a fresh snapshot (0 selects DefaultWALCompactBytes).
+	WALCompactBytes int64
 }
 
 // Default request-hardening limits for Options zero values.
 const (
 	DefaultMaxBodyBytes      = 32 << 20 // 32 MiB of JSON
 	DefaultMaxInlineVertexID = 1 << 24  // ~16.7M vertex slots ≈ 134 MB CSR offsets
+	// DefaultWALCompactBytes folds the WAL into a snapshot once it holds
+	// roughly a few hundred thousand mutated edges.
+	DefaultWALCompactBytes = 4 << 20
 )
 
 // maxBodyBytes resolves the configured request-body cap.
@@ -108,6 +130,14 @@ func (o Options) maxInlineVertexID() int64 {
 	return o.MaxInlineVertexID
 }
 
+// walCompactBytes resolves the configured WAL compaction threshold.
+func (o Options) walCompactBytes() int64 {
+	if o.WALCompactBytes == 0 {
+		return DefaultWALCompactBytes
+	}
+	return o.WALCompactBytes
+}
+
 // Server holds the graph registry and implements the HTTP API (see
 // Handler). Create one with New.
 type Server struct {
@@ -115,8 +145,11 @@ type Server struct {
 	mu   sync.Mutex // serializes registry writers
 	snap atomic.Pointer[map[string]*Entry]
 
-	// nextSeq hands out per-name build sequence numbers (guarded by mu).
-	nextSeq map[string]int
+	// nextSeq hands out build sequence numbers (guarded by mu). A single
+	// global counter keeps every name's sequence monotonic — which is all
+	// the stale-install guard compares — without a per-name map that
+	// would grow forever on churning registries.
+	nextSeq int
 
 	// baseCtx is the lifecycle context every decomposition runs under;
 	// Shutdown cancels it, which aborts in-flight builds promptly at their
@@ -127,15 +160,61 @@ type Server struct {
 	stop    context.CancelFunc
 	builds  sync.WaitGroup
 	down    bool
+
+	// store is the durability layer (nil without Options.DataDir);
+	// storeErr holds the data-dir open failure, surfaced by Recover.
+	store    *Store
+	storeErr error
+	// mutLocks serializes mutations and persistence per graph name
+	// (guarded by mu); queries stay lock-free on the snapshot.
+	mutLocks map[string]*sync.Mutex
 }
 
 // New returns an empty Server.
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{opts: opts, nextSeq: map[string]int{}, baseCtx: ctx, stop: cancel}
+	s := &Server{
+		opts:     opts,
+		mutLocks: map[string]*sync.Mutex{},
+		baseCtx:  ctx,
+		stop:     cancel,
+	}
+	if opts.DataDir != "" {
+		s.store, s.storeErr = NewStore(opts.DataDir)
+		if s.storeErr != nil {
+			s.logf("durability disabled: %v", s.storeErr)
+		}
+	}
 	empty := map[string]*Entry{}
 	s.snap.Store(&empty)
 	return s
+}
+
+// nameLock returns the mutation lock for name, creating it on first use.
+func (s *Server) nameLock(name string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.mutLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		s.mutLocks[name] = l
+	}
+	return l
+}
+
+// lockName acquires the per-name mutation lock. Remove evicts idle locks
+// from the map, so after blocking the acquire re-validates that the held
+// lock is still the map's lock for name — two goroutines can never end
+// up holding different locks for the same name.
+func (s *Server) lockName(name string) *sync.Mutex {
+	for {
+		l := s.nameLock(name)
+		l.Lock()
+		if s.nameLock(name) == l {
+			return l
+		}
+		l.Unlock()
+	}
 }
 
 // Shutdown cancels every in-flight background build and waits for the
@@ -167,26 +246,26 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// beginBuild claims the next build sequence number for name.
-func (s *Server) beginBuild(name string) int {
+// beginBuild claims the next build sequence number.
+func (s *Server) beginBuild() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextSeq[name]++
-	return s.nextSeq[name]
+	s.nextSeq++
+	return s.nextSeq
 }
 
 // beginAsyncBuild additionally claims a WaitGroup slot for a background
 // build, refusing (ok == false) once Shutdown has begun. Claiming the slot
 // under mu orders every Add before Shutdown's Wait.
-func (s *Server) beginAsyncBuild(name string) (seq int, ok bool) {
+func (s *Server) beginAsyncBuild() (seq int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {
 		return 0, false
 	}
-	s.nextSeq[name]++
+	s.nextSeq++
 	s.builds.Add(1)
-	return s.nextSeq[name], true
+	return s.nextSeq, true
 }
 
 // install publishes e under its name with seq-guarded, epoch-consistent
@@ -205,9 +284,19 @@ func (s *Server) install(name string, e *Entry, seq int) bool {
 	e.seq = seq
 	switch e.State {
 	case StateReady:
-		e.Epoch = 1
-		if ok {
-			e.Epoch = cur.Epoch + 1
+		// Mutations and recovery pre-assign Epoch/Version; plain builds
+		// leave them zero and get the successor values here.
+		if e.Epoch == 0 {
+			e.Epoch = 1
+			if ok {
+				e.Epoch = cur.Epoch + 1
+			}
+		}
+		if e.Version == 0 {
+			e.Version = 1
+			if ok {
+				e.Version = cur.Version + 1
+			}
 		}
 	default: // building, failed: keep serving what was there
 		if ok {
@@ -215,6 +304,7 @@ func (s *Server) install(name string, e *Entry, seq int) bool {
 			e.LoadedAt = cur.LoadedAt
 			e.BuildTime = cur.BuildTime
 			e.Epoch = cur.Epoch
+			e.Version = cur.Version
 		}
 	}
 	s.storeLocked(name, e)
@@ -258,7 +348,7 @@ func (s *Server) Entries() []*Entry {
 // concurrent rebuild of the same name published first, the returned entry
 // is complete but was not installed.
 func (s *Server) Build(name string, g *graph.Graph, source string) *Entry {
-	return s.build(name, g, source, s.beginBuild(name))
+	return s.build(name, g, source, s.beginBuild())
 }
 
 func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Entry {
@@ -281,20 +371,165 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 		LoadedAt:  time.Now(),
 		BuildTime: time.Since(start),
 	}
-	if !s.install(name, e, seq) {
+	// The mutation lock orders this install (and its snapshot) against
+	// concurrent Mutate calls on the same name.
+	lock := s.lockName(name)
+	installed := s.install(name, e, seq)
+	if installed && s.store != nil {
+		// A fresh build starts a fresh durable lineage: snapshot the new
+		// decomposition and drop any WAL of the graph it replaced.
+		if err := s.store.SaveSnapshot(name, source, e.Version, g, res.Phi, res.KMax); err != nil {
+			s.logf("graph %q: snapshot failed (durability degraded): %v", name, err)
+		}
+	}
+	lock.Unlock()
+	if !installed {
 		s.logf("graph %q build #%d superseded by a newer build", name, seq)
 		return e
 	}
-	s.logf("graph %q ready: n=%d m=%d kmax=%d build=%s",
-		name, g.NumVertices(), g.NumEdges(), ix.KMax(), e.BuildTime.Round(time.Millisecond))
+	s.logf("graph %q ready: n=%d m=%d kmax=%d build=%s version=%d",
+		name, g.NumVertices(), g.NumEdges(), ix.KMax(), e.BuildTime.Round(time.Millisecond), e.Version)
 	return e
+}
+
+// ErrNotReady is returned by Mutate while the named graph has no resident
+// index (still building its first decomposition, or failed).
+var ErrNotReady = errors.New("graph has no resident index yet")
+
+// ErrNoGraph is returned by Mutate for unknown registry names.
+var ErrNoGraph = errors.New("no such graph")
+
+// Mutate applies one batch of edge insertions and deletions to a resident
+// graph: the decomposition is maintained incrementally (dynamic.Update),
+// the index is patched rather than rebuilt, the batch is appended to the
+// WAL before publication, and the entry's version counter advances by
+// one. Mutations on the same name serialize; queries continue lock-free
+// against the previous snapshot until the new entry is installed.
+//
+// Rebuilds win over mutations: while a reload of the same name is in
+// flight the entry is in StateBuilding and Mutate refuses (the old graph
+// is about to be replaced wholesale), and a mutation computed against a
+// pre-rebuild entry that races the rebuild's publication is rejected by
+// the sequence guard rather than clobbering the fresh decomposition.
+func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edge) (*Entry, *dynamic.Result, error) {
+	lock := s.lockName(name)
+	defer lock.Unlock()
+
+	e, ok := s.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
+	}
+	if e.State != StateReady || e.Index == nil {
+		return nil, nil, fmt.Errorf("graph %q (%s): %w", name, e.State, ErrNotReady)
+	}
+	start := time.Now()
+	res, err := dynamic.Update(ctx, e.Index.Graph(), e.Index.PhiView(),
+		dynamic.Batch{Adds: adds, Dels: dels},
+		dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	version := e.Version + 1
+	if s.store != nil {
+		// Durability before visibility: if the WAL append fails the
+		// mutation is rejected, so disk never lags memory.
+		walBytes, err := s.store.AppendMutation(name, version, adds, dels)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph %q: mutation rejected, WAL append failed: %w", name, err)
+		}
+		if walBytes >= s.opts.walCompactBytes() {
+			if err := s.store.SaveSnapshot(name, e.Source, version, res.G, res.Phi, res.KMax); err != nil {
+				s.logf("graph %q: WAL compaction failed: %v", name, err)
+			} else {
+				s.logf("graph %q: WAL compacted into snapshot at version %d", name, version)
+			}
+		}
+	}
+	ne := &Entry{
+		Name:      name,
+		State:     StateReady,
+		Index:     e.Index.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed),
+		Source:    e.Source,
+		LoadedAt:  time.Now(),
+		BuildTime: e.BuildTime,
+		Epoch:     e.Epoch,
+		Version:   version,
+	}
+	// Install under the sequence of the entry the mutation was computed
+	// from: if a rebuild claimed a newer sequence meanwhile, this install
+	// is rejected instead of overwriting the rebuilt decomposition (the
+	// rebuild's own snapshot will truncate the orphan WAL record).
+	if !s.install(name, ne, e.seq) {
+		return nil, nil, fmt.Errorf("graph %q: mutation superseded by a concurrent rebuild", name)
+	}
+	s.logf("graph %q mutated to version %d: +%d -%d edges, m=%d kmax=%d, %s (region=%d fallback=%v)",
+		name, version, len(adds), len(dels), res.G.NumEdges(), res.KMax,
+		time.Since(start).Round(time.Microsecond), res.Stats.Region, res.Stats.FellBack)
+	return ne, res, nil
+}
+
+// Recover restores every graph persisted under Options.DataDir: snapshots
+// are loaded, WALs replayed through the incremental maintainer, and the
+// resulting entries installed at their pre-shutdown versions — no
+// decomposition is recomputed. Graphs with corrupt snapshots are skipped
+// (and logged); a torn WAL tail is dropped. Call it once, before serving.
+func (s *Server) Recover() error {
+	if s.storeErr != nil {
+		return s.storeErr
+	}
+	if s.store == nil {
+		return nil
+	}
+	graphs, broken, err := s.store.LoadAll()
+	if err != nil {
+		return err
+	}
+	for name, berr := range broken {
+		s.logf("graph %q: not recovered: %v", name, berr)
+	}
+	for _, pg := range graphs {
+		g, phi, kmax, version := pg.G, pg.Phi, pg.KMax, pg.Version
+		replayed := 0
+		for _, mut := range pg.Mutations {
+			res, err := dynamic.Update(s.baseCtx, g, phi,
+				dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
+				dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+			if err != nil {
+				return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
+			}
+			g, phi, kmax, version = res.G, res.Phi, res.KMax, mut.Version
+			replayed++
+		}
+		ix := index.Build(&core.Result{G: g, Phi: phi, KMax: kmax})
+		e := &Entry{
+			Name:     pg.Name,
+			State:    StateReady,
+			Index:    ix,
+			Source:   pg.Source,
+			LoadedAt: time.Now(),
+			Epoch:    1,
+			Version:  version,
+		}
+		if !s.install(pg.Name, e, s.beginBuild()) {
+			continue
+		}
+		if replayed > 0 {
+			// Fold the replayed WAL in so the next restart is snapshot-only.
+			if err := s.store.SaveSnapshot(pg.Name, pg.Source, version, g, phi, kmax); err != nil {
+				s.logf("graph %q: post-recovery compaction failed: %v", pg.Name, err)
+			}
+		}
+		s.logf("graph %q recovered at version %d: n=%d m=%d kmax=%d (%d WAL batches replayed)",
+			pg.Name, version, g.NumVertices(), g.NumEdges(), kmax, replayed)
+	}
+	return nil
 }
 
 // BuildAsync publishes a building placeholder for name (retaining the
 // previous index, if any, so queries keep working during a rebuild) and
 // runs the build in a background goroutine.
 func (s *Server) BuildAsync(name string, g *graph.Graph, source string) {
-	seq, ok := s.beginAsyncBuild(name)
+	seq, ok := s.beginAsyncBuild()
 	if !ok {
 		// Shutting down: leave the registry as is (a resident index keeps
 		// serving) rather than spawn a build that cannot complete.
@@ -333,16 +568,32 @@ func (s *Server) LoadFileAsync(name, path string) error {
 	return nil
 }
 
-// Remove drops name from the registry. It reports whether the name was
-// present. An in-flight rebuild of the same name may re-publish it.
+// Remove drops name from the registry and deletes its persisted state.
+// It reports whether the name was present. An in-flight rebuild of the
+// same name may re-publish it.
 func (s *Server) Remove(name string) bool {
 	s.mu.Lock()
 	_, ok := (*s.snap.Load())[name]
 	if ok {
 		s.storeLocked(name, nil)
 	}
+	// Evict the name's mutation lock if nobody holds it, so a churning
+	// registry (many distinct names over a server's lifetime) does not
+	// grow the lock map without bound. TryLock never blocks, so taking it
+	// under mu cannot deadlock with lockName (which never holds mu while
+	// locking); a goroutine still holding the evicted pointer is harmless
+	// because lockName re-validates after acquiring.
+	if l, held := s.mutLocks[name]; held && l.TryLock() {
+		delete(s.mutLocks, name)
+		l.Unlock()
+	}
 	s.mu.Unlock()
 	if ok {
+		if s.store != nil {
+			if err := s.store.Remove(name); err != nil {
+				s.logf("graph %q: removing persisted state: %v", name, err)
+			}
+		}
 		s.logf("graph %q removed", name)
 	}
 	return ok

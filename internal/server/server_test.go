@@ -312,8 +312,8 @@ func TestConcurrentQueriesDuringRebuild(t *testing.T) {
 // the older one finishes last: its install must be rejected.
 func TestStaleBuildDoesNotClobber(t *testing.T) {
 	s := New(Options{Logf: t.Logf})
-	seqOld := s.beginBuild("g")
-	seqNew := s.beginBuild("g")
+	seqOld := s.beginBuild()
+	seqNew := s.beginBuild()
 	s.build("g", gen.PaperExample(), "new", seqNew) // newer build publishes first
 	s.build("g", gen.Managers(), "old", seqOld)     // stale build lands late
 	e, ok := s.Lookup("g")

@@ -171,6 +171,29 @@ func CommonNeighbors(g *graph.Graph, u, v uint32, visit func(w uint32)) int {
 	return c
 }
 
+// ForEachOf enumerates every triangle through edge (u,v), passing the two
+// partner edge IDs (in no particular side order). It iterates the
+// lower-degree endpoint's adjacency and probes the closing edge, so one
+// call costs O(min(deg u, deg v) * log max(deg u, deg v)) — the per-edge
+// counterpart of the whole-graph ForEach, used by the incremental
+// maintenance and index-patching paths that only need triangles around a
+// small set of edges.
+func ForEachOf(g *graph.Graph, u, v uint32, fn func(euw, evw int32)) {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbrs := g.Neighbors(u)
+	eids := g.IncidentEdges(u)
+	for i, w := range nbrs {
+		if w == v {
+			continue
+		}
+		if evw, ok := g.EdgeID(v, w); ok {
+			fn(eids[i], evw)
+		}
+	}
+}
+
 // LocalCounts returns, for each vertex, the number of triangles through it.
 // Used by the clustering-coefficient metric.
 func LocalCounts(g *graph.Graph) []int64 {

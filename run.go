@@ -93,8 +93,41 @@ func runInMemory(eng Engine) engineRunner {
 		if err != nil {
 			return nil, err
 		}
-		return &inmemDecomposition{eng: eng, res: res}, nil
+		return &inmemDecomposition{
+			eng:       eng,
+			res:       res,
+			maxRegion: cfg.maxRegion,
+			workers:   cfg.workers,
+		}, nil
 	}
+}
+
+// Open is Run for dynamic graphs: it decomposes src with an in-memory
+// engine and returns a Decomposition whose Update method is guaranteed to
+// work, so the caller can keep it resident and maintain it under edge
+// insertions and deletions:
+//
+//	d, err := truss.Open(ctx, truss.FromFile("graph.txt"))
+//	...
+//	stats, err := d.Update(ctx, []truss.Edge{{U: 1, V: 9}}, nil)
+//
+// Options are those of Run; WithMaxRegion tunes when maintenance gives up
+// on locality and recomputes. Selecting an engine without incremental
+// maintenance (bottomup, topdown, mapreduce) is an error here rather than
+// a surprise at the first Update.
+func Open(ctx context.Context, src Source, opts ...Option) (Decomposition, error) {
+	var cfg runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	switch cfg.engine {
+	case EngineInMem, EngineBaseline, EngineParallel:
+	default:
+		return nil, fmt.Errorf("truss: Open requires an in-memory engine (inmem, baseline, parallel), not %v", cfg.engine)
+	}
+	return Run(ctx, src, opts...)
 }
 
 func runBottomUp(ctx context.Context, src Source, cfg *runConfig) (Decomposition, error) {

@@ -24,6 +24,14 @@
 // in O(answer) time, and NewServer exposes a registry of such indexes
 // over HTTP (the `trussd serve` subcommand).
 //
+// For dynamic graphs, Open returns a Decomposition whose Update method
+// maintains it under edge insertions and deletions — re-peeling only the
+// affected region (WithMaxRegion tunes the full-recompute fallback) while
+// staying exactly equal to a fresh Run of the mutated graph. The server
+// layer builds on the same machinery: mutation endpoints patch the
+// resident Index instead of rebuilding it, and a snapshot+WAL store under
+// ServerOptions.DataDir makes registered graphs survive restarts.
+//
 // The pre-Run facade functions (Decompose, DecomposeBaseline,
 // DecomposeParallel, BottomUp, BottomUpFile, TopDown, TopDownFile,
 // MapReduceDecompose) remain as thin deprecated wrappers over Run.
@@ -58,6 +66,9 @@ type Graph = graph.Graph
 
 // Edge is an undirected edge stored canonically with U < V.
 type Edge = graph.Edge
+
+// EdgeFromKey is the inverse of Edge.Key.
+func EdgeFromKey(k uint64) Edge { return graph.EdgeFromKey(k) }
 
 // Builder accumulates edges and produces a Graph.
 type Builder = graph.Builder
