@@ -84,6 +84,54 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// --- Index construction (truss.BuildIndexFrom) ------------------------------
+
+// BenchmarkBuildIndexFrom measures index construction across build
+// paths: the zero-copy fast path over an in-memory Result, the forced
+// streaming reconstruction over the same result (isolating the
+// sort-and-rebuild overhead), and streaming straight out of the
+// bottom-up engine's disk spool (the path that makes external results
+// servable). CI captures it into BENCH_PR.json so index-construction
+// cost is tracked across PRs alongside the engines.
+func BenchmarkBuildIndexFrom(b *testing.B) {
+	ctx := context.Background()
+	g := quickDataset(b, "P2P")
+	dmem, err := truss.Run(ctx, truss.FromGraph(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dbu, err := truss.Run(ctx, truss.FromGraph(g),
+		truss.WithEngine(truss.EngineBottomUp),
+		truss.WithBudget(externalBudget(g)), truss.WithSeed(1),
+		truss.WithTempDir(b.TempDir()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dbu.Close()
+
+	for _, tc := range []struct {
+		name string
+		d    truss.Decomposition
+		opts []truss.IndexOption
+	}{
+		{"fastpath/inmem", dmem, nil},
+		{"stream/inmem", dmem, []truss.IndexOption{truss.WithIndexStreaming()}},
+		{"stream/bottomup", dbu, nil},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := truss.BuildIndexFrom(ctx, tc.d, tc.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.KMax() == 0 {
+					b.Fatal("kmax 0")
+				}
+			}
+		})
+	}
+}
+
 // --- Dynamic maintenance ----------------------------------------------------
 
 // BenchmarkUpdate compares incremental maintenance of a single-edge batch

@@ -1,0 +1,326 @@
+// Package client is a typed Go client for the trussd HTTP API (the /v1
+// routes served by truss.NewServer and the `trussd serve` subcommand).
+//
+// Its centerpiece is Graph, which satisfies truss.Querier — the same
+// interface a local *truss.Index or raw Decomposition answers — so
+// application code is written once and pointed at RAM or at a remote
+// server interchangeably:
+//
+//	c, err := client.New("http://localhost:8080")
+//	var q truss.Querier = c.Graph("social")
+//	k, ok, err := q.TrussNumber(ctx, 3, 7)
+//
+// Point queries map to the GET endpoints, batched lookups to one
+// POST /query round-trip, and KTrussEdges consumes the NDJSON stream of
+// GET /edges lazily — a million-edge truss is iterated straight off the
+// wire, never buffered whole.
+//
+// Every request takes a context. Read-only requests are retried on
+// transient failures (connection errors and 503 while a graph is still
+// building, honoring Retry-After); mutations are never retried — the
+// caller decides whether re-applying a batch is safe.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	truss "repro"
+	"repro/internal/server"
+)
+
+// GraphInfo is the JSON summary of one registered graph, as returned by
+// the list and info endpoints (shared with the server package, so the
+// wire shape cannot drift).
+type GraphInfo = server.GraphInfo
+
+// APIError is a non-2xx response from the server, with the decoded
+// error message when the body carried one.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string ("" when undecodable).
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("trussd: server returned %d", e.Status)
+	}
+	return fmt.Sprintf("trussd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Client talks to one trussd server. It is safe for concurrent use.
+// Create one with New, then address graphs with Graph.
+type Client struct {
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// a dedicated client with a 30s overall timeout; pass one with Timeout 0
+// for unbounded streaming reads on slow links).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a failed read-only request is retried
+// after the first attempt (default 2; 0 disables retrying). Mutations
+// are never retried regardless.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithRetryBackoff sets the base delay between retries (default 100ms,
+// doubled each attempt). A 503's Retry-After header, when present,
+// overrides the computed delay.
+func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a Client for the server at baseURL (e.g.
+// "http://localhost:8080"). The URL is validated here so every later
+// call site can assume a well-formed base.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	c := &Client{
+		base:    u,
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c, nil
+}
+
+// Graph addresses one named graph on the server. No request is made
+// until a method is called; the returned Graph satisfies truss.Querier.
+func (c *Client) Graph(name string) *Graph { return &Graph{c: c, name: name} }
+
+// url joins raw (unescaped) path segments and an optional query onto
+// the base URL. JoinPath escapes each segment exactly once — graph
+// names with spaces or slashes arrive at the server intact.
+func (c *Client) url(query string, segments ...string) string {
+	u := c.base.JoinPath(segments...)
+	u.RawQuery = query
+	return u.String()
+}
+
+// retryable reports whether a response status is worth retrying:
+// 503 means a graph is still building (the server even says how long to
+// wait); everything else is deterministic.
+func retryable(status int) bool { return status == http.StatusServiceUnavailable }
+
+// sleep waits for d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryDelay computes the wait before attempt n, honoring a 503's
+// Retry-After seconds when the server provided one.
+func (c *Client) retryDelay(n int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			return time.Duration(s) * time.Second
+		}
+	}
+	return c.backoff << n
+}
+
+// do issues one request. body is re-materialized per attempt, so retries
+// never send a half-consumed reader. When idempotent is false the
+// request is attempted exactly once. The caller owns the response body.
+func (c *Client) do(ctx context.Context, method, rawurl string, body []byte, idempotent bool) (*http.Response, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, rawurl, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			if attempt < attempts-1 {
+				if err := sleep(ctx, c.retryDelay(attempt, nil)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if idempotent && retryable(resp.StatusCode) && attempt < attempts-1 {
+			// One sleep per failure, at the point of failure: Retry-After
+			// (when the server sent one) overrides the computed backoff
+			// rather than adding to it.
+			delay := c.retryDelay(attempt, resp)
+			drain(resp)
+			if err := sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+			lastErr = &APIError{Status: resp.StatusCode}
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("client: %s %s failed after %d attempts: %w", method, rawurl, attempts, lastErr)
+}
+
+// drain discards and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// apiError decodes the server's {"error": "..."} body into an APIError.
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+	return &APIError{Status: resp.StatusCode, Message: body.Error}
+}
+
+// call issues a request and decodes a 2xx JSON response into out
+// (ignored when nil). Non-2xx responses come back as *APIError.
+func (c *Client) call(ctx context.Context, method, rawurl string, body []byte, idempotent bool, out any) error {
+	resp, err := c.do(ctx, method, rawurl, body, idempotent)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, rawurl, err)
+	}
+	return nil
+}
+
+// Health probes /healthz and returns the number of registered graphs.
+func (c *Client) Health(ctx context.Context) (graphs int, err error) {
+	var out struct {
+		OK     bool `json:"ok"`
+		Graphs int  `json:"graphs"`
+	}
+	if err := c.call(ctx, http.MethodGet, c.url("", "healthz"), nil, true, &out); err != nil {
+		return 0, err
+	}
+	if !out.OK {
+		return out.Graphs, errors.New("client: server reports not ok")
+	}
+	return out.Graphs, nil
+}
+
+// Graphs lists every registered graph, sorted by name.
+func (c *Client) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	var out struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if err := c.call(ctx, http.MethodGet, c.url("", "v1", "graphs"), nil, true, &out); err != nil {
+		return nil, err
+	}
+	return out.Graphs, nil
+}
+
+// LoadPath registers name from a server-side graph file. The server
+// builds in the background; poll Info or use WaitReady.
+func (c *Client) LoadPath(ctx context.Context, name, path string) error {
+	body, err := json.Marshal(map[string]string{"path": path})
+	if err != nil {
+		return err
+	}
+	return c.call(ctx, http.MethodPost, c.url("", "v1", "graphs", name), body, false, nil)
+}
+
+// LoadEdges registers name from an inline edge list. The server builds
+// in the background; poll Info or use WaitReady.
+func (c *Client) LoadEdges(ctx context.Context, name string, edges []truss.Edge) error {
+	body, err := json.Marshal(map[string]any{"edges": pairsOf(edges)})
+	if err != nil {
+		return err
+	}
+	return c.call(ctx, http.MethodPost, c.url("", "v1", "graphs", name), body, false, nil)
+}
+
+// Remove drops name from the server's registry (including any persisted
+// state).
+func (c *Client) Remove(ctx context.Context, name string) error {
+	return c.call(ctx, http.MethodDelete, c.url("", "v1", "graphs", name), nil, false, nil)
+}
+
+// WaitReady polls until name is ready (nil), its build fails (error), or
+// ctx expires. Poll spacing starts at the retry backoff and doubles up
+// to one second.
+func (c *Client) WaitReady(ctx context.Context, name string) error {
+	delay := c.backoff
+	for {
+		info, err := c.Graph(name).Info(ctx)
+		if err != nil {
+			return err
+		}
+		switch info.State {
+		case "ready":
+			return nil
+		case "failed":
+			return fmt.Errorf("client: graph %q failed: %s", name, info.Error)
+		}
+		if err := sleep(ctx, delay); err != nil {
+			return err
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// pairsOf converts edges to the wire's [u,v] pair shape.
+func pairsOf(edges []truss.Edge) [][2]uint32 {
+	out := make([][2]uint32, len(edges))
+	for i, e := range edges {
+		out[i] = [2]uint32{e.U, e.V}
+	}
+	return out
+}

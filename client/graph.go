@@ -1,0 +1,268 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	truss "repro"
+)
+
+// Graph addresses one named graph on a trussd server and satisfies
+// truss.Querier: the same query script runs against a remote graph and a
+// local index. Obtain one with Client.Graph.
+type Graph struct {
+	c    *Client
+	name string
+}
+
+// Graph is the remote implementation of the unified query surface.
+var _ truss.Querier = (*Graph)(nil)
+
+// Name returns the graph's registry name.
+func (g *Graph) Name() string { return g.name }
+
+// path builds the graph-scoped endpoint path as raw segments (escaping
+// happens once, in Client.url).
+func (g *Graph) path(endpoint string) []string {
+	segs := []string{"v1", "graphs", g.name}
+	if endpoint != "" {
+		segs = append(segs, endpoint)
+	}
+	return segs
+}
+
+// Info fetches the graph's registry entry: state, sizes, kmax, version.
+func (g *Graph) Info(ctx context.Context) (GraphInfo, error) {
+	var info GraphInfo
+	err := g.c.call(ctx, http.MethodGet, g.c.url("", g.path("")...), nil, true, &info)
+	return info, err
+}
+
+// TrussNumber returns phi(u,v) and whether the edge exists
+// (GET /truss).
+func (g *Graph) TrussNumber(ctx context.Context, u, v uint32) (int32, bool, error) {
+	q := url.Values{}
+	q.Set("u", strconv.FormatUint(uint64(u), 10))
+	q.Set("v", strconv.FormatUint(uint64(v), 10))
+	var out struct {
+		Found bool  `json:"found"`
+		Truss int32 `json:"truss"`
+	}
+	if err := g.c.call(ctx, http.MethodGet, g.c.url(q.Encode(), g.path("truss")...), nil, true, &out); err != nil {
+		return 0, false, err
+	}
+	return out.Truss, out.Found, nil
+}
+
+// TrussNumbers answers a batch of edge lookups in a single POST /query
+// round-trip — the way to look up thousands of pairs without paying
+// per-pair latency.
+func (g *Graph) TrussNumbers(ctx context.Context, pairs []truss.Edge) ([]truss.TrussAnswer, error) {
+	if len(pairs) == 0 {
+		return []truss.TrussAnswer{}, nil
+	}
+	body, err := json.Marshal(map[string]any{"pairs": pairsOf(pairs)})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []struct {
+			U     uint32 `json:"u"`
+			V     uint32 `json:"v"`
+			Found bool   `json:"found"`
+			Truss int32  `json:"truss"`
+		} `json:"results"`
+	}
+	// The query POST carries no mutation: retrying it is as safe as
+	// retrying a GET.
+	if err := g.c.call(ctx, http.MethodPost, g.c.url("", g.path("query")...), body, true, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(pairs) {
+		return nil, fmt.Errorf("client: query returned %d results for %d pairs", len(out.Results), len(pairs))
+	}
+	answers := make([]truss.TrussAnswer, len(out.Results))
+	for i, r := range out.Results {
+		answers[i] = truss.TrussAnswer{
+			Edge:  truss.Edge{U: r.U, V: r.V}.Canon(),
+			Truss: r.Truss,
+			Found: r.Found,
+		}
+	}
+	return answers, nil
+}
+
+// Histogram returns |Phi_k| indexed by k, length KMax+1
+// (GET /histogram).
+func (g *Graph) Histogram(ctx context.Context) ([]int64, error) {
+	var out struct {
+		KMax    int32            `json:"kmax"`
+		Classes map[string]int64 `json:"classes"`
+	}
+	if err := g.c.call(ctx, http.MethodGet, g.c.url("", g.path("histogram")...), nil, true, &out); err != nil {
+		return nil, err
+	}
+	hist := make([]int64, out.KMax+1)
+	for ks, n := range out.Classes {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k < 0 || k >= len(hist) {
+			return nil, fmt.Errorf("client: histogram class %q out of range (kmax %d)", ks, out.KMax)
+		}
+		hist[k] = n
+	}
+	return hist, nil
+}
+
+// TopClasses returns the t highest non-empty k-classes, k descending
+// (GET /topclasses; t <= 0 returns all).
+func (g *Graph) TopClasses(ctx context.Context, t int) ([]truss.ClassSummary, error) {
+	q := url.Values{}
+	if t > 0 {
+		q.Set("t", strconv.Itoa(t))
+	}
+	var out struct {
+		Classes []struct {
+			K    int32 `json:"k"`
+			Size int64 `json:"size"`
+		} `json:"classes"`
+	}
+	if err := g.c.call(ctx, http.MethodGet, g.c.url(q.Encode(), g.path("topclasses")...), nil, true, &out); err != nil {
+		return nil, err
+	}
+	classes := make([]truss.ClassSummary, len(out.Classes))
+	for i, c := range out.Classes {
+		classes[i] = truss.ClassSummary{K: c.K, Size: c.Size}
+	}
+	return classes, nil
+}
+
+// Communities returns every k-truss community at level k, largest first
+// (GET /communities).
+func (g *Graph) Communities(ctx context.Context, k int32) ([]truss.QueryCommunity, error) {
+	q := url.Values{}
+	q.Set("k", strconv.FormatInt(int64(k), 10))
+	var out struct {
+		Count       int `json:"count"`
+		Communities []struct {
+			Edges    [][2]uint32 `json:"edges"`
+			Vertices []uint32    `json:"vertices"`
+		} `json:"communities"`
+	}
+	if err := g.c.call(ctx, http.MethodGet, g.c.url(q.Encode(), g.path("communities")...), nil, true, &out); err != nil {
+		return nil, err
+	}
+	comms := make([]truss.QueryCommunity, len(out.Communities))
+	for i, c := range out.Communities {
+		edges := make([]truss.Edge, len(c.Edges))
+		for j, p := range c.Edges {
+			edges[j] = truss.Edge{U: p[0], V: p[1]}.Canon()
+		}
+		comms[i] = truss.QueryCommunity{K: k, Edges: edges, Vertices: c.Vertices}
+	}
+	return comms, nil
+}
+
+// KTrussEdges streams the k-truss edge set off the wire
+// (GET /edges?k=, NDJSON): edges are yielded as lines arrive, so even a
+// truss with millions of edges is iterated in constant memory. Breaking
+// out of the loop closes the response body and aborts the transfer.
+// Only the initial request is retried; a connection dropped mid-stream
+// surfaces through the returned error function — a partially consumed
+// stream is not silently passed off as complete.
+func (g *Graph) KTrussEdges(ctx context.Context, k int32) (iter.Seq2[truss.Edge, int32], func() error) {
+	var iterErr error
+	seq := func(yield func(truss.Edge, int32) bool) {
+		q := url.Values{}
+		if k > 0 {
+			q.Set("k", strconv.FormatInt(int64(k), 10))
+		}
+		resp, err := g.c.do(ctx, http.MethodGet, g.c.url(q.Encode(), g.path("edges")...), nil, true)
+		if err != nil {
+			iterErr = err
+			return
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			iterErr = apiError(resp)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var rec struct {
+				U     uint32 `json:"u"`
+				V     uint32 `json:"v"`
+				Truss int32  `json:"truss"`
+			}
+			if err := json.Unmarshal(line, &rec); err != nil {
+				iterErr = fmt.Errorf("client: bad NDJSON edge line %q: %w", line, err)
+				return
+			}
+			if !yield(truss.Edge{U: rec.U, V: rec.V}.Canon(), rec.Truss) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			iterErr = fmt.Errorf("client: edge stream interrupted: %w", err)
+		}
+	}
+	return seq, func() error { return iterErr }
+}
+
+// MutationResult reports how the server carried out a mutation batch.
+type MutationResult struct {
+	// Graph is the post-mutation registry entry.
+	Graph GraphInfo `json:"graph"`
+	// Version is the graph's monotonic version after the batch.
+	Version uint64 `json:"version"`
+	// Changed counts edges whose truss number changed.
+	Changed int `json:"changed"`
+	// Region counts edges re-peeled by incremental maintenance.
+	Region int `json:"region"`
+	// Fallback reports whether maintenance fell back to a full recompute.
+	Fallback bool `json:"fallback"`
+	// Expansions counts the region-expansion rounds.
+	Expansions int `json:"expansions"`
+}
+
+// InsertEdges inserts a batch of edges (POST /edges). Never retried:
+// whether re-applying a failed batch is safe is the caller's call.
+func (g *Graph) InsertEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	return g.mutate(ctx, http.MethodPost, map[string]any{"edges": pairsOf(edges)})
+}
+
+// DeleteEdges deletes a batch of edges (DELETE /edges). Never retried.
+func (g *Graph) DeleteEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	return g.mutate(ctx, http.MethodDelete, map[string]any{"edges": pairsOf(edges)})
+}
+
+// Update applies a mixed batch of insertions and deletions in one
+// request (POST /edges with adds/dels). Never retried.
+func (g *Graph) Update(ctx context.Context, adds, dels []truss.Edge) (*MutationResult, error) {
+	return g.mutate(ctx, http.MethodPost, map[string]any{
+		"adds": pairsOf(adds), "dels": pairsOf(dels),
+	})
+}
+
+func (g *Graph) mutate(ctx context.Context, method string, body map[string]any) (*MutationResult, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	var res MutationResult
+	if err := g.c.call(ctx, method, g.c.url("", g.path("edges")...), raw, false, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

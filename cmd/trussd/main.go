@@ -1,6 +1,7 @@
 // Command trussd decomposes a graph file with any of the reproduced
 // algorithms and reports the k-class histogram (optionally the per-edge
-// truss numbers), or serves truss queries over HTTP.
+// truss numbers), serves truss queries over HTTP, or queries a running
+// server.
 //
 // Batch usage:
 //
@@ -10,6 +11,11 @@
 // Serving usage:
 //
 //	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait] [-data-dir dir]
+//
+// Query usage (against a running `trussd serve`, via the client package):
+//
+//	trussd query -graph name [-server http://host:8080] \
+//	    -truss u,v | -batch pairs.txt | -histogram | -top t | -communities k | -edges k
 //
 // Batch mode is a thin shell over the library's unified entry point,
 // truss.Run: the -algo flag picks the engine, -budget/-top/-tmp map to the
@@ -48,6 +54,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveMain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "trussd serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		if err := queryMain(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "trussd query: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	truss "repro"
+	"repro/client"
+)
+
+// queryMain runs the `trussd query` subcommand: a thin shell over the
+// client package that points the unified Querier surface at a running
+// `trussd serve` and prints plain-text answers. Exactly one operation
+// flag is given per invocation.
+func queryMain(args []string) error {
+	fs := flag.NewFlagSet("trussd query", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "trussd serve base URL")
+	graphName := fs.String("graph", "", "graph name on the server (required)")
+	trussPair := fs.String("truss", "", `one edge lookup: "u,v"`)
+	batch := fs.String("batch", "", `file of "u v" pairs for one batched lookup ("-" = stdin)`)
+	histogram := fs.Bool("histogram", false, "print |Phi_k| for every k")
+	top := fs.Int("top", -1, "print the top-t k-classes (0 = all)")
+	communities := fs.Int("communities", 0, "list the k-truss communities at this k (k >= 3)")
+	edgesAt := fs.Int("edges", -1, `stream the k-truss edges as "u v phi" lines (0 = all edges)`)
+	timeout := fs.Duration("timeout", time.Minute, "overall request deadline (0 = none)")
+	retries := fs.Int("retries", 2, "transient-failure retries for read requests")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: trussd query -graph name [-server URL] <operation>
+
+operations (exactly one):
+  -truss u,v         truss number of one edge
+  -batch file        batched lookups, one "u v" pair per line ("-" = stdin)
+  -histogram         class sizes |Phi_k|
+  -top t             top-t k-classes (0 = all)
+  -communities k     k-truss communities at level k
+  -edges k           stream the k-truss edge set (0 = all edges)`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphName == "" {
+		fs.Usage()
+		return fmt.Errorf("-graph is required")
+	}
+	ops := 0
+	for _, set := range []bool{*trussPair != "", *batch != "", *histogram, *top >= 0, *communities > 0, *edgesAt >= 0} {
+		if set {
+			ops++
+		}
+	}
+	if ops != 1 {
+		fs.Usage()
+		return fmt.Errorf("give exactly one operation, got %d", ops)
+	}
+
+	// Streaming a huge truss must not be cut off by the client's default
+	// 30s timeout; the context deadline (below) still bounds the whole
+	// operation.
+	c, err := client.New(*server,
+		client.WithRetries(*retries),
+		client.WithHTTPClient(&http.Client{}))
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	q := c.Graph(*graphName)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	switch {
+	case *trussPair != "":
+		u, v, err := parsePair(*trussPair, ",")
+		if err != nil {
+			return fmt.Errorf("bad -truss %q: %w", *trussPair, err)
+		}
+		k, found, err := q.TrussNumber(ctx, u, v)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Fprintf(out, "edge (%d,%d): not in graph\n", u, v)
+			return nil
+		}
+		fmt.Fprintf(out, "truss(%d,%d) = %d\n", u, v, k)
+
+	case *batch != "":
+		pairs, err := readPairs(*batch)
+		if err != nil {
+			return err
+		}
+		answers, err := q.TrussNumbers(ctx, pairs)
+		if err != nil {
+			return err
+		}
+		for _, a := range answers {
+			if a.Found {
+				fmt.Fprintf(out, "%d\t%d\t%d\n", a.Edge.U, a.Edge.V, a.Truss)
+			} else {
+				fmt.Fprintf(out, "%d\t%d\t-\n", a.Edge.U, a.Edge.V)
+			}
+		}
+
+	case *histogram:
+		hist, err := q.Histogram(ctx)
+		if err != nil {
+			return err
+		}
+		for k, n := range hist {
+			if n > 0 {
+				fmt.Fprintf(out, "|Phi_%d| = %d\n", k, n)
+			}
+		}
+
+	case *top >= 0:
+		classes, err := q.TopClasses(ctx, *top)
+		if err != nil {
+			return err
+		}
+		for _, cl := range classes {
+			fmt.Fprintf(out, "k=%d\tsize=%d\n", cl.K, cl.Size)
+		}
+
+	case *communities > 0:
+		comms, err := q.Communities(ctx, int32(*communities))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d-truss communities: %d\n", *communities, len(comms))
+		for i, cm := range comms {
+			fmt.Fprintf(out, "  #%d: %d edges over %d vertices\n", i+1, len(cm.Edges), len(cm.Vertices))
+		}
+
+	case *edgesAt >= 0:
+		seq, errf := q.KTrussEdges(ctx, int32(*edgesAt))
+		n := 0
+		for e, phi := range seq {
+			fmt.Fprintf(out, "%d\t%d\t%d\n", e.U, e.V, phi)
+			n++
+		}
+		if err := errf(); err != nil {
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d edges\n", n)
+	}
+	return nil
+}
+
+// parsePair splits "u<sep>v" into two vertex IDs.
+func parsePair(s, sep string) (u, v uint32, err error) {
+	a, b, ok := strings.Cut(s, sep)
+	if !ok {
+		return 0, 0, fmt.Errorf("want two vertex IDs separated by %q", sep)
+	}
+	var uu, vv uint64
+	if _, err := fmt.Sscanf(strings.TrimSpace(a), "%d", &uu); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(b), "%d", &vv); err != nil {
+		return 0, 0, err
+	}
+	if uu > 1<<32-1 || vv > 1<<32-1 {
+		return 0, 0, fmt.Errorf("vertex IDs must fit uint32")
+	}
+	return uint32(uu), uint32(vv), nil
+}
+
+// readPairs loads "u v" pairs (whitespace separated, '#' comments) from
+// a file or stdin.
+func readPairs(path string) ([]truss.Edge, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var pairs []truss.Edge
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"u v\", got %q", path, line, text)
+		}
+		u, v, err := parsePair(fields[0]+" "+fields[1], " ")
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		pairs = append(pairs, truss.Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}

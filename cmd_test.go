@@ -342,3 +342,102 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("topclasses = %v", top)
 	}
 }
+
+// TestQueryCLI drives `trussd query` (built on the client package)
+// against a real `trussd serve` process: single lookups, a batched
+// lookup round-trip, histogram, top classes, communities, and the
+// NDJSON edge stream.
+func TestQueryCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+
+	gpath := filepath.Join(dir, "paper.txt")
+	var sb strings.Builder
+	for _, e := range gen.PaperExample().Edges() {
+		fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+	}
+	if err := os.WriteFile(gpath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startServe(t, trussd, "-load", "paper="+gpath, "-wait")
+	defer stop(true)
+	server := "http://" + addr
+
+	query := func(args ...string) string {
+		t.Helper()
+		return runCmd(t, trussd, append([]string{"query", "-server", server, "-graph", "paper"}, args...)...)
+	}
+
+	// One edge: (0,1) is in the paper's 5-clique.
+	if out := query("-truss", "0,1"); !strings.Contains(out, "truss(0,1) = 5") {
+		t.Fatalf("-truss output: %q", out)
+	}
+	// A non-edge is reported, not an error.
+	if out := query("-truss", "0,11"); !strings.Contains(out, "not in graph") {
+		t.Fatalf("-truss miss output: %q", out)
+	}
+
+	// Batched lookup: every known edge plus one miss, one round-trip.
+	phi := gen.PaperExamplePhi()
+	var pairs strings.Builder
+	pairs.WriteString("# batch\n")
+	for key := range phi {
+		fmt.Fprintf(&pairs, "%d %d\n", uint32(key>>32), uint32(key))
+	}
+	pairs.WriteString("0 11\n")
+	bpath := filepath.Join(dir, "pairs.txt")
+	if err := os.WriteFile(bpath, []byte(pairs.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(query("-batch", bpath)), "\n")
+	if len(lines) != len(phi)+1 {
+		t.Fatalf("-batch returned %d lines, want %d", len(lines), len(phi)+1)
+	}
+	misses := 0
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("-batch line %q", line)
+		}
+		if fields[2] == "-" {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("-batch reported %d misses, want 1", misses)
+	}
+
+	// Histogram and top classes match Example 2.
+	if out := query("-histogram"); !strings.Contains(out, "|Phi_5| = 10") {
+		t.Fatalf("-histogram output: %q", out)
+	}
+	if out := query("-top", "1"); strings.TrimSpace(out) != "k=5\tsize=10" {
+		t.Fatalf("-top output: %q", out)
+	}
+
+	// Communities at k=3 (the example has two 3-truss communities).
+	if out := query("-communities", "3"); !strings.Contains(out, "3-truss communities:") {
+		t.Fatalf("-communities output: %q", out)
+	}
+
+	// Edge streaming: the 5-truss has exactly 10 edges, all with phi 5.
+	// (runCmd merges stderr, so drop the "streamed N edges" status line.)
+	out := strings.TrimSpace(query("-edges", "5"))
+	var elines []string
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "streamed") {
+			elines = append(elines, line)
+		}
+	}
+	if len(elines) != 10 {
+		t.Fatalf("-edges 5 streamed %d lines, want 10:\n%s", len(elines), out)
+	}
+	for _, line := range elines {
+		if !strings.HasSuffix(line, "\t5") {
+			t.Fatalf("-edges 5 line %q", line)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package truss_test
 import (
 	"context"
 	"fmt"
+	"log"
 
 	truss "repro"
 )
@@ -127,6 +128,45 @@ func ExampleBuildIndex() {
 	// phi(3,4): 3
 	// |Phi_4| = 6
 	// |Phi_3| = 3
+}
+
+// ExampleBuildIndexFrom indexes an external-memory decomposition by
+// streaming its disk-resident result — the path that makes the paper's
+// out-of-core algorithms servable — and queries it through the unified
+// Querier surface.
+func ExampleBuildIndexFrom() {
+	ctx := context.Background()
+	b := truss.NewBuilder(8)
+	// 4-clique on 0..3 with a pendant triangle 3-4-5.
+	for _, e := range [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {3, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	d, err := truss.Run(ctx, truss.FromGraph(b.Build()),
+		truss.WithEngine(truss.EngineBottomUp)) // result lives in a spool
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := truss.BuildIndexFrom(ctx, d) // reconstructed from the stream
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Close() // the index no longer needs the spool
+
+	q := truss.QueryIndex(ix)
+	k, _, _ := q.TrussNumber(ctx, 0, 1)
+	fmt.Println("phi(0,1):", k)
+	seq, errf := q.KTrussEdges(ctx, 4)
+	n := 0
+	for range seq {
+		n++
+	}
+	if err := errf(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("4-truss edges:", n)
+	// Output:
+	// phi(0,1): 4
+	// 4-truss edges: 6
 }
 
 // ExampleIndex_CommunityOf looks up the k-truss community around a single

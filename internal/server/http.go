@@ -1,20 +1,23 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/index"
 )
 
-// HTTP API (all responses JSON):
+// HTTP API (responses JSON unless noted):
 //
 //	GET    /healthz                          liveness probe
 //	GET    /v1/graphs                        list registered graphs
@@ -23,14 +26,26 @@ import (
 //	GET    /v1/graphs/{name}                 graph status + summary stats
 //	POST   /v1/graphs/{name}/edges           insert edges: {"edges":[[u,v],...]} (or {"adds":...,"dels":...})
 //	DELETE /v1/graphs/{name}/edges           delete edges: {"edges":[[u,v],...]}
+//	GET    /v1/graphs/{name}/edges?k=        stream the k-truss edges as NDJSON (k=0: all edges)
+//	POST   /v1/graphs/{name}/query           batched truss-number lookups: {"pairs":[[u,v],...]}
 //	GET    /v1/graphs/{name}/truss?u=&v=     truss number of one edge
 //	GET    /v1/graphs/{name}/community?u=&v=&k=   k-truss community containing an edge
+//	GET    /v1/graphs/{name}/communities?k=&limit=   all k-truss communities at level k
 //	GET    /v1/graphs/{name}/histogram       class sizes |Phi_k| for all k
 //	GET    /v1/graphs/{name}/topclasses?t=&edges=1   top-t k-classes, optionally with edges
 //
+// Known paths hit with an unregistered method get a 405 with an Allow
+// header; body-bearing requests with a non-JSON Content-Type get a 415.
 // The mutation endpoints maintain the decomposition incrementally and
 // bump the graph's monotonic version counter; with -data-dir they are
 // durable (WAL + snapshot) and survive restarts.
+//
+// The edges stream is one NDJSON object per line, in truss-number
+// descending order (so T_k prefixes arrive innermost-first):
+//
+//	{"u":3,"v":7,"truss":5}
+//
+// It is the wire format of the client package's KTrussEdges iterator.
 
 // GraphInfo is the JSON summary of a registry entry.
 type GraphInfo struct {
@@ -73,20 +88,66 @@ func entryInfo(e *Entry) GraphInfo {
 // Handler returns the HTTP API over the server's registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
-	})
-	mux.HandleFunc("GET /v1/graphs", s.handleList)
-	mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoad)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
-	mux.HandleFunc("GET /v1/graphs/{name}", s.withEntry(s.handleInfo))
-	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutate(false))
-	mux.HandleFunc("DELETE /v1/graphs/{name}/edges", s.handleMutate(true))
-	mux.HandleFunc("GET /v1/graphs/{name}/truss", s.withIndex(s.handleTruss))
-	mux.HandleFunc("GET /v1/graphs/{name}/community", s.withIndex(s.handleCommunity))
-	mux.HandleFunc("GET /v1/graphs/{name}/histogram", s.withIndex(s.handleHistogram))
-	mux.HandleFunc("GET /v1/graphs/{name}/topclasses", s.withIndex(s.handleTopClasses))
+	type route struct {
+		method, path string
+		handler      http.HandlerFunc
+	}
+	routes := []route{
+		{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
+		}},
+		{"GET", "/v1/graphs", s.handleList},
+		{"POST", "/v1/graphs/{name}", s.handleLoad},
+		{"DELETE", "/v1/graphs/{name}", s.handleDelete},
+		{"GET", "/v1/graphs/{name}", s.withEntry(s.handleInfo)},
+		{"POST", "/v1/graphs/{name}/edges", s.handleMutate(false)},
+		{"DELETE", "/v1/graphs/{name}/edges", s.handleMutate(true)},
+		{"GET", "/v1/graphs/{name}/edges", s.withIndex(s.handleEdgesStream)},
+		{"POST", "/v1/graphs/{name}/query", s.withIndex(s.handleQuery)},
+		{"GET", "/v1/graphs/{name}/truss", s.withIndex(s.handleTruss)},
+		{"GET", "/v1/graphs/{name}/community", s.withIndex(s.handleCommunity)},
+		{"GET", "/v1/graphs/{name}/communities", s.withIndex(s.handleCommunities)},
+		{"GET", "/v1/graphs/{name}/histogram", s.withIndex(s.handleHistogram)},
+		{"GET", "/v1/graphs/{name}/topclasses", s.withIndex(s.handleTopClasses)},
+	}
+	allowed := map[string][]string{}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" "+rt.path, rt.handler)
+		allowed[rt.path] = append(allowed[rt.path], rt.method)
+	}
+	// A method-less pattern per known path catches every method no
+	// handler above claims; the method-specific patterns win on
+	// precedence, so this only fires on mismatches. It replaces the
+	// stdlib's plain-text 405 with the API's JSON error shape while
+	// keeping the proper Allow header.
+	for path, methods := range allowed {
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (allow: %s)", r.Method, allow)
+		})
+	}
 	return mux
+}
+
+// requireJSON enforces a JSON request Content-Type on body-bearing
+// endpoints: application/json (parameters allowed) and +json media types
+// pass, a missing Content-Type is tolerated, anything else — a form
+// post, multipart, text — is rejected with 415 up front instead of
+// surfacing later as a confusing JSON decode error.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	if mt, _, err := mime.ParseMediaType(ct); err == nil &&
+		(mt == "application/json" || strings.HasSuffix(mt, "+json")) {
+		return true
+	}
+	writeError(w, http.StatusUnsupportedMediaType,
+		"unsupported Content-Type %q: send application/json", ct)
+	return false
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +170,9 @@ type loadRequest struct {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !requireJSON(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	if max := s.opts.maxBodyBytes(); max > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, max)
@@ -182,6 +246,9 @@ type mutateRequest struct {
 // /v1/graphs/{name}/edges.
 func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if !requireJSON(w, r) {
+			return
+		}
 		name := r.PathValue("name")
 		if max := s.opts.maxBodyBytes(); max > 0 {
 			r.Body = http.MaxBytesReader(w, r.Body, max)
@@ -383,6 +450,137 @@ func (s *Server) handleTopClasses(w http.ResponseWriter, r *http.Request, ix *in
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"kmax": ix.KMax(), "classes": out})
+}
+
+// handleEdgesStream serves GET /v1/graphs/{name}/edges: the k-truss edge
+// set as NDJSON, one {"u":..,"v":..,"truss":..} object per line, ordered
+// by truss number descending (T_k is a prefix of the full stream for
+// every k). With ?k= only edges of truss number >= k are sent; k <= 2 or
+// absent streams every classified edge. This is the bulk-answer
+// counterpart of the point-query endpoints and the wire format behind
+// the client package's KTrussEdges iterator: a million-edge truss never
+// materializes as one JSON document on either side.
+func (s *Server) handleEdgesStream(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	k := int64(0)
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 32)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "k must be a non-negative integer")
+			return
+		}
+		k = v
+	}
+	ids := ix.TrussEdges(int32(k))
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Truss-Edge-Count", strconv.Itoa(len(ids)))
+	h.Set("X-Truss-KMax", strconv.FormatInt(int64(ix.KMax()), 10))
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	ctx := r.Context()
+	for i, id := range ids {
+		if i&8191 == 0 && ctx.Err() != nil {
+			return // client went away mid-stream; nothing left to report
+		}
+		e := ix.Graph().Edge(id)
+		fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d,\"truss\":%d}\n", e.U, e.V, ix.EdgeTruss(id))
+	}
+	// A flush failure means the connection died on the final window; the
+	// status line is long gone, so there is no channel left to report on.
+	_ = bw.Flush()
+}
+
+// queryRequest is the body of POST /v1/graphs/{name}/query: a batch of
+// edge lookups answered in one round-trip.
+type queryRequest struct {
+	Pairs [][2]uint32 `json:"pairs"`
+}
+
+// handleQuery serves POST /v1/graphs/{name}/query — batched truss-number
+// lookups. POST carries the batch (thousands of pairs exceed any URL),
+// but the operation is read-only and safe to retry.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	if !requireJSON(w, r) {
+		return
+	}
+	if max := s.opts.maxBodyBytes(); max > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, max)
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty pairs batch")
+		return
+	}
+	type answer struct {
+		U     uint32 `json:"u"`
+		V     uint32 `json:"v"`
+		Found bool   `json:"found"`
+		Truss int32  `json:"truss,omitempty"`
+	}
+	results := make([]answer, len(req.Pairs))
+	found := 0
+	for i, p := range req.Pairs {
+		results[i] = answer{U: p[0], V: p[1]}
+		if t, ok := ix.TrussNumber(p[0], p[1]); ok {
+			results[i].Found, results[i].Truss = true, t
+			found++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(results), "found": found, "results": results,
+	})
+}
+
+// handleCommunities serves GET /v1/graphs/{name}/communities: every
+// k-truss community at level k, largest first, with ?limit= capping how
+// many are expanded (the count always reports the total).
+func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
+	k64, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
+	if err != nil || k64 < 3 {
+		writeError(w, http.StatusBadRequest, "k must be an integer >= 3")
+		return
+	}
+	k := int32(k64)
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = v
+	}
+	total := ix.CommunityCount(k)
+	count := total
+	if limit > 0 && limit < count {
+		count = limit
+	}
+	type commJSON struct {
+		Size     int         `json:"size"`
+		Edges    [][2]uint32 `json:"edges"`
+		Vertices []uint32    `json:"vertices"`
+	}
+	comms := make([]commJSON, 0, count)
+	for c := 0; c < count; c++ {
+		ids, _ := ix.Community(k, c)
+		comms = append(comms, commJSON{
+			Size:     len(ids),
+			Edges:    edgePairs(ix, ids),
+			Vertices: ix.Vertices(ids),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"k": k, "count": total, "communities": comms,
+	})
 }
 
 // edgeParams parses the u and v query parameters, writing a 400 on error.

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// readyServer returns a test server with one built graph named "g".
+func readyServer(t *testing.T, g *graph.Graph) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts := newTestServer(t)
+	s.Build("g", g, "test")
+	if err := s.WaitReady("g", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return s, ts
+}
+
+// TestEdgesStream checks the NDJSON k-truss streaming endpoint: every
+// line parses, the set matches the index's truss prefix, the order is
+// truss-descending, and the count/kmax headers agree.
+func TestEdgesStream(t *testing.T) {
+	s, ts := readyServer(t, gen.PaperExample())
+	e, _ := s.Lookup("g")
+	ix := e.Index
+
+	for _, k := range []int32{0, 3, 5, 99} {
+		resp, err := http.Get(ts.URL + "/v1/graphs/g/edges?k=" + itoa(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("k=%d: status %d", k, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("k=%d: Content-Type %q", k, ct)
+		}
+		wantIDs := ix.TrussEdges(k)
+		if got := resp.Header.Get("X-Truss-Edge-Count"); got != itoa(int32(len(wantIDs))) {
+			t.Fatalf("k=%d: X-Truss-Edge-Count %q want %d", k, got, len(wantIDs))
+		}
+		type line struct {
+			U     uint32 `json:"u"`
+			V     uint32 `json:"v"`
+			Truss int32  `json:"truss"`
+		}
+		var lines []line
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var l line
+			if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+				t.Fatalf("k=%d: bad line %q: %v", k, sc.Text(), err)
+			}
+			lines = append(lines, l)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(lines) != len(wantIDs) {
+			t.Fatalf("k=%d: %d lines want %d", k, len(lines), len(wantIDs))
+		}
+		for i, l := range lines {
+			e := ix.Graph().Edge(wantIDs[i])
+			if l.U != e.U || l.V != e.V || l.Truss != ix.EdgeTruss(wantIDs[i]) {
+				t.Fatalf("k=%d line %d = %+v want edge %v truss %d", k, i, l, e, ix.EdgeTruss(wantIDs[i]))
+			}
+			if i > 0 && l.Truss > lines[i-1].Truss {
+				t.Fatalf("k=%d: stream not truss-descending at line %d", k, i)
+			}
+			if l.Truss < k {
+				t.Fatalf("k=%d: line %d below threshold: %+v", k, i, l)
+			}
+		}
+	}
+
+	// Bad k is rejected.
+	resp, err := http.Get(ts.URL + "/v1/graphs/g/edges?k=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=-1: status %d", resp.StatusCode)
+	}
+}
+
+func itoa(k int32) string {
+	b, _ := json.Marshal(k)
+	return string(b)
+}
+
+// TestBatchedQuery checks POST /query: found and missing pairs in one
+// round-trip, answers parallel to the request.
+func TestBatchedQuery(t *testing.T) {
+	_, ts := readyServer(t, gen.PaperExample())
+
+	want := gen.PaperExamplePhi()
+	var pairs [][2]uint32
+	for key := range want {
+		pairs = append(pairs, [2]uint32{uint32(key >> 32), uint32(key)})
+	}
+	pairs = append(pairs, [2]uint32{0, 99}, [2]uint32{7, 7}) // misses
+
+	raw, _ := json.Marshal(map[string]any{"pairs": pairs})
+	resp, err := http.Post(ts.URL+"/v1/graphs/g/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Count   int `json:"count"`
+		Found   int `json:"found"`
+		Results []struct {
+			U     uint32 `json:"u"`
+			V     uint32 `json:"v"`
+			Found bool   `json:"found"`
+			Truss int32  `json:"truss"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != len(pairs) || out.Found != len(want) || len(out.Results) != len(pairs) {
+		t.Fatalf("count=%d found=%d results=%d; want %d/%d/%d",
+			out.Count, out.Found, len(out.Results), len(pairs), len(want), len(pairs))
+	}
+	for i, r := range out.Results {
+		if r.U != pairs[i][0] || r.V != pairs[i][1] {
+			t.Fatalf("result %d not parallel to request: %+v vs %v", i, r, pairs[i])
+		}
+		key := graph.Edge{U: r.U, V: r.V}.Key()
+		if phi, ok := want[key]; ok {
+			if !r.Found || r.Truss != phi {
+				t.Fatalf("result %d = %+v want truss %d", i, r, phi)
+			}
+		} else if r.Found {
+			t.Fatalf("result %d found for non-edge: %+v", i, r)
+		}
+	}
+
+	// Empty batch is a 400, not an empty answer.
+	if code := postJSON(t, ts, "/v1/graphs/g/query", map[string]any{"pairs": [][2]uint32{}}); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", code)
+	}
+}
+
+// TestCommunitiesEndpoint checks the all-communities listing against the
+// index's own tables, including the limit cap and parameter validation.
+func TestCommunitiesEndpoint(t *testing.T) {
+	// Two planted cliques on a sparse background give two well-separated
+	// communities at high k.
+	g := gen.WithPlantedCliques(gen.ErdosRenyi(60, 120, 7), []int{8, 6}, 11)
+	s, ts := readyServer(t, g)
+	e, _ := s.Lookup("g")
+	ix := e.Index
+
+	for k := int32(3); k <= ix.KMax(); k++ {
+		var out struct {
+			K           int32 `json:"k"`
+			Count       int   `json:"count"`
+			Communities []struct {
+				Size     int         `json:"size"`
+				Edges    [][2]uint32 `json:"edges"`
+				Vertices []uint32    `json:"vertices"`
+			} `json:"communities"`
+		}
+		if code := getJSON(t, ts, "/v1/graphs/g/communities?k="+itoa(k), &out); code != http.StatusOK {
+			t.Fatalf("k=%d: status %d", k, code)
+		}
+		if out.Count != ix.CommunityCount(k) || len(out.Communities) != out.Count {
+			t.Fatalf("k=%d: count=%d len=%d want %d", k, out.Count, len(out.Communities), ix.CommunityCount(k))
+		}
+		for c, comm := range out.Communities {
+			ids, _ := ix.Community(k, int(c))
+			if comm.Size != len(ids) || len(comm.Edges) != len(ids) {
+				t.Fatalf("k=%d community %d: size %d want %d", k, c, comm.Size, len(ids))
+			}
+			for j, id := range ids {
+				ge := ix.Graph().Edge(id)
+				if comm.Edges[j] != [2]uint32{ge.U, ge.V} {
+					t.Fatalf("k=%d community %d edge %d = %v want %v", k, c, j, comm.Edges[j], ge)
+				}
+			}
+		}
+	}
+
+	// limit caps the expansion but not the reported total.
+	total := ix.CommunityCount(3)
+	if total < 2 {
+		t.Fatalf("fixture too small: %d communities at k=3", total)
+	}
+	var limited struct {
+		Count       int               `json:"count"`
+		Communities []json.RawMessage `json:"communities"`
+	}
+	getJSON(t, ts, "/v1/graphs/g/communities?k=3&limit=1", &limited)
+	if limited.Count != total || len(limited.Communities) != 1 {
+		t.Fatalf("limit=1: count=%d len=%d want %d/1", limited.Count, len(limited.Communities), total)
+	}
+
+	for _, bad := range []string{"?k=2", "?k=x", "", "?k=3&limit=-1"} {
+		var out map[string]any
+		if code := getJSON(t, ts, "/v1/graphs/g/communities"+bad, &out); code != http.StatusBadRequest {
+			t.Fatalf("%q: status %d", bad, code)
+		}
+	}
+}
+
+// TestMethodNotAllowed checks that known paths hit with the wrong method
+// return a JSON 405 with a proper Allow header (not a 404).
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := readyServer(t, gen.PaperExample())
+
+	cases := []struct {
+		method, path string
+		wantAllow    []string
+	}{
+		{http.MethodPost, "/healthz", []string{"GET"}},
+		{http.MethodDelete, "/v1/graphs", []string{"GET"}},
+		{http.MethodPut, "/v1/graphs/g", []string{"DELETE", "GET", "POST"}},
+		{http.MethodPut, "/v1/graphs/g/edges", []string{"DELETE", "GET", "POST"}},
+		{http.MethodPost, "/v1/graphs/g/truss", []string{"GET"}},
+		{http.MethodGet, "/v1/graphs/g/query", []string{"POST"}},
+		{http.MethodDelete, "/v1/graphs/g/histogram", []string{"GET"}},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if err != nil || body.Error == "" {
+			t.Fatalf("%s %s: 405 body not the JSON error shape (%v)", tc.method, tc.path, err)
+		}
+		allow := resp.Header.Get("Allow")
+		for _, m := range tc.wantAllow {
+			if !strings.Contains(allow, m) {
+				t.Fatalf("%s %s: Allow %q missing %s", tc.method, tc.path, allow, m)
+			}
+		}
+	}
+
+	// Unknown paths still 404.
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+// TestUnsupportedMediaType checks that body-bearing endpoints reject
+// non-JSON Content-Types with 415 up front, while JSON (with
+// parameters), +json types, and an absent Content-Type pass.
+func TestUnsupportedMediaType(t *testing.T) {
+	_, ts := readyServer(t, gen.PaperExample())
+
+	send := func(method, path, contentType, body string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	queryBody := `{"pairs":[[0,1]]}`
+	mutBody := `{"edges":[[0,1]]}`
+	for _, tc := range []struct {
+		method, path, ct, body string
+		want                   int
+	}{
+		// Rejected media types, all body-bearing endpoints.
+		{http.MethodPost, "/v1/graphs/g/query", "application/x-www-form-urlencoded", queryBody, http.StatusUnsupportedMediaType},
+		{http.MethodPost, "/v1/graphs/g/query", "text/plain", queryBody, http.StatusUnsupportedMediaType},
+		{http.MethodPost, "/v1/graphs/g/edges", "text/plain; charset=utf-8", mutBody, http.StatusUnsupportedMediaType},
+		{http.MethodDelete, "/v1/graphs/g/edges", "multipart/form-data", mutBody, http.StatusUnsupportedMediaType},
+		{http.MethodPost, "/v1/graphs/new", "application/xml", `{"edges":[[0,1]]}`, http.StatusUnsupportedMediaType},
+		// Accepted variants.
+		{http.MethodPost, "/v1/graphs/g/query", "application/json; charset=utf-8", queryBody, http.StatusOK},
+		{http.MethodPost, "/v1/graphs/g/query", "application/problem+json", queryBody, http.StatusOK},
+		{http.MethodPost, "/v1/graphs/g/query", "", queryBody, http.StatusOK},
+	} {
+		if got := send(tc.method, tc.path, tc.ct, tc.body); got != tc.want {
+			t.Fatalf("%s %s with %q: status %d want %d", tc.method, tc.path, tc.ct, got, tc.want)
+		}
+	}
+}

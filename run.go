@@ -116,6 +116,12 @@ func runInMemory(eng Engine) engineRunner {
 // maintenance (bottomup, topdown, mapreduce) is an error here rather than
 // a surprise at the first Update.
 func Open(ctx context.Context, src Source, opts ...Option) (Decomposition, error) {
+	// Reject the nil source before option processing: falling through to
+	// Run's generic check after engine validation would report the wrong
+	// entry point.
+	if src == nil {
+		return nil, errors.New("truss: Open requires a non-nil Source")
+	}
 	var cfg runConfig
 	for _, opt := range opts {
 		if opt != nil {

@@ -19,10 +19,19 @@
 // paper's evaluation — k-core decomposition, clustering coefficients, and
 // the kmax-truss versus cmax-core comparison — are exposed as well.
 //
-// For online serving, BuildIndex freezes a decomposition into an Index
-// that answers truss-number, community, histogram, and top-class queries
-// in O(answer) time, and NewServer exposes a registry of such indexes
-// over HTTP (the `trussd serve` subcommand).
+// For online serving, BuildIndex freezes an in-memory Result into an
+// Index that answers truss-number, community, histogram, and top-class
+// queries in O(answer) time; BuildIndexFrom does the same for any
+// engine's Decomposition by consuming its edge stream, so external and
+// MapReduce results are indexable too. NewServer exposes a registry of
+// such indexes over HTTP (the `trussd serve` subcommand).
+//
+// All querying goes through one surface, the Querier interface:
+// QueryIndex wraps a local Index, QueryDecomposition adapts any
+// Decomposition for one-shot queries without an index build, and the
+// client package's Graph speaks the same interface to a remote trussd
+// server — code written against Querier cannot tell RAM, spool, and
+// HTTP apart.
 //
 // For dynamic graphs, Open returns a Decomposition whose Update method
 // maintains it under edge insertions and deletions — re-peeling only the
@@ -363,13 +372,17 @@ type Index = index.TrussIndex
 // IndexClass is one k-class as returned by Index.TopClasses.
 type IndexClass = index.Class
 
-// BuildIndex freezes a decomposition into an Index. The cost is two
-// triangle enumerations (a counting pre-pass sizes the triangle buffer
-// exactly) plus the per-level community tables — run it once per
-// decomposition, then query freely:
+// BuildIndex freezes an in-memory decomposition Result into an Index.
+// The cost is two triangle enumerations (a counting pre-pass sizes the
+// triangle buffer exactly) plus the per-level community tables — run it
+// once per decomposition, then query freely:
 //
 //	ix := truss.BuildIndex(truss.Decompose(g))
 //	k, ok := ix.TrussNumber(u, v)
+//
+// BuildIndex is the fast path for in-memory results; BuildIndexFrom
+// accepts any engine's Decomposition (external spools and MapReduce
+// results included) and produces a structurally identical Index.
 func BuildIndex(r *Result) *Index { return index.Build(r) }
 
 // Server is an HTTP truss-query server: a registry of named graphs, each
