@@ -16,8 +16,9 @@
 // wire, never buffered whole.
 //
 // Every request takes a context. Read-only requests are retried on
-// transient failures (connection errors and 503 while a graph is still
-// building, honoring Retry-After); mutations are never retried — the
+// transient failures (connection errors, 503 while a graph is still
+// building, and 429 when the server's admission limiter sheds load —
+// honoring Retry-After in both cases); mutations are never retried — the
 // caller decides whether re-applying a batch is safe.
 package client
 
@@ -82,7 +83,7 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // WithRetryBackoff sets the base delay between retries (default 100ms,
-// doubled each attempt). A 503's Retry-After header, when present,
+// doubled each attempt). A 503 or 429 Retry-After header, when present,
 // overrides the computed delay.
 func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
@@ -126,9 +127,14 @@ func (c *Client) url(query string, segments ...string) string {
 }
 
 // retryable reports whether a response status is worth retrying:
-// 503 means a graph is still building (the server even says how long to
-// wait); everything else is deterministic.
-func retryable(status int) bool { return status == http.StatusServiceUnavailable }
+// 503 means a graph is still building, 429 means the admission limiter
+// shed the request under momentary overload — both are transient, and the
+// server sends Retry-After with each; everything else is deterministic.
+// Only idempotent reads retry either way; mutations surface the status to
+// their caller unrepeated.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
 
 // sleep waits for d or until ctx is done.
 func sleep(ctx context.Context, d time.Duration) error {
@@ -142,8 +148,8 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryDelay computes the wait before attempt n, honoring a 503's
-// Retry-After seconds when the server provided one.
+// retryDelay computes the wait before attempt n, honoring the response's
+// Retry-After seconds when the server provided one (503 and 429 both do).
 func (c *Client) retryDelay(n int, resp *http.Response) time.Duration {
 	if resp != nil {
 		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {

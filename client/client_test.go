@@ -86,6 +86,43 @@ func TestRetriesOn503(t *testing.T) {
 	}
 }
 
+// TestRetriesOn429Shed: an admission-control shed (429 + Retry-After,
+// the server's load-shedding path) is retried for reads exactly like a
+// 503 — the composition that lets clients ride out momentary overload —
+// while mutations surface the 429 untried a second time.
+func TestRetriesOn429Shed(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"server at capacity (2 requests in flight): retry shortly"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"found":true,"truss":4}`)
+	}))
+	defer ts.Close()
+
+	g := newClient(t, ts.URL, client.WithRetries(3)).Graph("g")
+	k, found, err := g.TrussNumber(context.Background(), 1, 2)
+	if err != nil || !found || k != 4 {
+		t.Fatalf("TrussNumber = (%d,%v,%v), want (4,true,nil)", k, found, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 sheds + success)", got)
+	}
+
+	calls.Store(0)
+	_, err = g.InsertEdges(context.Background(), []truss.Edge{{U: 1, V: 2}})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("mutation under shed: err = %v, want APIError 429", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("shed mutation saw %d calls, want exactly 1 (never retried)", got)
+	}
+}
+
 // TestRetriesExhausted: a persistent 503 eventually comes back as the
 // 503, not as an infinite wait.
 func TestRetriesExhausted(t *testing.T) {

@@ -7,16 +7,24 @@
 //
 //	go test -run '^$' -bench '^BenchmarkRun$' -benchtime 1x . | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_PR.json
-//	benchjson -compare BENCH_PR.json -baseline BENCH_BASELINE.json [-fail-over 3.0]
+//	benchjson -compare BENCH_PR.json -baseline BENCH_BASELINE.json -max-ratio 3.0
+//	benchjson -overhead BENCH_PR.json -num 'BenchmarkObsOverhead/instrumented' \
+//	    -den 'BenchmarkObsOverhead/bare' -max-overhead 1.05
 //
 // Every benchmark line is captured; lines under BenchmarkRun/<engine>/<graph>
 // additionally get engine and graph fields, yielding the engine × graph →
 // ns/op matrix the roadmap's perf tracking asks for.
 //
 // Compare mode prints a per-benchmark ratio table and flags entries slower
-// than the baseline by more than -threshold (default 1.5x). It exits
-// non-zero only when -fail-over is set and some ratio exceeds it — CI
-// runners are noisy, so reporting is the default and gating is opt-in.
+// than the baseline by more than -threshold (default 1.5x). With -max-ratio
+// set it is a blocking gate: any common benchmark slower than the baseline
+// by more than that factor exits non-zero and fails the CI job. (The older
+// -fail-over spelling is kept as an alias.) Refresh BENCH_BASELINE.json as
+// described in the README when a deliberate change moves the numbers.
+//
+// Overhead mode gates one benchmark against another within the same
+// artifact — CI uses it to hold the instrumented serving handler within 5%
+// of the bare one (BenchmarkObsOverhead).
 package main
 
 import (
@@ -56,14 +64,32 @@ func main() {
 	compare := flag.String("compare", "", "compare this JSON artifact against -baseline instead of converting")
 	baseline := flag.String("baseline", "", "baseline JSON artifact for -compare")
 	threshold := flag.Float64("threshold", 1.5, "report entries slower than baseline by this factor")
-	failOver := flag.Float64("fail-over", 0, "exit non-zero when a ratio exceeds this factor (0 = never fail)")
+	maxRatio := flag.Float64("max-ratio", 0, "blocking gate: exit non-zero when a ratio exceeds this factor (0 = never fail)")
+	failOver := flag.Float64("fail-over", 0, "deprecated alias for -max-ratio")
+	overhead := flag.String("overhead", "", "gate -num against -den within this JSON artifact instead of converting")
+	num := flag.String("num", "", "numerator benchmark name for -overhead")
+	den := flag.String("den", "", "denominator benchmark name for -overhead")
+	maxOverhead := flag.Float64("max-overhead", 1.05, "blocking gate for -overhead: maximum allowed num/den ratio")
 	flag.Parse()
 
+	if *overhead != "" {
+		if *num == "" || *den == "" {
+			fatal(fmt.Errorf("-overhead requires -num and -den"))
+		}
+		if err := gateOverhead(*overhead, *num, *den, *maxOverhead); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *compare != "" {
 		if *baseline == "" {
 			fatal(fmt.Errorf("-compare requires -baseline"))
 		}
-		if err := compareArtifacts(*compare, *baseline, *threshold, *failOver); err != nil {
+		gate := *maxRatio
+		if gate == 0 {
+			gate = *failOver
+		}
+		if err := compareArtifacts(*compare, *baseline, *threshold, gate); err != nil {
 			fatal(err)
 		}
 		return
@@ -200,6 +226,34 @@ func compareArtifacts(prPath, basePath string, threshold, failOver float64) erro
 	fmt.Printf("%d/%d benchmarks above the %.2fx reporting threshold\n", regressions, len(names), threshold)
 	if failures > 0 {
 		return fmt.Errorf("%d benchmarks regressed beyond the %.2fx failure threshold", failures, failOver)
+	}
+	return nil
+}
+
+// gateOverhead enforces num/den <= maxRatio within one artifact: the
+// instrumentation-overhead gate. Both benchmarks must be present — a
+// silently missing series would wave a broken gate through.
+func gateOverhead(path, num, den string, maxRatio float64) error {
+	entries, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	n, ok := entries[num]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not found", path, num)
+	}
+	d, ok := entries[den]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not found", path, den)
+	}
+	if d.NsPerOp <= 0 {
+		return fmt.Errorf("%s: benchmark %q has no timing", path, den)
+	}
+	ratio := n.NsPerOp / d.NsPerOp
+	fmt.Printf("overhead %s / %s = %.0f / %.0f ns/op = %.3fx (limit %.3fx)\n",
+		num, den, n.NsPerOp, d.NsPerOp, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("overhead %.3fx exceeds the %.3fx limit", ratio, maxRatio)
 	}
 	return nil
 }

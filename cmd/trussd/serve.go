@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -27,18 +28,47 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// openAccessLog resolves the -access-log flag: "" disables, "stderr" and
+// "stdout" select the process streams, anything else appends to a file.
+func openAccessLog(spec string) (io.Writer, func() error, error) {
+	switch spec {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "stderr":
+		return os.Stderr, func() error { return nil }, nil
+	case "stdout":
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(spec, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening access log: %w", err)
+	}
+	return f, f.Close, nil
+}
+
 // serveMain runs the `trussd serve` subcommand: an HTTP server answering
-// truss queries against resident TrussIndexes.
+// truss queries against resident TrussIndexes, instrumented end to end
+// (Prometheus /metrics, /healthz + /readyz probes, structured access
+// logs, bounded-concurrency admission control, opt-in pprof).
 func serveMain(args []string) error {
 	fs := flag.NewFlagSet("trussd serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "decomposition workers (0 = GOMAXPROCS)")
 	wait := fs.Bool("wait", false, "block until preloaded graphs are ready before listening")
 	dataDir := fs.String("data-dir", "", "durable state directory: snapshots + mutation WALs, restored on startup")
+	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics on GET /metrics")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (diagnostic; do not enable on untrusted networks)")
+	maxInflight := fs.Int("max-inflight", 1024, "admission limit: concurrent requests beyond this are shed with 429 (0 = unlimited)")
+	accessLog := fs.String("access-log", "", "access log destination: empty = off, stderr, stdout, or a file path")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slow-client guard on request headers (0 = 5s default, negative = disabled)")
+	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a full request incl. body (0 = 5m default, negative = disabled)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle bound (0 = 2m default, negative = disabled)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: trussd serve [-addr :8080] [-workers N] [-load name=path]... [-wait] [-data-dir dir]")
+		fmt.Fprintln(os.Stderr, "                    [-metrics] [-pprof] [-max-inflight N] [-access-log dest]")
+		fmt.Fprintln(os.Stderr, "                    [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -46,10 +76,19 @@ func serveMain(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "trussd: ", log.LstdFlags)
+	accessOut, closeAccess, err := openAccessLog(*accessLog)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeAccess() }()
 	srv := truss.NewServer(truss.ServerOptions{
-		Workers: *workers,
-		Logf:    logger.Printf,
-		DataDir: *dataDir,
+		Workers:                *workers,
+		Logf:                   logger.Printf,
+		DataDir:                *dataDir,
+		MaxInFlight:            *maxInflight,
+		AccessLog:              accessOut,
+		DisableMetricsEndpoint: !*metricsOn,
+		EnablePprof:            *pprofOn,
 	})
 	if *dataDir != "" {
 		// Restore persisted graphs before preloads: a -load of an already
@@ -78,14 +117,22 @@ func serveMain(args []string) error {
 		}
 	}
 
+	// Every graph is registered by now: recovered entries are resident,
+	// preloads are at least building placeholders, so /readyz flips to 200
+	// exactly when the last initial build publishes.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := truss.NewHTTPServer(srv.Handler(), truss.HTTPTimeouts{
+		ReadHeader: *readHeaderTimeout,
+		Read:       *readTimeout,
+		Idle:       *idleTimeout,
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	logger.Printf("ops: metrics=%v pprof=%v max-inflight=%d access-log=%q", *metricsOn, *pprofOn, *maxInflight, *accessLog)
 	logger.Printf("listening on %s", ln.Addr())
 	go func() { errc <- hs.Serve(ln) }()
 	select {

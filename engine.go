@@ -105,6 +105,12 @@ type runConfig struct {
 	stats     *IOStats
 	progress  func(Progress)
 	maxRegion float64
+
+	// statsReadBase/statsWriteBase snapshot the (cumulative, possibly
+	// shared across runs) IOStats counters at Run entry, so the metrics
+	// layer can attribute exactly this run's disk traffic.
+	statsReadBase  int64
+	statsWriteBase int64
 }
 
 // WithEngine selects the decomposition algorithm (default EngineInMem).

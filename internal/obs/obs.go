@@ -1,0 +1,434 @@
+// Package obs is the dependency-free observability core of the serving
+// stack: atomic counters and gauges, fixed-bucket latency histograms with
+// quantile estimation, and a Registry that renders everything in the
+// Prometheus text exposition format. It exists so the server, the engines,
+// and the durability layer can all report through one surface without
+// pulling a metrics dependency into a graph-algorithms module.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Recording a counter increment or a histogram
+//     observation is a handful of atomic adds — no locks, no allocation,
+//     no time formatting. The serving middleware sits on every request;
+//     BenchmarkObsOverhead in internal/server holds the instrumented
+//     handler within 5% of the bare one.
+//  2. Fixed memory. Histograms use a fixed bucket layout chosen at
+//     registration; nothing grows with traffic. Label sets are interned
+//     in the registry, so cardinality is bounded by the code that calls
+//     With (routes × status classes, not user input).
+//  3. Exposition compatibility. WritePrometheus emits the text format any
+//     Prometheus scraper (or the strict parser in the tests) accepts:
+//     HELP/TYPE headers, cumulative le buckets with +Inf, _sum and _count.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use but unregistered; obtain registered counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, resident
+// graphs, WAL bytes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency bucket layout, in seconds — the usual
+// web-serving spread from half a millisecond to ten seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// WideBuckets is the layout for seconds-to-minutes operations —
+// decomposition builds and engine runs, which are 1ms on toy graphs and
+// twenty minutes on the paper's largest. One shared definition keeps
+// truss_build_seconds and truss_run_seconds comparable on a dashboard.
+var WideBuckets = []float64{
+	0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600, 1200,
+}
+
+// Histogram is a fixed-bucket distribution: counts[i] holds observations
+// <= bounds[i], with one overflow bucket (+Inf) at the end. Observations
+// are two atomic adds plus one atomic float accumulation; there is no
+// per-observation allocation and no lock.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram builds a histogram over the given ascending bounds
+// (DefBuckets when nil).
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the layouts are small
+	// (tens of buckets) so this is a few cache-resident compares.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket where the cumulative count crosses q. Returns NaN when
+// the histogram is empty. Estimates inherit bucket resolution: a value in
+// the +Inf bucket reports the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) { // +Inf bucket: clamp to last finite bound
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one metric name: a TYPE, a HELP string, and its label-set
+// children in registration order.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+	mu     sync.Mutex
+	order  []string
+	kids   map[string]*child
+}
+
+// child is one label set of a family, holding exactly one live metric.
+type child struct {
+	labels string // rendered {k="v",...} suffix, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry. Lookup methods are cheap enough for per-request
+// use but hot paths should capture the returned metric once where possible.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry is the process-wide registry shared by the server stack
+// and the engine entry points.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry: trussd serves it on /metrics,
+// and truss.Run reports engine activity into it.
+func Default() *Registry { return defaultRegistry }
+
+// family returns (registering on first use) the named family. Re-registering
+// a name with a different kind panics: that is a programming error, not a
+// runtime condition.
+func (r *Registry) family(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, kids: map[string]*child{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// child returns (creating on first use) the label-set child of f.
+func (f *family) child(labels []string) *child {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.kids[key]
+	if !ok {
+		c = &child{labels: key}
+		switch f.kind {
+		case kindCounter:
+			c.c = &Counter{}
+		case kindGauge:
+			c.g = &Gauge{}
+		case kindHistogram:
+			c.h = newHistogram(f.bounds)
+		}
+		f.kids[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// renderLabels turns k1, v1, k2, v2, ... into a canonical {k1="v1",...}
+// suffix. Pairs are sorted by key so the same set always interns to the
+// same child regardless of call-site order. Odd trailing names are dropped.
+func renderLabels(kv []string) string {
+	n := len(kv) / 2
+	if n == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{kv[2*i], kv[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Counter returns the registered counter for name and the given
+// ("k", "v", ...) label pairs, creating both family and child on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.family(name, help, kindCounter, nil).child(labels).c
+}
+
+// Gauge returns the registered gauge for name and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.family(name, help, kindGauge, nil).child(labels).g
+}
+
+// Histogram returns the registered histogram for name and label pairs.
+// bounds picks the bucket layout on first registration of the family
+// (DefBuckets when nil); later calls reuse the family layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.family(name, help, kindHistogram, bounds).child(labels).h
+}
+
+// snapshotFamilies copies the family list under the registry lock so
+// exposition does not hold it while formatting.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families in registration order,
+// children in creation order. Values observed during the render may or may
+// not be included — scrapes are point-in-time, not transactional.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		kids := make([]*child, 0, len(f.order))
+		for _, key := range f.order {
+			kids = append(kids, f.kids[key])
+		}
+		f.mu.Unlock()
+		if len(kids) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range kids {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeChild renders one label set of one family.
+func writeChild(w io.Writer, f *family, c *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, c.labels, c.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, c.labels, c.g.Value())
+		return err
+	case kindHistogram:
+		h := c.h
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLE(c.labels, formatBound(bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(c.labels, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, c.labels, h.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, c.labels, h.Count())
+		return err
+	}
+	return nil
+}
+
+// withLE splices the le label into a rendered label suffix.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

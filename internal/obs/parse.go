@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict reader for the Prometheus text exposition format.
+// It exists for two consumers: the golden tests, which must fail on any
+// format drift a lenient scraper would forgive, and the soak harness,
+// which asserts /metrics counter values against the load it drove.
+
+// Samples maps rendered series ("name{k=\"v\"}") to their parsed values.
+type Samples map[string]float64
+
+// Value returns the sample for name with the given ("k", "v", ...) label
+// pairs, or 0 when the series was not exposed.
+func (s Samples) Value(name string, labels ...string) float64 {
+	return s[name+renderLabels(labels)]
+}
+
+// labelPair matches one k="v" inside a label block.
+var labelPair = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+
+// valueToken matches a sample value (with optional trailing timestamp).
+var valueToken = regexp.MustCompile(`^(NaN|[-+]?(?:Inf|[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?))(?:\s+[-+]?[0-9]+)?$`)
+
+// splitSample cuts one exposition line into metric name, raw label block
+// (with braces, "" if none), and value text. The label block is scanned
+// with quote awareness — label values legitimately contain '{', '}', and
+// ',' (route patterns do) — so a regex over the whole line cannot do it.
+func splitSample(line string) (name, labels, value string, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", "", fmt.Errorf("no metric name")
+	}
+	name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		inQuotes := false
+		j := i + 1
+		for ; j < len(line); j++ {
+			switch line[j] {
+			case '\\':
+				if inQuotes {
+					j++
+				}
+			case '"':
+				inQuotes = !inQuotes
+			case '}':
+				if !inQuotes {
+					labels = line[i : j+1]
+					i = j + 1
+					goto labelsDone
+				}
+			}
+		}
+		return "", "", "", fmt.Errorf("unterminated label block")
+	}
+labelsDone:
+	rest := strings.TrimLeft(line[i:], " \t")
+	if rest == line[i:] && rest != "" {
+		return "", "", "", fmt.Errorf("missing space before value")
+	}
+	m := valueToken.FindStringSubmatch(rest)
+	if m == nil {
+		return "", "", "", fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, m[1], nil
+}
+
+// isNameChar reports whether c may appear in a metric name (first
+// position excludes digits).
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// ParseExposition reads the Prometheus text format strictly: every
+// non-comment line must be a well-formed sample, TYPE declarations must
+// name a known type, no series may repeat, histogram bucket series must be
+// cumulative (non-decreasing in le order) with a +Inf bucket equal to
+// _count, and every histogram needs both _sum and _count. It returns the
+// parsed samples keyed by canonical series name.
+func ParseExposition(r io.Reader) (Samples, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	samples := Samples{}
+	types := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, valueText, perr := splitSample(line)
+		if perr != nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q: %v", lineNo, line, perr)
+		}
+		key, err := canonicalSeries(name, labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %w", lineNo, valueText, err)
+		}
+		samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkHistograms(samples, types); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// canonicalSeries validates a label block and re-renders it sorted so
+// lookup keys are stable.
+func canonicalSeries(name, labels string) (string, error) {
+	if labels == "" || labels == "{}" {
+		return name, nil
+	}
+	inner := labels[1 : len(labels)-1]
+	var kv []string
+	for _, part := range splitLabels(inner) {
+		pm := labelPair.FindStringSubmatch(part)
+		if pm == nil {
+			return "", fmt.Errorf("malformed label %q in %s%s", part, name, labels)
+		}
+		kv = append(kv, pm[1], unescapeLabel(pm[2]))
+	}
+	return name + renderLabels(kv), nil
+}
+
+// splitLabels splits the inside of a label block on commas that are not
+// inside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// unescapeLabel reverses the exposition escaping of a label value.
+func unescapeLabel(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// checkHistograms enforces the histogram invariants over the parsed set.
+func checkHistograms(samples Samples, types map[string]string) error {
+	for name, kind := range types {
+		if kind != "histogram" {
+			continue
+		}
+		// Group bucket series by their non-le label set.
+		type bucket struct {
+			le  float64
+			val float64
+		}
+		buckets := map[string][]bucket{}
+		prefix := name + "_bucket"
+		for key, v := range samples {
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(key, prefix)
+			le, others, err := extractLE(rest)
+			if err != nil {
+				return fmt.Errorf("series %s: %w", key, err)
+			}
+			buckets[others] = append(buckets[others], bucket{le: le, val: v})
+		}
+		if len(buckets) == 0 {
+			return fmt.Errorf("histogram %s has no _bucket series", name)
+		}
+		for others, bs := range buckets {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, +1) {
+				return fmt.Errorf("histogram %s%s missing +Inf bucket", name, others)
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].val < bs[i-1].val {
+					return fmt.Errorf("histogram %s%s buckets not cumulative at le=%g", name, others, bs[i].le)
+				}
+			}
+			count, ok := samples[name+"_count"+others]
+			if !ok {
+				return fmt.Errorf("histogram %s%s missing _count", name, others)
+			}
+			if _, ok := samples[name+"_sum"+others]; !ok {
+				return fmt.Errorf("histogram %s%s missing _sum", name, others)
+			}
+			if count != last.val {
+				return fmt.Errorf("histogram %s%s +Inf bucket %g != count %g", name, others, last.val, count)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a canonical label suffix, returning
+// its value and the remaining label block.
+func extractLE(labels string) (le float64, others string, err error) {
+	if labels == "" || labels[0] != '{' {
+		return 0, "", fmt.Errorf("bucket series without labels")
+	}
+	inner := labels[1 : len(labels)-1]
+	var rest []string
+	leText := ""
+	for _, part := range splitLabels(inner) {
+		if strings.HasPrefix(part, `le="`) {
+			leText = strings.TrimSuffix(strings.TrimPrefix(part, `le="`), `"`)
+			continue
+		}
+		pm := labelPair.FindStringSubmatch(part)
+		if pm == nil {
+			return 0, "", fmt.Errorf("malformed label %q", part)
+		}
+		rest = append(rest, pm[1], unescapeLabel(pm[2]))
+	}
+	if leText == "" {
+		return 0, "", fmt.Errorf("bucket series without le label")
+	}
+	if leText == "+Inf" {
+		le = math.Inf(+1)
+	} else if le, err = strconv.ParseFloat(leText, 64); err != nil {
+		return 0, "", fmt.Errorf("bad le %q: %w", leText, err)
+	}
+	return le, renderLabels(rest), nil
+}

@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,8 +86,29 @@ func entryInfo(e *Entry) GraphInfo {
 	return info
 }
 
-// Handler returns the HTTP API over the server's registry.
+// Handler returns the HTTP API over the server's registry, wrapped in the
+// serving middleware stack (request IDs, optional access log, per-route
+// metrics, admission control — see middleware.go). Operational endpoints
+// ride alongside the API: /healthz (liveness), /readyz (readiness, 503
+// until every initial build has published), /metrics (Prometheus text,
+// unless disabled), and opt-in /debug/pprof.
 func (s *Server) Handler() http.Handler {
+	// Middleware, outermost first: request IDs so every later layer shares
+	// one identifier; observation wrapping admission so shed 429s appear in
+	// the per-route counters; admission innermost, guarding only real work.
+	var h http.Handler = s.apiMux()
+	h = &admission{limit: int64(s.opts.MaxInFlight), m: s.metrics, next: h}
+	var logger *accessLogger
+	if s.opts.AccessLog != nil {
+		logger = &accessLogger{out: s.opts.AccessLog}
+	}
+	h = withObservation(s.metrics, logger, h)
+	return withRequestID(h)
+}
+
+// apiMux builds the bare route mux — the handler stack minus middleware.
+// BenchmarkObsOverhead serves it directly to price the middleware.
+func (s *Server) apiMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	type route struct {
 		method, path string
@@ -96,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
 		}},
+		{"GET", "/readyz", s.handleReady},
 		{"GET", "/v1/graphs", s.handleList},
 		{"POST", "/v1/graphs/{name}", s.handleLoad},
 		{"DELETE", "/v1/graphs/{name}", s.handleDelete},
@@ -120,6 +143,10 @@ func (s *Server) Handler() http.Handler {
 	// precedence, so this only fires on mismatches. It replaces the
 	// stdlib's plain-text 405 with the API's JSON error shape while
 	// keeping the proper Allow header.
+	if !s.opts.DisableMetricsEndpoint {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		allowed["/metrics"] = []string{"GET"}
+	}
 	for path, methods := range allowed {
 		sort.Strings(methods)
 		allow := strings.Join(methods, ", ")
@@ -128,7 +155,37 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (allow: %s)", r.Method, allow)
 		})
 	}
+	if s.opts.EnablePprof {
+		// Explicit registration (not the pprof package's DefaultServeMux
+		// side effect) keeps the exposure a deliberate, per-server choice.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleReady serves GET /readyz: 200 once every registered graph has a
+// resident index (rebuilds of already-resident graphs do not drop
+// readiness — the previous index keeps serving), 503 with the pending
+// names while first builds are in flight or shutdown has begun.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, pending := s.Ready()
+	if ready {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "pending": pending})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 // requireJSON enforces a JSON request Content-Type on body-bearing

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The serving middleware stack, outermost first:
+//
+//	requestID → accessLog → metrics → admission → mux (+ /metrics, /readyz, pprof)
+//
+// Request IDs are assigned (or propagated) first so every later layer —
+// access log lines, error responses, traces a client correlates — shares
+// one identifier. The metrics layer wraps admission so shed requests are
+// visible in the per-route counters as 429s, not silently dropped before
+// measurement. Probe endpoints (/healthz, /readyz, /metrics, /debug/pprof)
+// bypass admission: an operator diagnosing an overloaded server must not
+// be shed by the very overload they are diagnosing.
+
+// requestIDHeader carries the request ID in both directions.
+const requestIDHeader = "X-Request-Id"
+
+// Default connection-lifecycle timeouts for NewHTTPServer. A server
+// without them holds a goroutine and a connection for as long as a slow
+// (or deliberately slow — slowloris) client cares to drip bytes.
+const (
+	// DefaultReadHeaderTimeout bounds how long a client may take to send
+	// the request headers. Headers are small; 5s is generous even over
+	// bad mobile links.
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout bounds the whole request read including the
+	// body. Inline graph loads can be tens of MB of JSON, so this is
+	// sized for a slow upload, not an interactive query.
+	DefaultReadTimeout = 5 * time.Minute
+	// DefaultIdleTimeout bounds how long a keep-alive connection may sit
+	// between requests.
+	DefaultIdleTimeout = 2 * time.Minute
+)
+
+// HTTPTimeouts configures NewHTTPServer. Zero values select the package
+// defaults; negative values disable that timeout (streaming consumers
+// with very slow readers may need it, but know what you are giving up).
+type HTTPTimeouts struct {
+	ReadHeader time.Duration
+	Read       time.Duration
+	Idle       time.Duration
+}
+
+// resolve maps the zero/negative convention onto http.Server's values.
+func (t HTTPTimeouts) resolve() HTTPTimeouts {
+	pick := func(v, def time.Duration) time.Duration {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0 // http.Server: zero means no timeout
+		default:
+			return v
+		}
+	}
+	return HTTPTimeouts{
+		ReadHeader: pick(t.ReadHeader, DefaultReadHeaderTimeout),
+		Read:       pick(t.Read, DefaultReadTimeout),
+		Idle:       pick(t.Idle, DefaultIdleTimeout),
+	}
+}
+
+// NewHTTPServer returns an http.Server for h hardened against slow-client
+// connection exhaustion: header, body-read, and keep-alive idle phases are
+// all bounded (see the Default*Timeout constants). There is deliberately
+// no WriteTimeout — /v1/graphs/{name}/edges streams arbitrarily large
+// NDJSON bodies, and a write deadline would cut legitimate bulk reads;
+// handlers needing one can set per-request deadlines via
+// http.ResponseController.
+func NewHTTPServer(h http.Handler, t HTTPTimeouts) *http.Server {
+	r := t.resolve()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: r.ReadHeader,
+		ReadTimeout:       r.Read,
+		IdleTimeout:       r.Idle,
+	}
+}
+
+// idCounter sequences request IDs within a process.
+var idCounter atomic.Uint64
+
+// idPrefix distinguishes processes; set once at init from the wall clock.
+var idPrefix = func() string {
+	return strconv.FormatInt(time.Now().UnixNano()&0xffffffffff, 36)
+}()
+
+// nextRequestID returns a process-unique request ID. It is a few
+// nanoseconds of atomic increment plus one small allocation — cheap enough
+// for the hot path, unique enough to grep a log by.
+func nextRequestID() string {
+	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 36)
+}
+
+// statusRecorder captures the status code and bytes written by the inner
+// handler. It deliberately does not implement http.Flusher/Hijacker
+// passthroughs beyond Flush: the API streams NDJSON (needs Flush via the
+// ResponseController path) but never hijacks.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// per-request deadlines and flushes keep working through the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// withRequestID assigns (or propagates a client-sent) request ID and
+// reflects it in the response header. Client-sent IDs are accepted only
+// when well-formed (see validRequestID): the ID is interpolated into
+// access-log lines and response headers, so a hostile value could spoof
+// log fields or split headers if reflected verbatim.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = nextRequestID()
+			r.Header.Set(requestIDHeader, id)
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// validRequestID bounds client-supplied request IDs to a log- and
+// header-safe charset: 1-128 bytes of [A-Za-z0-9._-]. Anything else —
+// spaces, quotes, control bytes — is replaced with a generated ID.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// accessLogger writes one structured (logfmt) line per request to a
+// serialized writer.
+type accessLogger struct {
+	mu  sync.Mutex
+	out io.Writer
+}
+
+// log writes one access-log line. Fields are logfmt-style key=value pairs:
+// greppable raw, parseable by any structured-log shipper.
+func (l *accessLogger) log(r *http.Request, status int, bytes int64, elapsed time.Duration, route string) {
+	if route == "" {
+		route = "-"
+	}
+	line := fmt.Sprintf("time=%s id=%s method=%s path=%q route=%q status=%d bytes=%d dur=%s remote=%q\n",
+		time.Now().UTC().Format(time.RFC3339Nano),
+		r.Header.Get(requestIDHeader),
+		r.Method, r.URL.RequestURI(), route, status, bytes,
+		elapsed.Round(time.Microsecond), r.RemoteAddr)
+	l.mu.Lock()
+	_, _ = io.WriteString(l.out, line)
+	l.mu.Unlock()
+}
+
+// withObservation wraps next with the measurement layer: status/byte
+// capture, per-route metrics, and (when logger is non-nil) access logging.
+// The route label is the ServeMux pattern that matched (r.Pattern is
+// populated by the mux during routing and visible here after next
+// returns); unmatched and shed requests report "unrouted".
+func withObservation(m *serverMetrics, logger *accessLogger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		m.inflight.Inc()
+		// Deferred so a panicking handler (recovered per-connection by
+		// net/http) cannot leak the gauge upward forever.
+		defer m.inflight.Dec()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		m.request(r.Pattern, status, elapsed)
+		if logger != nil {
+			logger.log(r, status, rec.bytes, elapsed, r.Pattern)
+		}
+	})
+}
+
+// admission is the bounded-concurrency load shedder: at most limit
+// requests run the inner handler at once, and excess load is rejected
+// immediately with 429 + Retry-After rather than queued into a latency
+// collapse. Probe paths bypass the limiter.
+type admission struct {
+	limit    int64
+	inflight atomic.Int64
+	m        *serverMetrics
+	next     http.Handler
+}
+
+// exemptFromAdmission reports whether a path must never be shed:
+// operational probes and diagnostics stay reachable under overload.
+func exemptFromAdmission(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return len(path) >= 13 && path[:13] == "/debug/pprof/" || path == "/debug/pprof"
+}
+
+func (a *admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.limit <= 0 || exemptFromAdmission(r.URL.Path) {
+		a.next.ServeHTTP(w, r)
+		return
+	}
+	if n := a.inflight.Add(1); n > a.limit {
+		a.inflight.Add(-1)
+		a.m.shed.Inc()
+		// Retry-After: 1 composes with the client package's read
+		// retries — readers back off a beat and come back; mutations
+		// surface the 429 to their caller unretried.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"server at capacity (%d requests in flight): retry shortly", a.limit)
+		return
+	}
+	defer a.inflight.Add(-1)
+	a.next.ServeHTTP(w, r)
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// newOpsServer returns a server with its own metrics registry (so
+// parallel tests never share counters) and one ready graph named "g".
+func newOpsServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	s := New(opts)
+	t.Cleanup(func() { _ = s.Shutdown(t.Context()) })
+	s.Build("g", gen.PaperExample(), "test")
+	return s
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := newOpsServer(t, Options{AccessLog: &logBuf})
+	h := s.Handler()
+
+	// A client-supplied ID is honored and reflected.
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-chosen-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "client-chosen-42" {
+		t.Fatalf("client request ID not propagated: got %q", got)
+	}
+
+	// Absent IDs are generated, unique per request, and reach the access
+	// log along with the structured fields.
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		id := rec.Header().Get("X-Request-Id")
+		if id == "" {
+			t.Fatal("no request ID generated")
+		}
+		ids[id] = true
+	}
+	if len(ids) != 3 {
+		t.Fatalf("generated IDs not unique: %v", ids)
+	}
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("access log has %d lines, want 4:\n%s", len(lines), logBuf.String())
+	}
+	if !strings.Contains(lines[0], "id=client-chosen-42") {
+		t.Errorf("access log missing client request ID: %q", lines[0])
+	}
+	for _, want := range []string{"method=GET", `path="/healthz"`, "status=200", `route="GET /healthz"`, "dur=", "bytes="} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("access log line missing %s: %q", want, lines[0])
+		}
+	}
+
+	// Oversized or hostile client IDs are replaced, not reflected: the ID
+	// lands in access-log lines and response headers, so spaces and quotes
+	// would let a client forge log fields.
+	for _, bad := range []string{strings.Repeat("x", 500), `x status=500 remote="10.0.0.1"`, "a\"b", "tab\tchar"} {
+		req = httptest.NewRequest("GET", "/healthz", nil)
+		req.Header.Set("X-Request-Id", bad)
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		got := rec.Header().Get("X-Request-Id")
+		if got == bad || got == "" {
+			t.Fatalf("malformed request ID %q reflected as %q, want a generated replacement", bad, got)
+		}
+	}
+}
+
+// TestShedPath drives the server past its in-flight limit
+// deterministically: two slow POST bodies hold two request slots open at
+// the admission layer, then every further API request must be shed with
+// 429 + Retry-After while probe endpoints stay reachable, and the shed
+// counter must match the observed rejections exactly.
+func TestShedPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newOpsServer(t, Options{MaxInFlight: 2, Metrics: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy both slots with requests whose bodies never finish arriving.
+	hold := make([]net.Conn, 2)
+	for i := range hold {
+		c, err := net.Dial("tcp", ts.Listener.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_, err = io.WriteString(c, "POST /v1/graphs/held HTTP/1.1\r\nHost: t\r\n"+
+			"Content-Type: application/json\r\nContent-Length: 64\r\n\r\n{")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hold[i] = c
+	}
+	waitFor(t, func() bool { return s.metrics.inflight.Value() == 2 }, "2 requests in flight")
+
+	// Probes bypass admission even at capacity.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s at capacity: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// API traffic is shed, with Retry-After, exactly counted.
+	const sheds = 5
+	for i := 0; i < sheds; i++ {
+		resp, err := http.Get(ts.URL + "/v1/graphs/g/truss?u=0&v=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d at capacity: status %d, want 429 (body %s)", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		if !strings.Contains(string(body), "capacity") {
+			t.Fatalf("429 body does not explain the shed: %s", body)
+		}
+	}
+	if got := s.metrics.shed.Value(); got != sheds {
+		t.Fatalf("shed counter = %d, want %d", got, sheds)
+	}
+
+	// Release the held slots; traffic flows again. Polls racing the
+	// release may still be shed, so keep counting observed 429s — the
+	// counter must track them exactly.
+	for _, c := range hold {
+		c.Close()
+	}
+	observed := int64(sheds)
+	waitFor(t, func() bool {
+		resp, err := http.Get(ts.URL + "/v1/graphs/g/truss?u=0&v=1")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			observed++
+		}
+		return resp.StatusCode == http.StatusOK
+	}, "traffic to resume after releasing held connections")
+	if got := s.metrics.shed.Value(); got != observed {
+		t.Fatalf("shed counter = %d, want %d observed 429s", got, observed)
+	}
+
+	// The sheds are visible in the per-route metrics as 429s.
+	samples := scrape(t, ts.URL)
+	if got := samples.Value("truss_http_shed_total"); got != float64(observed) {
+		t.Fatalf("exposed shed counter = %g, want %d", got, observed)
+	}
+	if got := samples.Value("truss_http_requests_total", "route", "unrouted", "code", "429"); got != float64(observed) {
+		t.Fatalf("unrouted 429 counter = %g, want %d", got, observed)
+	}
+}
+
+// TestConcurrentLoadBelowLimit storms the server with more concurrency
+// than CPUs but less than the in-flight limit: every request must succeed,
+// zero must shed, and the per-route counters must equal the driven load.
+func TestConcurrentLoadBelowLimit(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newOpsServer(t, Options{MaxInFlight: 256, Metrics: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers, perWorker = 16, 40
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Get(ts.URL + "/v1/graphs/g/truss?u=0&v=1")
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests failed below the in-flight limit", failed.Load())
+	}
+	if got := s.metrics.shed.Value(); got != 0 {
+		t.Fatalf("shed %d requests below the in-flight limit", got)
+	}
+	samples := scrape(t, ts.URL)
+	want := float64(workers * perWorker)
+	if got := samples.Value("truss_http_requests_total",
+		"route", "GET /v1/graphs/{name}/truss", "code", "200"); got != want {
+		t.Fatalf("truss route counter = %g, want %g", got, want)
+	}
+	if got := samples.Value("truss_http_request_seconds_count",
+		"route", "GET /v1/graphs/{name}/truss"); got != want {
+		t.Fatalf("latency histogram count = %g, want %g", got, want)
+	}
+}
+
+// TestMetricsEndpoint checks the live exposition end to end: strict-parse
+// the scrape and verify the build instrumentation recorded the one build
+// this server ran.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newOpsServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drive one query so a route series exists.
+	resp, err := http.Get(ts.URL + "/v1/graphs/g/truss?u=0&v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	samples := scrape(t, ts.URL)
+	if got := samples.Value("truss_build_total"); got != 1 {
+		t.Errorf("truss_build_total = %g, want 1", got)
+	}
+	wantEdges := float64(gen.PaperExample().NumEdges())
+	if got := samples.Value("truss_build_edges_peeled_total"); got != wantEdges {
+		t.Errorf("edges peeled = %g, want %g", got, wantEdges)
+	}
+	if samples.Value("truss_build_levels_total") < 1 {
+		t.Error("no peeling levels recorded")
+	}
+	if got := samples.Value("truss_build_seconds_count"); got != 1 {
+		t.Errorf("build duration count = %g, want 1", got)
+	}
+	if got := samples.Value("truss_graphs_ready"); got != 1 {
+		t.Errorf("graphs ready gauge = %g, want 1", got)
+	}
+
+	// Content type advertises the exposition version.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+
+	// DisableMetricsEndpoint hides the route.
+	s2 := newOpsServer(t, Options{DisableMetricsEndpoint: true})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /metrics: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestReadyzFlip walks the readiness lifecycle: ready when empty, not
+// ready (naming the graph) while a first build is pending, ready again
+// once it publishes, resident through a rebuild, and not ready during
+// shutdown.
+func TestReadyzFlip(t *testing.T) {
+	s := New(Options{Metrics: obs.NewRegistry()})
+	h := s.Handler()
+
+	status := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		var body map[string]any
+		_ = json.NewDecoder(rec.Body).Decode(&body)
+		return rec.Code, body
+	}
+
+	if code, body := status(); code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("empty server: readyz = %d %v, want 200 ready", code, body)
+	}
+
+	// A first build in flight blocks readiness and is named.
+	s.install("slow", &Entry{Name: "slow", State: StateBuilding}, s.beginBuild())
+	code, body := status()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("building server: readyz = %d, want 503", code)
+	}
+	if pending, _ := body["pending"].([]any); len(pending) != 1 || pending[0] != "slow" {
+		t.Fatalf("pending = %v, want [slow]", body["pending"])
+	}
+
+	// Publication flips it ready.
+	s.Build("slow", gen.PaperExample(), "test")
+	if code, _ := status(); code != http.StatusOK {
+		t.Fatalf("after build: readyz = %d, want 200", code)
+	}
+
+	// A rebuild placeholder keeps the old index resident — still ready.
+	s.install("slow", &Entry{Name: "slow", State: StateBuilding}, s.beginBuild())
+	if code, _ := status(); code != http.StatusOK {
+		t.Fatalf("during rebuild: readyz = %d, want 200 (old index serves)", code)
+	}
+
+	// Shutdown drains readiness so load balancers stop routing here.
+	_ = s.Shutdown(t.Context())
+	if code, _ := status(); code != http.StatusServiceUnavailable {
+		t.Fatalf("after shutdown: readyz = %d, want 503", code)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	s := newOpsServer(t, Options{EnablePprof: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof smoke: status %d body %.80s", resp.StatusCode, body)
+	}
+
+	// Off by default: profiles are internals, not a public endpoint.
+	s2 := newOpsServer(t, Options{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestHTTPServerTimeouts pins the slowloris hardening: defaults applied,
+// negatives disable, and a client that stalls mid-header is disconnected
+// once ReadHeaderTimeout fires.
+func TestHTTPServerTimeouts(t *testing.T) {
+	hs := NewHTTPServer(http.NewServeMux(), HTTPTimeouts{})
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", hs.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", hs.ReadTimeout, DefaultReadTimeout)
+	}
+	if hs.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", hs.IdleTimeout, DefaultIdleTimeout)
+	}
+	hs = NewHTTPServer(http.NewServeMux(), HTTPTimeouts{ReadHeader: -1, Read: -1, Idle: -1})
+	if hs.ReadHeaderTimeout != 0 || hs.ReadTimeout != 0 || hs.IdleTimeout != 0 {
+		t.Errorf("negative timeouts not disabled: %v %v %v",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout)
+	}
+
+	// Live slowloris: stall after half a request line.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		HTTPTimeouts{ReadHeader: 150 * time.Millisecond})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HT"); err != nil {
+		t.Fatal(err)
+	}
+	// The server may write a 408 before closing; drain until the close
+	// (read error) and require it within bounded time — an unhardened
+	// server would hold the stalled connection open indefinitely.
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatal("stalled connection still open after 5s (read header timeout not applied)")
+			}
+			break
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stalled connection lingered %v (read header timeout not applied)", elapsed)
+	}
+}
+
+// scrape fetches and strictly parses the server's /metrics.
+func scrape(t *testing.T, baseURL string) obs.Samples {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("metrics exposition rejected by strict parser: %v", err)
+	}
+	return samples
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// BenchmarkObsOverhead prices the middleware stack on the hot query path:
+// the same batched POST /query request served by the bare route mux
+// ("bare") and by the full Handler — request ID, metrics, admission —
+// ("instrumented"). CI converts both to BENCH_PR.json and fails the build
+// when instrumented/bare exceeds 1.05: observability that costs more than
+// 5% of the hot path is a regression, not a feature.
+//
+//	go test -run '^$' -bench BenchmarkObsOverhead -benchtime 2s ./internal/server/
+func BenchmarkObsOverhead(b *testing.B) {
+	// MaxInFlight mirrors the trussd serve default so the admission
+	// limiter's atomic accounting is part of the measured stack, not
+	// skipped via its unlimited fast path.
+	s := New(Options{Metrics: obs.NewRegistry(), MaxInFlight: 1024})
+	defer s.Shutdown(b.Context())
+	s.Build("g", gen.Community(40, 25, 0.5, 1.0, 7), "bench")
+
+	// A realistic hot-path request: 128 truss-number lookups in one
+	// round-trip (the client package's Querier batch size regime).
+	var body bytes.Buffer
+	body.WriteString(`{"pairs":[`)
+	for i := 0; i < 128; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, "[%d,%d]", i%997, (i+1)%997)
+	}
+	body.WriteString(`]}`)
+	payload := body.Bytes()
+
+	run := func(b *testing.B, h http.Handler) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/graphs/g/query", bytes.NewReader(payload))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	b.Run("bare", func(b *testing.B) { run(b, s.apiMux()) })
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, s.Handler())
+	})
+}

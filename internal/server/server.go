@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // State is the lifecycle phase of a registered graph.
@@ -103,6 +106,23 @@ type Options struct {
 	// WALCompactBytes is the WAL size that triggers folding the WAL into
 	// a fresh snapshot (0 selects DefaultWALCompactBytes).
 	WALCompactBytes int64
+	// MaxInFlight bounds concurrently served HTTP requests: excess load is
+	// shed immediately with 429 + Retry-After instead of queued into a
+	// latency collapse (0 = unlimited). Probe endpoints (/healthz,
+	// /readyz, /metrics, /debug/pprof) are exempt.
+	MaxInFlight int
+	// AccessLog, when non-nil, receives one structured logfmt line per
+	// served request (writes are serialized).
+	AccessLog io.Writer
+	// Metrics selects the observability registry every server metric is
+	// registered on (nil = obs.Default()). GET /metrics exposes it.
+	Metrics *obs.Registry
+	// DisableMetricsEndpoint hides GET /metrics; metrics are still
+	// recorded on the registry for out-of-band exposition.
+	DisableMetricsEndpoint bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profiles expose internals no public endpoint should.
+	EnablePprof bool
 }
 
 // Default request-hardening limits for Options zero values.
@@ -161,6 +181,10 @@ type Server struct {
 	builds  sync.WaitGroup
 	down    bool
 
+	// metrics is the server's instrument panel, registered on
+	// Options.Metrics (or the process default registry).
+	metrics *serverMetrics
+
 	// store is the durability layer (nil without Options.DataDir);
 	// storeErr holds the data-dir open failure, surfaced by Recover.
 	store    *Store
@@ -178,6 +202,7 @@ func New(opts Options) *Server {
 		mutLocks: map[string]*sync.Mutex{},
 		baseCtx:  ctx,
 		stop:     cancel,
+		metrics:  newServerMetrics(opts.Metrics),
 	}
 	if opts.DataDir != "" {
 		s.store, s.storeErr = NewStore(opts.DataDir)
@@ -238,6 +263,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Ready implements the readiness probe: the server is ready when no
+// registered graph is still waiting on its first decomposition (entries
+// with a resident index stay ready through rebuilds — the old index keeps
+// serving) and shutdown has not begun. trussd serve registers recovered
+// and preloaded graphs before opening its listener, so /readyz flips to
+// 200 exactly when every initial build has published. The pending list
+// names the graphs still holding readiness back.
+func (s *Server) Ready() (ready bool, pending []string) {
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return false, []string{"shutting down"}
+	}
+	for _, e := range s.Entries() {
+		if e.Index == nil && e.State == StateBuilding {
+			pending = append(pending, e.Name)
+		}
+	}
+	sort.Strings(pending)
+	return len(pending) == 0, pending
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -325,6 +373,13 @@ func (s *Server) storeLocked(name string, e *Entry) {
 		delete(next, name)
 	}
 	s.snap.Store(&next)
+	ready := int64(0)
+	for _, v := range next {
+		if v.Index != nil {
+			ready++
+		}
+	}
+	s.metrics.graphsReady.Set(ready)
 }
 
 // Lookup returns the entry for name from the current snapshot.
@@ -353,16 +408,24 @@ func (s *Server) Build(name string, g *graph.Graph, source string) *Entry {
 
 func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Entry {
 	start := time.Now()
-	res, err := core.DecomposeParallelCtx(s.baseCtx, g, s.opts.Workers, core.Hooks{})
+	// The level hook feeds the build-progress counters; it runs on the
+	// decomposing goroutine once per peeling level, far off the per-edge
+	// hot path.
+	hooks := core.Hooks{OnLevel: func(int32) { s.metrics.buildLvls.Inc() }}
+	res, err := core.DecomposeParallelCtx(s.baseCtx, g, s.opts.Workers, hooks)
 	if err != nil {
 		// The lifecycle context was canceled (Shutdown): record the abort
 		// without clobbering a previously resident index.
+		s.metrics.buildFails.Inc()
 		e := &Entry{Name: name, State: StateFailed, Err: "build aborted: " + err.Error(), Source: source}
 		s.install(name, e, seq)
 		s.logf("graph %q build aborted: %v", name, err)
 		return e
 	}
 	ix := index.Build(res)
+	s.metrics.builds.Inc()
+	s.metrics.buildEdges.Add(int64(g.NumEdges()))
+	s.metrics.buildDur.ObserveSince(start)
 	e := &Entry{
 		Name:      name,
 		State:     StateReady,
@@ -378,7 +441,7 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 	if installed && s.store != nil {
 		// A fresh build starts a fresh durable lineage: snapshot the new
 		// decomposition and drop any WAL of the graph it replaced.
-		if err := s.store.SaveSnapshot(name, source, e.Version, g, res.Phi, res.KMax); err != nil {
+		if err := s.saveSnapshot(name, source, e.Version, g, res.Phi, res.KMax); err != nil {
 			s.logf("graph %q: snapshot failed (durability degraded): %v", name, err)
 		}
 	}
@@ -390,6 +453,22 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 	s.logf("graph %q ready: n=%d m=%d kmax=%d build=%s version=%d",
 		name, g.NumVertices(), g.NumEdges(), ix.KMax(), e.BuildTime.Round(time.Millisecond), e.Version)
 	return e
+}
+
+// saveSnapshot is the instrumented SaveSnapshot: counts, failures, and
+// write duration, which is the fsync pause an operator wants on a graph.
+func (s *Server) saveSnapshot(name, source string, version uint64, g *graph.Graph, phi []int32, kmax int32) error {
+	start := time.Now()
+	err := s.store.SaveSnapshot(name, source, version, g, phi, kmax)
+	if err != nil {
+		s.metrics.snapFails.Inc()
+		return err
+	}
+	s.metrics.snapSaves.Inc()
+	s.metrics.snapDur.ObserveSince(start)
+	// Builds and compactions both start a fresh WAL lineage.
+	s.metrics.walSize(name).Set(0)
+	return nil
 }
 
 // ErrNotReady is returned by Mutate while the named graph has no resident
@@ -437,13 +516,23 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 		if err != nil {
 			return nil, nil, fmt.Errorf("graph %q: mutation rejected, WAL append failed: %w", name, err)
 		}
+		s.metrics.walAppends.Inc()
+		s.metrics.walSize(name).Set(walBytes)
 		if walBytes >= s.opts.walCompactBytes() {
-			if err := s.store.SaveSnapshot(name, e.Source, version, res.G, res.Phi, res.KMax); err != nil {
+			if err := s.saveSnapshot(name, e.Source, version, res.G, res.Phi, res.KMax); err != nil {
 				s.logf("graph %q: WAL compaction failed: %v", name, err)
 			} else {
+				s.metrics.compactions.Inc()
 				s.logf("graph %q: WAL compacted into snapshot at version %d", name, version)
 			}
 		}
+	}
+	s.metrics.maints.Inc()
+	s.metrics.maintDur.ObserveSince(start)
+	s.metrics.maintChanged.Add(int64(res.Stats.Changed))
+	s.metrics.maintRegion.Add(int64(res.Stats.Region))
+	if res.Stats.FellBack {
+		s.metrics.maintFallback.Inc()
 	}
 	ne := &Entry{
 		Name:      name,
@@ -513,10 +602,14 @@ func (s *Server) Recover() error {
 		if !s.install(pg.Name, e, s.beginBuild()) {
 			continue
 		}
+		s.metrics.recovered.Inc()
+		s.metrics.replayed.Add(int64(replayed))
 		if replayed > 0 {
 			// Fold the replayed WAL in so the next restart is snapshot-only.
-			if err := s.store.SaveSnapshot(pg.Name, pg.Source, version, g, phi, kmax); err != nil {
+			if err := s.saveSnapshot(pg.Name, pg.Source, version, g, phi, kmax); err != nil {
 				s.logf("graph %q: post-recovery compaction failed: %v", pg.Name, err)
+			} else {
+				s.metrics.compactions.Inc()
 			}
 		}
 		s.logf("graph %q recovered at version %d: n=%d m=%d kmax=%d (%d WAL batches replayed)",
@@ -544,6 +637,7 @@ func (s *Server) BuildAsync(name string, g *graph.Graph, source string) {
 			// surface it as a failed entry (which install lets keep
 			// serving the previous index, if one was resident).
 			if p := recover(); p != nil {
+				s.metrics.buildFails.Inc()
 				s.install(name, &Entry{
 					Name: name, State: StateFailed,
 					Err: fmt.Sprint(p), Source: source,

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/embu"
 	"repro/internal/emtd"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // Run computes the truss decomposition of src with the engine selected by
@@ -47,12 +49,46 @@ func Run(ctx context.Context, src Source, opts ...Option) (Decomposition, error)
 		return nil, err
 	}
 	cfg.emit(StageLoad, 0)
+	if cfg.stats != nil {
+		cfg.statsReadBase = cfg.stats.BytesRead()
+		cfg.statsWriteBase = cfg.stats.BytesWritten()
+	}
+	start := time.Now()
 	d, err := runner(ctx, src, &cfg)
+	recordRun(&cfg, start, err)
 	if err != nil {
 		return nil, fmt.Errorf("truss: %v engine on %s: %w", cfg.engine, src.describe(), err)
 	}
 	cfg.emit(StageDone, d.KMax())
 	return d, nil
+}
+
+// recordRun reports one Run outcome into the process-default observability
+// registry — the same registry a trussd server's /metrics exposes, so
+// embedded library runs and served traffic land on one dashboard. When the
+// run accumulated I/O stats (WithStats), the disk traffic is recorded too:
+// the gio.Stats counters are cumulative, so the delta since Run entry is
+// what gets added. The delta is exact for the common patterns (one stats
+// object per run, or sequential runs sharing one); concurrent runs sharing
+// a single IOStats see each other's interleaved traffic in their deltas —
+// give concurrent runs their own stats objects for per-run attribution.
+func recordRun(cfg *runConfig, start time.Time, err error) {
+	reg := obs.Default()
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	engine := cfg.engine.String()
+	reg.Counter("truss_run_total", "truss.Run invocations by engine and outcome.",
+		"engine", engine, "status", status).Inc()
+	reg.Histogram("truss_run_seconds", "truss.Run end-to-end duration by engine.",
+		obs.WideBuckets, "engine", engine).Observe(time.Since(start).Seconds())
+	if cfg.stats != nil {
+		reg.Counter("truss_run_io_read_bytes_total", "Bytes read from disk by runs under WithStats.",
+			"engine", engine).Add(cfg.stats.BytesRead() - cfg.statsReadBase)
+		reg.Counter("truss_run_io_written_bytes_total", "Bytes written to disk by runs under WithStats.",
+			"engine", engine).Add(cfg.stats.BytesWritten() - cfg.statsWriteBase)
+	}
 }
 
 // engineRunner is one pluggable decomposition engine: it consumes the

@@ -1,0 +1,148 @@
+package truss_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	truss "repro"
+	"repro/client"
+	"repro/internal/obs"
+)
+
+// TestSoakServeStorm is the nightly large-graph soak: generate a
+// multi-million-edge R-MAT graph with the real graphgen binary, serve it
+// with the real trussd binary, then drive a concurrent query storm
+// through the client package and hold the server to its own telemetry —
+// every /metrics counter must equal the load actually driven, and with
+// the storm's concurrency below -max-inflight not one request may shed.
+//
+// It runs only with TRUSS_SOAK=1 (the nightly CI workflow sets it):
+// minutes of runtime have no place in the PR loop.
+func TestSoakServeStorm(t *testing.T) {
+	if os.Getenv("TRUSS_SOAK") != "1" {
+		t.Skip("soak test: set TRUSS_SOAK=1 to run")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	graphgen := buildCmd(t, dir, "graphgen")
+
+	// ~2M edges of skewed R-MAT: big enough that the build takes real
+	// time and the index sees real pointer-chasing, small enough for a CI
+	// runner's memory.
+	graphPath := filepath.Join(dir, "soak.bin")
+	runCmd(t, graphgen, "-model", "rmat", "-scale", "18", "-factor", "8", "-seed", "7", "-out", graphPath)
+
+	addr, stop := startServe(t, trussd,
+		"-load", "soak="+graphPath, "-wait", "-max-inflight", "512")
+	defer stop(true)
+	base := "http://" + addr
+
+	// -wait returned, so readiness must already hold.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after -wait: status %d, want 200", resp.StatusCode)
+	}
+
+	cl, err := client.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cl.Graph("soak")
+	ctx := context.Background()
+
+	// The storm: 32 workers (well below -max-inflight 512), each driving
+	// point lookups, batched queries, and histogram reads. Totals are
+	// counted client-side and reconciled against the server's counters.
+	const workers = 32
+	const perWorker = 150
+	var trussReqs, queryReqs, histReqs, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				u := uint32((w*perWorker + i) % 250000)
+				switch i % 3 {
+				case 0:
+					if _, _, err := g.TrussNumber(ctx, u, u+1); err != nil {
+						failures.Add(1)
+						continue
+					}
+					trussReqs.Add(1)
+				case 1:
+					pairs := []truss.Edge{{U: u, V: u + 1}, {U: u + 2, V: u + 5}, {U: u % 100, V: u%100 + 3}}
+					if _, err := g.TrussNumbers(ctx, pairs); err != nil {
+						failures.Add(1)
+						continue
+					}
+					queryReqs.Add(1)
+				default:
+					if _, err := g.Histogram(ctx); err != nil {
+						failures.Add(1)
+						continue
+					}
+					histReqs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d storm requests failed", failures.Load())
+	}
+
+	// Scrape and reconcile. The client retries only on 429/503, and zero
+	// sheds below the limit means every counted request hit the wire
+	// exactly once — the counters must match to the request.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	samples, err := obs.ParseExposition(mresp.Body)
+	if err != nil {
+		t.Fatalf("/metrics rejected by strict parser: %v", err)
+	}
+
+	checks := []struct {
+		name string
+		want float64
+		got  float64
+	}{
+		{"shed requests below in-flight limit", 0, samples.Value("truss_http_shed_total")},
+		{"point-lookup route counter", float64(trussReqs.Load()),
+			samples.Value("truss_http_requests_total", "route", "GET /v1/graphs/{name}/truss", "code", "200")},
+		{"batched-query route counter", float64(queryReqs.Load()),
+			samples.Value("truss_http_requests_total", "route", "POST /v1/graphs/{name}/query", "code", "200")},
+		{"histogram route counter", float64(histReqs.Load()),
+			samples.Value("truss_http_requests_total", "route", "GET /v1/graphs/{name}/histogram", "code", "200")},
+		{"builds", 1, samples.Value("truss_build_total")},
+		{"graphs ready", 1, samples.Value("truss_graphs_ready")},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+	if peeled := samples.Value("truss_build_edges_peeled_total"); peeled < 1e6 {
+		t.Errorf("edges peeled = %g, want the multi-million-edge build on the books", peeled)
+	}
+	lat := samples.Value("truss_http_request_seconds_count", "route", "GET /v1/graphs/{name}/truss")
+	if lat != float64(trussReqs.Load()) {
+		t.Errorf("latency histogram count = %g, want %d", lat, trussReqs.Load())
+	}
+	fmt.Printf("soak: %d requests served, p-lookup count=%d batch=%d hist=%d, zero sheds\n",
+		trussReqs.Load()+queryReqs.Load()+histReqs.Load(),
+		trussReqs.Load(), queryReqs.Load(), histReqs.Load())
+}

@@ -54,6 +54,7 @@ package truss
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/community"
 	"repro/internal/core"
@@ -65,6 +66,7 @@ import (
 	"repro/internal/kcore"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/server"
 	"repro/internal/viz"
@@ -403,3 +405,23 @@ type ServerOptions = server.Options
 //	srv.Build("mygraph", g, "inline")
 //	http.ListenAndServe(":8080", srv.Handler())
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// HTTPTimeouts bounds the connection-lifecycle phases (header read, full
+// request read, keep-alive idle) of a serving http.Server. Zero fields
+// select hardened defaults; negative fields disable that bound.
+type HTTPTimeouts = server.HTTPTimeouts
+
+// NewHTTPServer wraps a handler (typically Server.Handler) in an
+// http.Server hardened against slow-client connection exhaustion
+// (slowloris): header, body-read, and idle phases are all bounded by
+// default. `trussd serve` uses exactly this constructor.
+func NewHTTPServer(h http.Handler, t HTTPTimeouts) *http.Server {
+	return server.NewHTTPServer(h, t)
+}
+
+// MetricsRegistry returns the process-default observability registry:
+// truss.Run records engine activity into it, NewServer registers its
+// serving metrics on it (unless ServerOptions.Metrics overrides), and a
+// server's GET /metrics exposes it in the Prometheus text format. A
+// non-trussd process can expose it with the registry's WritePrometheus.
+func MetricsRegistry() *obs.Registry { return obs.Default() }
