@@ -52,6 +52,12 @@ func externalBudget(g *graph.Graph) int64 {
 // point on small fixture graphs — the engine × graph matrix the CI bench
 // job captures as BENCH_PR.json. TD-MR runs only on the smallest analog
 // (as in the paper's Table 4; it is orders of magnitude slower).
+//
+// The XL rows are the parallel-speedup probe: a 1M+ edge graph where the
+// PKT engine's round structure pays off, run only for the in-memory and
+// parallel engines (the external engines would dominate the bench budget
+// at that size). CI gates BenchmarkRun/parallel/XL against
+// BenchmarkRun/inmem/XL via benchjson -speedup.
 func BenchmarkRun(b *testing.B) {
 	ctx := context.Background()
 	allEngines := []truss.Engine{
@@ -81,6 +87,25 @@ func BenchmarkRun(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	xl := gen.CachedBuild("bench/XL", gen.XLDataset())
+	if xl.NumEdges() < 1_000_000 {
+		b.Fatalf("XL target shrank below 1M edges: m=%d", xl.NumEdges())
+	}
+	for _, eng := range []truss.Engine{truss.EngineInMem, truss.EngineParallel} {
+		b.Run(fmt.Sprintf("%s/XL", eng), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := truss.Run(ctx, truss.FromGraph(xl), truss.WithEngine(eng))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.KMax() == 0 {
+					b.Fatal("kmax 0")
+				}
+				d.Close()
+			}
+		})
 	}
 }
 

@@ -25,6 +25,14 @@
 // Overhead mode gates one benchmark against another within the same
 // artifact — CI uses it to hold the instrumented serving handler within 5%
 // of the bare one (BenchmarkObsOverhead).
+//
+// Speedup mode is the inverse gate: it requires -fast to beat -slow by at
+// least -min-speedup within one artifact. CI uses it to hold the PKT
+// parallel engine at >= 2x over the sequential in-memory engine on the XL
+// target:
+//
+//	benchjson -speedup BENCH_PR.json -fast 'BenchmarkRun/parallel/XL' \
+//	    -slow 'BenchmarkRun/inmem/XL' -min-speedup 2.0
 package main
 
 import (
@@ -70,8 +78,21 @@ func main() {
 	num := flag.String("num", "", "numerator benchmark name for -overhead")
 	den := flag.String("den", "", "denominator benchmark name for -overhead")
 	maxOverhead := flag.Float64("max-overhead", 1.05, "blocking gate for -overhead: maximum allowed num/den ratio")
+	speedup := flag.String("speedup", "", "gate -fast against -slow within this JSON artifact instead of converting")
+	fast := flag.String("fast", "", "benchmark expected to win, for -speedup")
+	slow := flag.String("slow", "", "benchmark it must beat, for -speedup")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "blocking gate for -speedup: minimum required slow/fast ratio")
 	flag.Parse()
 
+	if *speedup != "" {
+		if *fast == "" || *slow == "" {
+			fatal(fmt.Errorf("-speedup requires -fast and -slow"))
+		}
+		if err := gateSpeedup(*speedup, *fast, *slow, *minSpeedup); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *overhead != "" {
 		if *num == "" || *den == "" {
 			fatal(fmt.Errorf("-overhead requires -num and -den"))
@@ -254,6 +275,34 @@ func gateOverhead(path, num, den string, maxRatio float64) error {
 		num, den, n.NsPerOp, d.NsPerOp, ratio, maxRatio)
 	if ratio > maxRatio {
 		return fmt.Errorf("overhead %.3fx exceeds the %.3fx limit", ratio, maxRatio)
+	}
+	return nil
+}
+
+// gateSpeedup enforces slow/fast >= minRatio within one artifact: the
+// parallel-speedup gate. Like gateOverhead, a missing series is an error —
+// a renamed benchmark must not silently disarm the gate.
+func gateSpeedup(path, fast, slow string, minRatio float64) error {
+	entries, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	f, ok := entries[fast]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not found", path, fast)
+	}
+	s, ok := entries[slow]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not found", path, slow)
+	}
+	if f.NsPerOp <= 0 {
+		return fmt.Errorf("%s: benchmark %q has no timing", path, fast)
+	}
+	ratio := s.NsPerOp / f.NsPerOp
+	fmt.Printf("speedup %s / %s = %.0f / %.0f ns/op = %.2fx (need >= %.2fx)\n",
+		slow, fast, s.NsPerOp, f.NsPerOp, ratio, minRatio)
+	if ratio < minRatio {
+		return fmt.Errorf("speedup %.2fx below the required %.2fx", ratio, minRatio)
 	}
 	return nil
 }

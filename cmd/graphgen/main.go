@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "", "paper analog name (P2P, HEP, Amazon, Wiki, Skitter, Blog, LJ, BTC, Web)")
+	dataset := flag.String("dataset", "", "paper analog name (P2P, HEP, Amazon, Wiki, Skitter, Blog, LJ, BTC, Web) or XL (1M+ edge bench target)")
 	quick := flag.Bool("quick", false, "use the ~1/10-scale variant of -dataset")
 	model := flag.String("model", "", "raw generator: er, ba, rmat, ws, collab, community")
 	n := flag.Int("n", 10000, "vertices (er, ba, ws, collab)")
@@ -78,6 +78,7 @@ func build(dataset string, quick bool, model string, p buildParams) (*graph.Grap
 		if quick {
 			list = gen.QuickDatasets()
 		}
+		list = append(list, gen.XLDataset())
 		for _, d := range list {
 			if d.Name == dataset {
 				return d.Build(), nil

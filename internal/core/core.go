@@ -26,6 +26,11 @@ type Hooks struct {
 	// initial level 2). It runs on the decomposing goroutine and must be
 	// cheap.
 	OnLevel func(k int32)
+	// OnRound is invoked by the PKT engine at the start of each
+	// bulk-synchronous sub-round with the current level and frontier size.
+	// It runs on the coordinating goroutine and must be cheap. Serial
+	// engines never call it.
+	OnRound func(k int32, frontier int)
 }
 
 // ctxCheckMask throttles cancellation checks in the peeling loops: the
@@ -57,6 +62,10 @@ type Result struct {
 	// KMax is the maximum truss number over all edges (2 if the graph has
 	// edges but no triangles; 0 for an edgeless graph).
 	KMax int32
+	// PKT holds the bulk-synchronous run's shape when the PKT engine
+	// produced this result; nil for the serial engines (including PKT's
+	// single-worker fallback).
+	PKT *PKTStats
 }
 
 // Class returns the edge IDs of the k-class Phi_k, in increasing ID order.

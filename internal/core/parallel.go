@@ -2,185 +2,23 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
-	"repro/internal/triangle"
 )
 
-// DecomposeParallel computes the same truss decomposition as Decompose
-// using level-synchronized parallel peeling (the shared-memory scheme of
-// Kabir & Madduri's PKT, the natural multicore successor to Algorithm 2):
-// supports are counted in parallel, then for each k the set of edges at or
-// below support k-2 is peeled in sub-rounds, all edges of a sub-round in
-// parallel with atomic support decrements. Each dying triangle is charged
-// to exactly one frontier edge so supports never double-decrement.
-// workers <= 0 selects GOMAXPROCS.
+// DecomposeParallel computes the same truss decomposition as Decompose on
+// multiple cores. It is the engine behind truss.EngineParallel and
+// delegates to the PKT bulk-synchronous peeling core (DecomposePKT):
+// degree-ordered support initialization fanned across workers, then
+// frontier rounds with atomic support decrements and per-worker spill
+// buffers. workers <= 0 selects GOMAXPROCS; 1 runs the serial peel.
 func DecomposeParallel(g *graph.Graph, workers int) *Result {
-	r, _ := DecomposeParallelCtx(context.Background(), g, workers, Hooks{})
-	return r
+	return DecomposePKT(g, workers)
 }
 
 // DecomposeParallelCtx is DecomposeParallel with cancellation and
-// observation: the context is checked between peeling sub-rounds (the
-// barrier points of the level-synchronized scheme) and hooks see each
-// level. The only possible error is ctx.Err().
+// observation; see DecomposePKTCtx for the barrier points where the
+// context is polled.
 func DecomposeParallelCtx(ctx context.Context, g *graph.Graph, workers int, h Hooks) (*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	m := g.NumEdges()
-	if m == 0 || workers == 1 {
-		sup := triangle.Supports(g)
-		return decomposePeel(ctx, g, sup, false, h)
-	}
-
-	res := &Result{G: g, Phi: make([]int32, m)}
-	supInit := triangle.SupportsParallel(g, workers)
-	sup := make([]atomic.Int32, m)
-	for i, s := range supInit {
-		sup[i].Store(s)
-	}
-
-	// Edge lifecycle: alive -> frontier (dying at the current level's
-	// sub-round) -> dead; edges discovered mid-sub-round are "scheduled"
-	// and become the next sub-round's frontier.
-	const (
-		alive     = int32(0)
-		frontier  = int32(1)
-		dead      = int32(2)
-		scheduled = int32(3)
-	)
-	state := make([]atomic.Int32, m)
-
-	// processEdge peels one frontier edge at level k, applying the
-	// charging rules and appending newly scheduled edges to buf.
-	processEdge := func(e int32, k int32, buf *[]int32) {
-		res.Phi[e] = k
-		ed := g.Edge(e)
-		u, v := ed.U, ed.V
-		if g.Degree(u) > g.Degree(v) {
-			u, v = v, u
-		}
-		nbrs := g.Neighbors(u)
-		eids := g.IncidentEdges(u)
-		for i, w := range nbrs {
-			if w == v {
-				continue
-			}
-			p := eids[i]
-			if state[p].Load() == dead {
-				continue
-			}
-			q, ok := g.EdgeID(v, w)
-			if !ok || state[q].Load() == dead {
-				continue
-			}
-			sp := state[p].Load()
-			sq := state[q].Load()
-			pin := sp == frontier
-			qin := sq == frontier
-			dec := func(x int32) {
-				if sup[x].Add(-1) <= k-2 && state[x].CompareAndSwap(alive, scheduled) {
-					*buf = append(*buf, x)
-				}
-			}
-			switch {
-			case !pin && !qin:
-				dec(p)
-				dec(q)
-			case pin && !qin:
-				// The triangle dies with both e and p this sub-round;
-				// only the smaller of the two decrements the survivor.
-				if e < p {
-					dec(q)
-				}
-			case !pin && qin:
-				if e < q {
-					dec(p)
-				}
-			default:
-				// All three edges dying this sub-round: no survivor.
-			}
-		}
-	}
-
-	done := ctx.Done()
-	remaining := m
-	k := int32(2)
-	var cur []int32
-	for remaining > 0 {
-		if cancelled(done) {
-			return nil, ctx.Err()
-		}
-		if h.OnLevel != nil {
-			h.OnLevel(k)
-		}
-		// Collect the level-k frontier.
-		cur = cur[:0]
-		for e := 0; e < m; e++ {
-			if state[e].Load() == alive && sup[e].Load() <= k-2 {
-				state[e].Store(frontier)
-				cur = append(cur, int32(e))
-			}
-		}
-		for len(cur) > 0 {
-			if cancelled(done) {
-				return nil, ctx.Err()
-			}
-			var nextEdges []int32
-			if len(cur) < 256 || workers == 1 {
-				// Small frontiers: parallel dispatch costs more than it
-				// saves.
-				for _, e := range cur {
-					processEdge(e, k, &nextEdges)
-				}
-			} else {
-				bufs := make([][]int32, workers)
-				var idx atomic.Int64
-				var wg sync.WaitGroup
-				for w := 0; w < workers; w++ {
-					wg.Add(1)
-					go func(w int) {
-						defer wg.Done()
-						const chunk = 64
-						for {
-							lo := int(idx.Add(chunk)) - chunk
-							if lo >= len(cur) {
-								return
-							}
-							hi := lo + chunk
-							if hi > len(cur) {
-								hi = len(cur)
-							}
-							for _, e := range cur[lo:hi] {
-								processEdge(e, k, &bufs[w])
-							}
-						}
-					}(w)
-				}
-				wg.Wait()
-				for _, b := range bufs {
-					nextEdges = append(nextEdges, b...)
-				}
-			}
-			remaining -= len(cur)
-			// Barrier: frontier dies; scheduled edges form the next
-			// frontier.
-			for _, e := range cur {
-				state[e].Store(dead)
-			}
-			for _, e := range nextEdges {
-				state[e].Store(frontier)
-			}
-			cur = nextEdges
-		}
-		if remaining > 0 {
-			k++
-		}
-	}
-	res.KMax = k
-	return res, nil
+	return DecomposePKTCtx(ctx, g, workers, h)
 }

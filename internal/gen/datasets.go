@@ -175,6 +175,21 @@ func QuickDatasets() []Dataset {
 	return quick
 }
 
+// XLDataset is the parallel-speedup benchmark target: a single
+// preferential-attachment graph above one million edges, the scale where
+// the PKT engine's bulk-synchronous rounds amortize their barrier cost and
+// pull ahead of the sequential in-memory peel. It is deliberately not part
+// of Datasets(): it models no paper table, it exists so BenchmarkRun and
+// the CI speedup gate have a target big enough for parallelism to matter.
+func XLDataset() Dataset {
+	return Dataset{
+		Name:      "XL",
+		Character: "Barabasi-Albert preferential attachment at parallel-bench scale (>= 1M edges)",
+		ScaleNote: "benchmark-only target, no paper analog",
+		Build:     func() *graph.Graph { return BarabasiAlbert(140_000, 8, 110) },
+	}
+}
+
 // graphCache memoizes built datasets so experiments and benchmarks that
 // reference the same analog repeatedly pay generation cost once.
 var graphCache sync.Map

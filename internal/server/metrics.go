@@ -29,6 +29,11 @@ type serverMetrics struct {
 	buildDur   *obs.Histogram
 	buildLvls  *obs.Counter
 	buildEdges *obs.Counter
+	// PKT engine shape (zero when builds fall back to the serial peel).
+	buildRounds   *obs.Counter
+	buildFrontier *obs.Counter
+	kernelMerge   *obs.Counter
+	kernelProbe   *obs.Counter
 
 	// Dynamic maintenance.
 	maints        *obs.Counter
@@ -71,6 +76,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		buildDur:   reg.Histogram("truss_build_seconds", "Decomposition + indexing duration.", obs.WideBuckets),
 		buildLvls:  reg.Counter("truss_build_levels_total", "Peeling levels visited across all builds."),
 		buildEdges: reg.Counter("truss_build_edges_peeled_total", "Edges peeled (classified) across all builds."),
+		buildRounds: reg.Counter("truss_build_pkt_rounds_total",
+			"PKT bulk-synchronous sub-rounds executed across all builds."),
+		buildFrontier: reg.Counter("truss_build_pkt_frontier_edges_total",
+			"Edges peeled through PKT frontiers across all builds."),
+		kernelMerge: reg.Counter("truss_build_pkt_kernel_dispatch_total",
+			"Adaptive triangle-kernel strategy choices across all builds.", "kernel", "merge"),
+		kernelProbe: reg.Counter("truss_build_pkt_kernel_dispatch_total",
+			"Adaptive triangle-kernel strategy choices across all builds.", "kernel", "probe"),
 
 		maints:        reg.Counter("truss_maintenance_total", "Incremental maintenance batches applied."),
 		maintDur:      reg.Histogram("truss_maintenance_seconds", "Incremental maintenance duration.", nil),

@@ -425,6 +425,12 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 	ix := index.Build(res)
 	s.metrics.builds.Inc()
 	s.metrics.buildEdges.Add(int64(g.NumEdges()))
+	if p := res.PKT; p != nil {
+		s.metrics.buildRounds.Add(int64(p.Rounds))
+		s.metrics.buildFrontier.Add(int64(p.FrontierEdges))
+		s.metrics.kernelMerge.Add(p.MergeDispatch)
+		s.metrics.kernelProbe.Add(p.ProbeDispatch)
+	}
 	s.metrics.buildDur.ObserveSince(start)
 	e := &Entry{
 		Name:      name,

@@ -10,33 +10,57 @@ import (
 
 // SupportsParallel computes sup(e) for every edge like Supports, fanning
 // the oriented intersection loop across workers. Triangle discovery is
-// embarrassingly parallel over source vertices; supports are accumulated
-// with atomic adds. workers <= 0 selects GOMAXPROCS.
+// embarrassingly parallel over source ranks; supports are accumulated with
+// atomic adds. workers <= 0 selects GOMAXPROCS.
 func SupportsParallel(g *graph.Graph, workers int) []int32 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := g.NumVertices()
 	m := g.NumEdges()
-	if n == 0 || m == 0 || workers == 1 {
-		if m > 0 {
-			return Supports(g)
-		}
+	if m == 0 {
 		return make([]int32, 0)
 	}
-	rank := Ranks(g)
-	outOff, out := buildOriented(g, rank)
+	if workers == 1 {
+		return Supports(g)
+	}
+	return SupportsOriented(graph.BuildOrientedParallel(g, workers), workers)
+}
+
+// SupportsOriented computes sup(e) from a prebuilt degree-ordered view,
+// so callers that already paid for the view (the PKT core) don't build it
+// twice. workers <= 0 selects GOMAXPROCS; 1 runs serially without atomics.
+func SupportsOriented(o *graph.Oriented, workers int) []int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := int32(len(o.Vert))
+	m := len(o.EID)
+	if m == 0 {
+		return make([]int32, 0)
+	}
+	if workers == 1 {
+		sup := make([]int32, m)
+		forEachOrientedRange(o, 0, n, func(e1, e2, e3 int32) {
+			sup[e1]++
+			sup[e2]++
+			sup[e3]++
+		})
+		return sup
+	}
 
 	asup := make([]atomic.Int32, m)
 	var next atomic.Int64
+	// Chunks follow ascending rank, so the heaviest out-lists (highest
+	// ranks) land in the last chunks where the dynamic counter balances
+	// them across whichever workers are free.
 	const chunk = 256
 	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				lo := int(next.Add(chunk)) - chunk
+				lo := int32(next.Add(chunk)) - chunk
 				if lo >= n {
 					return
 				}
@@ -44,30 +68,11 @@ func SupportsParallel(g *graph.Graph, workers int) []int32 {
 				if hi > n {
 					hi = n
 				}
-				for u := lo; u < hi; u++ {
-					du := out[outOff[u]:outOff[u+1]]
-					for i := range du {
-						v := du[i].w
-						euv := du[i].eid
-						dv := out[outOff[v]:outOff[v+1]]
-						a, b := i+1, 0
-						for a < len(du) && b < len(dv) {
-							ra, rb := rank[du[a].w], rank[dv[b].w]
-							switch {
-							case ra < rb:
-								a++
-							case ra > rb:
-								b++
-							default:
-								asup[euv].Add(1)
-								asup[du[a].eid].Add(1)
-								asup[dv[b].eid].Add(1)
-								a++
-								b++
-							}
-						}
-					}
-				}
+				forEachOrientedRange(o, lo, hi, func(e1, e2, e3 int32) {
+					asup[e1].Add(1)
+					asup[e2].Add(1)
+					asup[e3].Add(1)
+				})
 			}
 		}()
 	}

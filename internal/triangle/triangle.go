@@ -35,75 +35,45 @@ func Count(g *graph.Graph) int64 {
 	return total
 }
 
-// outEdge is one oriented adjacency entry: a higher-rank neighbor and the
-// connecting edge's ID.
-type outEdge struct {
-	w   uint32 // neighbor
-	eid int32  // edge (v,w)
-}
-
-// buildOriented constructs the oriented adjacency used by the triangle
-// enumerators: out-neighbors (higher rank) per vertex, sorted by rank so
-// intersections run as linear merges.
-func buildOriented(g *graph.Graph, rank []int32) ([]int32, []outEdge) {
-	n := g.NumVertices()
-	outOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		cnt := int32(0)
-		for _, w := range g.Neighbors(uint32(v)) {
-			if rank[w] > rank[v] {
-				cnt++
-			}
-		}
-		outOff[v+1] = outOff[v] + cnt
-	}
-	out := make([]outEdge, outOff[n])
-	cur := make([]int32, n)
-	copy(cur, outOff[:n])
-	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(uint32(v))
-		eids := g.IncidentEdges(uint32(v))
-		for i, w := range nbrs {
-			if rank[w] > rank[v] {
-				out[cur[v]] = outEdge{w, eids[i]}
-				cur[v]++
-			}
-		}
-		seg := out[outOff[v]:outOff[v+1]]
-		sort.Slice(seg, func(i, j int) bool { return rank[seg[i].w] < rank[seg[j].w] })
-	}
-	return outOff, out
-}
-
 // ForEach lists every triangle of g exactly once, invoking fn with the three
 // edge IDs of the triangle: (u,v), (u,w), (v,w) for the triangle's vertices
 // in rank order u < v < w.
 func ForEach(g *graph.Graph, fn func(e1, e2, e3 int32)) {
-	n := g.NumVertices()
-	if n == 0 {
+	if g.NumVertices() == 0 {
 		return
 	}
-	rank := Ranks(g)
-	outOff, out := buildOriented(g, rank)
+	ForEachOriented(graph.BuildOriented(g), fn)
+}
 
-	// For each directed edge u->v, intersect out(u) with out(v): each common
-	// out-neighbor w closes triangle (u,v,w) with u the lowest-rank vertex.
-	for u := 0; u < n; u++ {
-		du := out[outOff[u]:outOff[u+1]]
-		for i := range du {
-			v := du[i].w
-			euv := du[i].eid
-			dv := out[outOff[v]:outOff[v+1]]
-			a, b := i+1, 0
-			for a < len(du) && b < len(dv) {
-				ra, rb := rank[du[a].w], rank[dv[b].w]
+// ForEachOriented is ForEach over a prebuilt degree-ordered view, for
+// callers that reuse the view across passes (the PKT core builds it once
+// for support initialization). The out-lists live in rank space and are
+// sorted, so each directed edge u->v costs one linear merge of
+// out(u) x out(v); every common out-neighbor w closes triangle (u,v,w)
+// with u the lowest-rank vertex.
+func ForEachOriented(o *graph.Oriented, fn func(e1, e2, e3 int32)) {
+	forEachOrientedRange(o, 0, int32(len(o.Vert)), fn)
+}
+
+// forEachOrientedRange enumerates the triangles rooted at ranks [lo, hi):
+// the unit of work the parallel support counter fans out over.
+func forEachOrientedRange(o *graph.Oriented, lo, hi int32, fn func(e1, e2, e3 int32)) {
+	for u := lo; u < hi; u++ {
+		us, ue := o.Off[u], o.Off[u+1]
+		for i := us; i < ue; i++ {
+			v := o.Nbr[i]
+			euv := o.EID[i]
+			a, b := i+1, o.Off[v]
+			ve := o.Off[v+1]
+			for a < ue && b < ve {
+				ra, rb := o.Nbr[a], o.Nbr[b]
 				switch {
 				case ra < rb:
 					a++
 				case ra > rb:
 					b++
 				default:
-					fn(euv, du[a].eid, dv[b].eid)
+					fn(euv, o.EID[a], o.EID[b])
 					a++
 					b++
 				}

@@ -91,6 +91,25 @@ func recordRun(cfg *runConfig, start time.Time, err error) {
 	}
 }
 
+// recordPKT reports the shape of one PKT run (rounds, frontier sizes,
+// kernel dispatch mix) into the default registry, alongside the Run
+// counters — the numbers that show whether the bulk-synchronous machinery
+// actually parallelized (few huge frontiers) or degenerated to lock-step
+// (many tiny ones).
+func recordPKT(s *core.PKTStats) {
+	reg := obs.Default()
+	reg.Counter("truss_pkt_runs_total", "PKT bulk-synchronous decompositions completed.").Inc()
+	reg.Counter("truss_pkt_levels_total", "Populated peeling levels visited by PKT runs.").Add(int64(s.Levels))
+	reg.Counter("truss_pkt_rounds_total", "Bulk-synchronous sub-rounds (barriers) executed by PKT runs.").Add(int64(s.Rounds))
+	reg.Counter("truss_pkt_frontier_edges_total", "Edges peeled through PKT frontiers.").Add(int64(s.FrontierEdges))
+	reg.Counter("truss_pkt_kernel_dispatch_total", "Adaptive triangle-kernel strategy choices by PKT runs.",
+		"kernel", "merge").Add(s.MergeDispatch)
+	reg.Counter("truss_pkt_kernel_dispatch_total", "Adaptive triangle-kernel strategy choices by PKT runs.",
+		"kernel", "probe").Add(s.ProbeDispatch)
+	reg.Gauge("truss_pkt_peak_frontier_edges", "Largest sub-round frontier of the most recent PKT run.").
+		Set(int64(s.PeakFrontier))
+}
+
 // engineRunner is one pluggable decomposition engine: it consumes the
 // source the way it prefers (materialize or stream) and returns the
 // adapted result.
@@ -128,6 +147,9 @@ func runInMemory(eng Engine) engineRunner {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if res.PKT != nil {
+			recordPKT(res.PKT)
 		}
 		return &inmemDecomposition{
 			eng:       eng,
