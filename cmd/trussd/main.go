@@ -17,6 +17,13 @@
 //	trussd query -graph name [-server http://host:8080] \
 //	    -truss u,v | -batch pairs.txt | -histogram | -top t | -communities k | -edges k
 //
+// Index snapshot tooling (the mmap-able format serve persists under
+// -data-dir):
+//
+//	trussd index build -in graph.txt -out index.tix [-source label]
+//	trussd index inspect index.tix
+//	trussd index verify index.tix
+//
 // Batch mode is a thin shell over the library's unified entry point,
 // truss.Run: the -algo flag picks the engine, -budget/-top/-tmp map to the
 // corresponding options, and SIGINT/SIGTERM cancel the run's context so
@@ -61,6 +68,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "query" {
 		if err := queryMain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "trussd query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "index" {
+		if err := indexMain(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "trussd index: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -220,7 +220,6 @@ func TestServeDurableRestart(t *testing.T) {
 	stop(false) // crash: no graceful shutdown, the WAL is all that survives
 
 	addr, stop = startServe(t, trussd, "-data-dir", dataDir)
-	defer stop(true)
 	info := getJSON(addr, "/v1/graphs/g", http.StatusOK)
 	if info["state"] != string("ready") || info["version"] != float64(2) || info["edges"] != float64(6) {
 		t.Fatalf("recovered info = %v", info)
@@ -243,6 +242,58 @@ func TestServeDurableRestart(t *testing.T) {
 	}
 	if body := getJSON(addr, "/v1/graphs/g/truss?u=0&v=1", http.StatusOK); body["truss"] != float64(3) {
 		t.Fatalf("post-recovery truss(0,1) = %v", body)
+	}
+
+	// metricValue scrapes one exact series line off /metrics.
+	metricValue := func(addr, series string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, series+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(line, series))
+			}
+		}
+		return ""
+	}
+
+	// The crash left the K4 WAL record behind, so this life patched it
+	// over the mapped snapshot — no re-peel — then compacted.
+	if got := metricValue(addr, `truss_restart_path_total{path="v2-replay"}`); got != "1" {
+		t.Fatalf(`restart_path{v2-replay} = %q, want "1"`, got)
+	}
+	stop(true)
+
+	// Third life: the DELETE above left one more WAL record; replaying
+	// it folds the registry to a bare snapshot.
+	addr, stop = startServe(t, trussd, "-data-dir", dataDir)
+	if got := metricValue(addr, `truss_restart_path_total{path="v2-replay"}`); got != "1" {
+		t.Fatalf(`second restart_path{v2-replay} = %q, want "1"`, got)
+	}
+	stop(true)
+
+	// Fourth life: nothing but the index snapshot on disk. The server
+	// maps it and serves — zero replay, zero rebuild — and says so.
+	addr, stop = startServe(t, trussd, "-data-dir", dataDir)
+	defer stop(true)
+	if body := getJSON(addr, "/v1/graphs/g/truss?u=0&v=1", http.StatusOK); body["truss"] != float64(3) {
+		t.Fatalf("mapped truss(0,1) = %v", body)
+	}
+	if got := metricValue(addr, `truss_restart_path_total{path="v2-open"}`); got != "1" {
+		t.Fatalf(`restart_path{v2-open} = %q, want "1"`, got)
+	}
+	if got := metricValue(addr, `truss_snapshot_format_version{graph="g"}`); got != "2" {
+		t.Fatalf(`snapshot_format_version{g} = %q, want "2"`, got)
+	}
+	if got := metricValue(addr, "truss_indexfile_mapped_bytes"); got == "" || got == "0" {
+		t.Fatalf("truss_indexfile_mapped_bytes = %q, want > 0", got)
 	}
 }
 
@@ -439,5 +490,67 @@ func TestQueryCLI(t *testing.T) {
 		if !strings.HasSuffix(line, "\t5") {
 			t.Fatalf("-edges 5 line %q", line)
 		}
+	}
+}
+
+// TestIndexCLI drives the offline snapshot tooling: build an indexfile
+// from a graph file, inspect its section table, verify its checksums,
+// and make sure verify actually fails once a byte rots.
+func TestIndexCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+
+	gpath := filepath.Join(dir, "g.txt")
+	var sb strings.Builder
+	for _, e := range gen.PaperExample().Edges() {
+		fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+	}
+	if err := os.WriteFile(gpath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tix := filepath.Join(dir, "g.tix")
+	out := runCmd(t, trussd, "index", "build", "-in", gpath, "-out", tix)
+	if !strings.Contains(out, "kmax=5") {
+		t.Fatalf("index build output: %s", out)
+	}
+
+	out = runCmd(t, trussd, "index", "inspect", tix)
+	for _, want := range []string{"format:        v1", "kmax=5", "csr-adjv", "leveldir", "source:        " + gpath} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("index inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, trussd, "index", "verify", tix)
+	if !strings.Contains(out, "ok (") {
+		t.Fatalf("index verify output: %s", out)
+	}
+
+	// Rot a payload byte: inspect (open-time checks only) still works,
+	// verify must fail.
+	raw, err := os.ReadFile(tix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-5] ^= 0x40
+	if err := os.WriteFile(tix, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(trussd, "index", "verify", tix).CombinedOutput(); err == nil {
+		t.Fatalf("verify accepted a rotted file:\n%s", out)
+	} else if !strings.Contains(string(out), "corrupt") {
+		t.Fatalf("verify error does not mention corruption:\n%s", out)
+	}
+
+	// Usage errors exit non-zero.
+	if _, err := exec.Command(trussd, "index").CombinedOutput(); err == nil {
+		t.Fatal("bare `trussd index` should fail")
+	}
+	if _, err := exec.Command(trussd, "index", "frobnicate").CombinedOutput(); err == nil {
+		t.Fatal("unknown subcommand should fail")
 	}
 }

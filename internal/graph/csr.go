@@ -1,0 +1,39 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the graph's raw adjacency arrays: off delimits each
+// vertex's slice of adjV/adjE (len n+1), adjV holds neighbor vertex IDs
+// sorted within each vertex, and adjE the parallel edge IDs. Together
+// with Edges they are the complete on-disk anatomy of a Graph — the
+// indexfile writer serializes exactly these four arrays. All returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) CSR() (off []int64, adjV []uint32, adjE []int32) {
+	return g.off, g.adjV, g.adjE
+}
+
+// FromCSR wraps pre-built CSR arrays into a Graph without copying — the
+// zero-copy inverse of CSR, used by the indexfile reader to alias a
+// memory-mapped file. The arrays are retained by reference and must not
+// be modified afterwards (for a mapped file they are read-only pages:
+// writing would fault).
+//
+// Only cheap shape invariants are checked here (array lengths agree,
+// offsets start at 0 and end at 2m); FromCSR trusts the content beyond
+// that — deep validation is Graph.Validate, and the indexfile layer
+// guards content integrity with section checksums.
+func FromCSR(off []int64, adjV []uint32, adjE []int32, edges []Edge) (*Graph, error) {
+	if len(off) < 1 {
+		return nil, fmt.Errorf("graph: CSR offsets empty (want length n+1 >= 1)")
+	}
+	if len(adjV) != len(adjE) {
+		return nil, fmt.Errorf("graph: CSR adjacency arrays disagree: %d neighbors, %d edge IDs", len(adjV), len(adjE))
+	}
+	if len(adjV) != 2*len(edges) {
+		return nil, fmt.Errorf("graph: CSR has %d adjacency entries, want 2m = %d", len(adjV), 2*len(edges))
+	}
+	if off[0] != 0 || off[len(off)-1] != int64(len(adjV)) {
+		return nil, fmt.Errorf("graph: CSR offsets span [%d,%d], want [0,%d]", off[0], off[len(off)-1], len(adjV))
+	}
+	return &Graph{off: off, adjV: adjV, adjE: adjE, edges: edges}, nil
+}

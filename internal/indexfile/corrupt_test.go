@@ -1,0 +1,120 @@
+package indexfile_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/indexfile"
+)
+
+// mustReject opens a damaged file and requires the Open/Verify pair to
+// flag it: either Open fails with a wrapped ErrCorrupt, or Open
+// succeeds (damage in a bulk section Open deliberately doesn't read)
+// and Verify reports ErrCorrupt. Serving the bytes silently is the only
+// failure.
+func mustReject(t *testing.T, path, what string) {
+	t.Helper()
+	f, err := indexfile.Open(path)
+	if err != nil {
+		if !errors.Is(err, indexfile.ErrCorrupt) {
+			t.Fatalf("%s: Open error does not wrap ErrCorrupt: %v", what, err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := f.Verify(); !errors.Is(err, indexfile.ErrCorrupt) {
+		t.Fatalf("%s: damage not detected (Open ok, Verify = %v)", what, err)
+	}
+}
+
+// corpus writes one valid indexfile and returns its bytes plus section
+// layout.
+func corpus(t *testing.T) ([]byte, []indexfile.SectionInfo, string) {
+	t.Helper()
+	ix := fixtureIndex(t)
+	path := writeTemp(t, ix, indexfile.Meta{Source: "corrupt-fixture"})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := indexfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := f.Sections()
+	f.Close()
+	return raw, secs, t.TempDir()
+}
+
+func rewrite(t *testing.T, dir string, b []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, "damaged.tix")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTruncationAtEverySectionBoundary chops the file at the start and
+// end of every section (plus a byte into each) — every torn tail a
+// crashed writer could leave. Open must reject all of them: a truncated
+// file can never pass the header's size check.
+func TestTruncationAtEverySectionBoundary(t *testing.T) {
+	raw, secs, dir := corpus(t)
+	cuts := []uint64{0, 1, 7, 8, 71, 72, 411, 415, uint64(len(raw)) - 1}
+	for _, s := range secs {
+		cuts = append(cuts, s.Off, s.Off+1, s.Off+s.Len)
+	}
+	for _, cut := range cuts {
+		if cut >= uint64(len(raw)) {
+			continue
+		}
+		path := rewrite(t, dir, raw[:cut])
+		if _, err := indexfile.Open(path); !errors.Is(err, indexfile.ErrCorrupt) {
+			t.Fatalf("truncation at %d: Open = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestBitFlipAtEverySectionBoundary flips a bit in the first and last
+// byte of every section, and across the whole preamble, and requires
+// Open∥Verify to catch each one.
+func TestBitFlipAtEverySectionBoundary(t *testing.T) {
+	raw, secs, dir := corpus(t)
+	flip := func(off uint64, bit uint, what string) {
+		b := append([]byte(nil), raw...)
+		b[off] ^= 1 << bit
+		mustReject(t, rewrite(t, dir, b), what)
+	}
+	for _, s := range secs {
+		if s.Len == 0 {
+			continue
+		}
+		flip(s.Off, 0, "first byte of "+s.Name)
+		flip(s.Off+s.Len-1, 7, "last byte of "+s.Name)
+		flip(s.Off+s.Len/2, 3, "middle of "+s.Name)
+	}
+	// Every byte of the preamble (header + section table + its CRC) is
+	// covered by the table checksum, so a flip anywhere must fail Open
+	// itself — except inside the magic, which fails even earlier.
+	for off := uint64(0); off < 416; off += 7 {
+		b := append([]byte(nil), raw...)
+		b[off] ^= 0x10
+		path := rewrite(t, dir, b)
+		if _, err := indexfile.Open(path); !errors.Is(err, indexfile.ErrCorrupt) {
+			t.Fatalf("preamble flip at %d: Open = %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+// TestGrownFile appends trailing garbage — the header's recorded size
+// must reject it.
+func TestGrownFile(t *testing.T) {
+	raw, _, dir := corpus(t)
+	b := append(append([]byte(nil), raw...), 0xde, 0xad, 0xbe, 0xef)
+	if _, err := indexfile.Open(rewrite(t, dir, b)); !errors.Is(err, indexfile.ErrCorrupt) {
+		t.Fatalf("grown file: Open = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package indexfile defines the on-disk format for a TrussIndex: a
+// versioned, little-endian, section-table binary layout designed to be
+// memory-mapped and served straight off the page cache.
+//
+// Motivation. Wang & Cheng's premise is graphs too large to treat
+// casually in memory, yet a serving process classically re-peels or
+// replays its way back to a heap TrussIndex at every restart. The index
+// is already flat-array-shaped — CSR adjacency, a phi-sorted edge
+// permutation, prefix counts, per-level community tables — so this
+// package freezes exactly those arrays into one immutable file, 8-byte
+// aligned, little-endian, each section checksummed. A reader then
+// aliases every section as a typed Go slice directly over mmap: open
+// time is O(sections + kmax) header validation, resident cost is
+// whatever the kernel pages in, and N processes serving the same graph
+// share one copy of the bytes.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "TRUSSIX1"
+//	8       4     format version (currently 1)
+//	12      4     header length (72)
+//	16      4     section count (14)
+//	20      4     reserved (0)
+//	24      8     n  — number of vertices
+//	32      8     m  — number of edges
+//	40      4     kmax
+//	44      4     reserved (0)
+//	48      8     graph version (server mutation epoch; 0 if unused)
+//	56      8     created, unix nanoseconds
+//	64      8     total file size in bytes
+//	72      14*24 section table: {id u32, crc32c u32, off u64, len u64}
+//	408     4     crc32c over bytes [0, 408) — header + section table
+//	412     4     zero padding to 8
+//	416     ...   section payloads, each starting 8-byte aligned,
+//	              zero-padded between sections, in section-ID order
+//
+// The 14 sections (IDs 1..14) are: meta (source string), the graph's
+// CSR offsets / neighbor IDs / edge IDs and canonical edge list, then
+// the index arrays phi, byPhi, pos, cnt, sizes, and the per-level
+// community tables flattened as a level directory plus three
+// concatenated arrays (edgeOrder, commOff, commIdx). See section
+// constants below for each payload's element type and expected length.
+//
+// Integrity is split in two deliberately. Open verifies the header and
+// section-table checksum plus O(kmax) structural invariants — enough to
+// reject any torn or truncated file without touching the bulk sections,
+// keeping open time independent of edge count. Verify additionally
+// recomputes every section's CRC32-C (sequential reads at memory/disk
+// bandwidth); run it after copying files around, or let the server do
+// it at recovery.
+package indexfile
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format identity.
+const (
+	Magic         = "TRUSSIX1"
+	FormatVersion = 1
+)
+
+// Fixed layout dimensions.
+const (
+	headerLen   = 72
+	secEntryLen = 24
+	numSections = 14
+	align       = 8
+	// preambleLen is where the first section payload starts: header,
+	// section table, table CRC, padded to alignment.
+	preambleLen = (headerLen + numSections*secEntryLen + 4 + align - 1) / align * align
+)
+
+// Section IDs, also the order payloads appear in the file. Element types
+// and counts (n = vertices, m = edges, K = kmax):
+//
+//	meta      bytes  4 + len(source): u32 length-prefixed source string
+//	csr-off   i64    n+1              CSR row offsets
+//	csr-adjv  u32    2m               CSR neighbor vertex IDs
+//	csr-adje  i32    2m               CSR neighbor edge IDs
+//	edges     2*u32  m                canonical edge list (U, V pairs)
+//	phi       i32    m                truss number per edge ID
+//	byphi     i32    m                edge IDs sorted by phi desc, ID asc
+//	pos       i32    m                inverse of byphi
+//	cnt       i32    K+2              cnt[k] = |T_k|, cnt[K+1] = 0
+//	sizes     i64    K+1              class histogram |Phi_k|
+//	leveldir  24B    K+1              per-level directory (levelDirEnt)
+//	edgeorder i32    sum_k cnt[k]     per-level community edge groups
+//	commoff   i32    sum_k (C_k + 1)  per-level community offsets
+//	commidx   i32    sum_k cnt[k]     per-level byPhi-position -> community
+//
+// where the sums run over k = 3..kmax and C_k is level k's community
+// count.
+const (
+	secMeta = iota + 1
+	secCSROff
+	secCSRAdjV
+	secCSRAdjE
+	secEdges
+	secPhi
+	secByPhi
+	secPos
+	secCnt
+	secSizes
+	secLevelDir
+	secEdgeOrder
+	secCommOff
+	secCommIdx
+)
+
+// sectionNames maps section IDs to their display names (trussd index
+// inspect, error messages).
+var sectionNames = [numSections + 1]string{
+	"", "meta", "csr-off", "csr-adjv", "csr-adje", "edges",
+	"phi", "byphi", "pos", "cnt", "sizes",
+	"leveldir", "edgeorder", "commoff", "commidx",
+}
+
+// levelDirEnt is one 24-byte entry of the level directory: where level
+// k's slices start inside the three concatenated community arrays.
+// edgeOrder and commIdx share the same start (both have cnt[k]
+// elements); commOff has commCount+1. Levels 0..2 are all-zero.
+type levelDirEnt struct {
+	eoStart   uint64 // element offset into edgeorder and commidx
+	coStart   uint64 // element offset into commoff
+	commCount uint32
+	_         uint32 // reserved
+}
+
+// header is the decoded fixed-size file header.
+type header struct {
+	formatVersion   uint32
+	sectionCount    uint32
+	n               uint64
+	m               uint64
+	kmax            uint32
+	graphVersion    uint64
+	createdUnixNano int64
+	fileSize        uint64
+}
+
+// secEntry is one decoded section-table entry.
+type secEntry struct {
+	id  uint32
+	crc uint32
+	off uint64
+	len uint64
+}
+
+// ErrCorrupt tags every integrity failure: bad magic, checksum
+// mismatches, truncation, impossible structural invariants. Test with
+// errors.Is; the message carries the specific diagnosis.
+var ErrCorrupt = errors.New("corrupt indexfile")
+
+// corruptf wraps ErrCorrupt with a diagnosis.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// castagnoli is the CRC32-C table shared by writer and reader. CRC32-C
+// is hardware-accelerated on amd64 and arm64, so full-file Verify runs
+// at memory bandwidth.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SectionInfo describes one section for tooling (trussd index inspect).
+type SectionInfo struct {
+	ID   uint32
+	Name string
+	Off  uint64
+	Len  uint64
+	CRC  uint32
+}
+
+// padLen returns the zero padding needed to align off up to 8 bytes.
+func padLen(off uint64) uint64 {
+	return (align - off%align) % align
+}

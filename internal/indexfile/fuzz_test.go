@@ -1,0 +1,73 @@
+package indexfile
+
+import (
+	"bytes"
+	"testing"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/index"
+)
+
+// FuzzOpen throws arbitrary bytes at the parse-and-validate layer under
+// Open: it must either reject them or produce a view whose Verify and
+// query surface don't panic. The harness feeds bytes straight to
+// newFile through an aligned buffer — the same path Open takes after
+// mmap, minus the syscalls, so the fuzzer spends its budget on header
+// and section-table states instead of disk I/O. The seed corpus
+// includes a valid file and its prefixes so mutation starts on the
+// interesting side of the magic check. The seed graph is deliberately
+// tiny (the paper's running example, ~1 KB on disk): the fuzz engine
+// minimizes every coverage-increasing input by re-running the target
+// across its bytes, so seed size directly sets the cost of each find.
+func FuzzOpen(f *testing.F) {
+	ix := index.Build(core.Decompose(gen.PaperExample()))
+	var valid bytes.Buffer
+	if _, err := Write(&valid, ix, Meta{Source: "fuzz-seed"}); err != nil {
+		f.Fatal(err)
+	}
+	raw := valid.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:preambleLen])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	mangled := append([]byte(nil), raw...)
+	mangled[500] ^= 0xff
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < preambleLen {
+			// mapFile rejects these before parsing; mirror it.
+			return
+		}
+		// 8-aligned copy, as mmap and the heap fallback both guarantee.
+		words := make([]uint64, (len(data)+7)/8)
+		buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(data))
+		copy(buf, data)
+		file, err := newFile("fuzz", &mapped{data: buf})
+		if err != nil {
+			return // rejected: fine, as long as we didn't panic
+		}
+		// Open's structural checks admit the shape; only a file whose
+		// section checksums also hold is promised safe to query.
+		if file.Verify() != nil {
+			return
+		}
+		view := file.Index()
+		_ = view.Histogram()
+		_ = view.TopClasses(3)
+		for k := int32(0); k <= view.KMax(); k++ {
+			_ = view.TrussSize(k)
+			if n := view.CommunityCount(k); n > 0 {
+				_, _ = view.Community(k, 0)
+				_, _ = view.Community(k, n-1)
+			}
+		}
+		for _, e := range view.Graph().Edges() {
+			_, _ = view.TrussNumber(e.U, e.V)
+			break
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package indexfile_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/indexfile"
+)
+
+// fixtureIndex builds a heap index over a graph with real community
+// structure (planted cliques on top of communities, kmax well above 3).
+func fixtureIndex(t *testing.T) *index.TrussIndex {
+	t.Helper()
+	g := gen.WithPlantedCliques(gen.Community(4, 10, 0.7, 1.5, 7), []int{7}, 3)
+	res := core.Decompose(g)
+	ix := index.Build(res)
+	if ix.KMax() < 4 {
+		t.Fatalf("fixture too weak: kmax = %d", ix.KMax())
+	}
+	return ix
+}
+
+func writeTemp(t *testing.T, ix *index.TrussIndex, meta indexfile.Meta) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.tix")
+	if err := indexfile.WriteFile(path, ix, meta); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// sameParts asserts two indexes are structurally identical through
+// their raw arrays — the mmap view must be indistinguishable from the
+// heap index it was written from.
+func sameParts(t *testing.T, got, want *index.TrussIndex) {
+	t.Helper()
+	gp, wp := got.RawParts(), want.RawParts()
+	if gp.KMax != wp.KMax {
+		t.Fatalf("kmax = %d, want %d", gp.KMax, wp.KMax)
+	}
+	if !slices.Equal(gp.Phi, wp.Phi) || !slices.Equal(gp.ByPhi, wp.ByPhi) ||
+		!slices.Equal(gp.Pos, wp.Pos) || !slices.Equal(gp.Cnt, wp.Cnt) ||
+		!slices.Equal(gp.Sizes, wp.Sizes) {
+		t.Fatal("per-edge arrays differ")
+	}
+	if len(gp.Levels) != len(wp.Levels) {
+		t.Fatalf("levels %d, want %d", len(gp.Levels), len(wp.Levels))
+	}
+	for k := range wp.Levels {
+		if !slices.Equal(gp.Levels[k].EdgeOrder, wp.Levels[k].EdgeOrder) ||
+			!slices.Equal(gp.Levels[k].CommOff, wp.Levels[k].CommOff) ||
+			!slices.Equal(gp.Levels[k].CommIdx, wp.Levels[k].CommIdx) {
+			t.Fatalf("level %d community tables differ", k)
+		}
+	}
+	if !slices.Equal(got.Graph().Edges(), want.Graph().Edges()) {
+		t.Fatal("edge lists differ")
+	}
+	gOff, gAdjV, gAdjE := got.Graph().CSR()
+	wOff, wAdjV, wAdjE := want.Graph().CSR()
+	if !slices.Equal(gOff, wOff) || !slices.Equal(gAdjV, wAdjV) || !slices.Equal(gAdjE, wAdjE) {
+		t.Fatal("CSR arrays differ")
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	ix := fixtureIndex(t)
+	meta := indexfile.Meta{Source: "fixture://community", GraphVersion: 42, CreatedUnixNano: 1700000000000000000}
+	path := writeTemp(t, ix, meta)
+
+	f, err := indexfile.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+
+	sameParts(t, f.Index(), ix)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify on a fresh file: %v", err)
+	}
+	if got := f.Meta(); got != meta {
+		t.Fatalf("meta roundtrip: got %+v, want %+v", got, meta)
+	}
+	if f.FormatVersion() != indexfile.FormatVersion {
+		t.Fatalf("format version %d", f.FormatVersion())
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MappedBytes() != st.Size() {
+		t.Fatalf("MappedBytes %d, file is %d", f.MappedBytes(), st.Size())
+	}
+	secs := f.Sections()
+	if len(secs) != 14 {
+		t.Fatalf("%d sections", len(secs))
+	}
+	for _, s := range secs {
+		if s.Name == "" || s.Off%8 != 0 {
+			t.Fatalf("bad section %+v", s)
+		}
+	}
+}
+
+// TestRoundtripQueries drives the public query surface of the mapped
+// view against the heap index.
+func TestRoundtripQueries(t *testing.T) {
+	ix := fixtureIndex(t)
+	f, err := indexfile.Open(writeTemp(t, ix, indexfile.Meta{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	mv := f.Index()
+
+	if !slices.Equal(mv.Histogram(), ix.Histogram()) {
+		t.Fatal("histograms differ")
+	}
+	for k := int32(0); k <= ix.KMax()+1; k++ {
+		if mv.TrussSize(k) != ix.TrussSize(k) {
+			t.Fatalf("TrussSize(%d) differs", k)
+		}
+		if !slices.Equal(mv.Class(k), ix.Class(k)) {
+			t.Fatalf("Class(%d) differs", k)
+		}
+		if mv.CommunityCount(k) != ix.CommunityCount(k) {
+			t.Fatalf("CommunityCount(%d) differs", k)
+		}
+		for c := 0; c < ix.CommunityCount(k); c++ {
+			want, _ := ix.Community(k, c)
+			got, ok := mv.Community(k, c)
+			if !ok || !slices.Equal(got, want) {
+				t.Fatalf("Community(%d,%d) differs", k, c)
+			}
+		}
+	}
+	for _, e := range ix.Graph().Edges() {
+		want, _ := ix.TrussNumber(e.U, e.V)
+		got, ok := mv.TrussNumber(e.U, e.V)
+		if !ok || got != want {
+			t.Fatalf("TrussNumber(%d,%d) = %d, want %d", e.U, e.V, got, want)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	ix := fixtureIndex(t)
+	meta := indexfile.Meta{Source: "det", GraphVersion: 7, CreatedUnixNano: 123}
+	var a, b bytes.Buffer
+	if _, err := indexfile.Write(&a, ix, meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := indexfile.Write(&b, ix, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same index differ")
+	}
+}
+
+// TestEmptyIndex covers the degenerate shapes: no edges, kmax 0.
+func TestEmptyIndex(t *testing.T) {
+	g := gen.ErdosRenyi(6, 0, 1)
+	ix := index.Build(core.Decompose(g))
+	f, err := indexfile.Open(writeTemp(t, ix, indexfile.Meta{Source: "empty"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sameParts(t, f.Index(), ix)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	_, err := indexfile.Open(filepath.Join(t.TempDir(), "nope.tix"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+// TestPatchOverMapped is the copy-on-write story: Patch over a mapped
+// base must equal a fresh heap build, and the patched descendant must
+// survive the base file being closed (nothing in it aliases the map).
+func TestPatchOverMapped(t *testing.T) {
+	ix := fixtureIndex(t)
+	f, err := indexfile.Open(writeTemp(t, ix, indexfile.Meta{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := f.Index()
+
+	g := mv.Graph()
+	edges := g.Edges()
+	batch := dynamic.Batch{
+		Adds: []graph.Edge{{U: 0, V: 39}, {U: 1, V: 38}},
+		Dels: []graph.Edge{edges[len(edges)/2]},
+	}
+	res, err := dynamic.Update(context.Background(), g, mv.PhiView(), batch, dynamic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := mv.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed)
+	fresh := index.Build(&core.Result{G: res.G, Phi: res.Phi, KMax: res.KMax})
+	sameParts(t, patched, fresh)
+
+	// Close the base mapping, then hammer the patched index: on mmap
+	// platforms any surviving alias would fault here.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(patched.Histogram(), fresh.Histogram()) {
+		t.Fatal("patched histogram differs after base close")
+	}
+	for k := int32(3); k <= patched.KMax(); k++ {
+		for c := 0; c < patched.CommunityCount(k); c++ {
+			pc, _ := patched.Community(k, c)
+			fc, _ := fresh.Community(k, c)
+			if !slices.Equal(pc, fc) {
+				t.Fatalf("community %d/%d differs after base close", k, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+//go:build !linux && !darwin
+
+package indexfile
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapped is the portable fallback: the file is read into one heap
+// buffer. No page-cache sharing, but the same aliasing rules hold — the
+// buffer is allocated 8-byte aligned (backed by []uint64) so section
+// slices cast identically to the mmap path.
+type mapped struct {
+	data []byte
+}
+
+// mapFile reads path fully into an aligned heap buffer.
+func mapFile(path string) (*mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < preambleLen {
+		return nil, corruptf("file is %d bytes, smaller than the %d-byte preamble", size, preambleLen)
+	}
+	words := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return &mapped{data: buf}, nil
+}
+
+// close drops the buffer reference; the GC reclaims it once no section
+// slice aliases it.
+func (m *mapped) close() error {
+	m.data = nil
+	return nil
+}

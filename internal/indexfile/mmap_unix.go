@@ -1,0 +1,52 @@
+//go:build linux || darwin
+
+package indexfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapped holds one read-only file mapping. On linux and darwin the file
+// is mmap'd shared, so the bytes live in the page cache: opening costs
+// no reads, and every process mapping the same file shares one physical
+// copy.
+type mapped struct {
+	data []byte
+}
+
+// mapFile maps path read-only and returns its bytes. size is validated
+// by the caller against the format, not here.
+func mapFile(path string) (*mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < preambleLen {
+		// Too small to be an indexfile; also keeps us from mmap'ing zero
+		// bytes, which the kernel rejects.
+		return nil, corruptf("file is %d bytes, smaller than the %d-byte preamble", size, preambleLen)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	return &mapped{data: data}, nil
+}
+
+// close releases the mapping. Any slices aliasing it are invalid
+// afterwards — reading them would fault.
+func (m *mapped) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

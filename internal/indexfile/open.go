@@ -1,0 +1,327 @@
+package indexfile
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// File is an opened indexfile: the mapping plus a TrussIndex whose
+// arrays alias it. The index is immutable and safe for concurrent
+// readers; Close unmaps the file, after which the index must not be
+// touched (on mmap platforms its slices point at unmapped pages).
+//
+// A patched descendant (TrussIndex.Patch) is safe to keep after Close:
+// Patch copies everything it returns onto the heap, so mutations
+// materialize new arrays over the shared mmap base and never alias it.
+type File struct {
+	path string
+	mm   *mapped
+	hdr  header
+	secs []secEntry
+	ix   *index.TrussIndex
+	meta Meta
+}
+
+// Open maps path and returns a queryable view of the index inside.
+//
+// Open validates the header and section-table checksum plus O(kmax)
+// structural invariants — truncation, torn writes in the preamble, and
+// impossible shapes are rejected with an error wrapping ErrCorrupt —
+// but it deliberately does not read the bulk sections, so open time is
+// independent of edge count. Call Verify to additionally check every
+// section's CRC32-C.
+func Open(path string) (*File, error) {
+	mm, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := newFile(path, mm)
+	if err != nil {
+		mm.close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// newFile parses and validates the mapped bytes and assembles the view.
+func newFile(path string, mm *mapped) (*File, error) {
+	hdr, secs, err := parsePreamble(mm.data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSections(hdr, secs, uint64(len(mm.data))); err != nil {
+		return nil, err
+	}
+	f := &File{path: path, mm: mm, hdr: hdr, secs: secs}
+
+	sec := func(id uint32) []byte {
+		s := secs[id-1]
+		return mm.data[s.off : s.off+s.len]
+	}
+
+	// Meta: u32 length-prefixed source string.
+	metaRaw := sec(secMeta)
+	if srcLen := binary.LittleEndian.Uint32(metaRaw); uint64(srcLen)+4 != uint64(len(metaRaw)) {
+		return nil, corruptf("meta section declares %d source bytes, holds %d", srcLen, len(metaRaw)-4)
+	}
+	f.meta = Meta{
+		Source:          string(metaRaw[4:]),
+		GraphVersion:    hdr.graphVersion,
+		CreatedUnixNano: hdr.createdUnixNano,
+	}
+
+	g, err := graph.FromCSR(
+		sectionI64(sec(secCSROff)),
+		sectionU32(sec(secCSRAdjV)),
+		sectionI32(sec(secCSRAdjE)),
+		sectionEdges(sec(secEdges)),
+	)
+	if err != nil {
+		return nil, corruptf("%v", err)
+	}
+
+	kmax := int32(hdr.kmax)
+	cnt := sectionI32(sec(secCnt))
+	dir := decodeLevelDir(sec(secLevelDir))
+	eoAll := sectionI32(sec(secEdgeOrder))
+	coAll := sectionI32(sec(secCommOff))
+	ciAll := sectionI32(sec(secCommIdx))
+	if err := checkStructure(hdr, cnt, sectionI64(sec(secSizes)), dir, uint64(len(eoAll)), uint64(len(coAll))); err != nil {
+		return nil, err
+	}
+
+	levels := make([]index.RawLevel, kmax+1)
+	for k := int32(3); k <= kmax; k++ {
+		d := dir[k]
+		nk := uint64(cnt[k])
+		levels[k] = index.RawLevel{
+			EdgeOrder: eoAll[d.eoStart : d.eoStart+nk],
+			CommOff:   coAll[d.coStart : d.coStart+uint64(d.commCount)+1],
+			CommIdx:   ciAll[d.eoStart : d.eoStart+nk],
+		}
+	}
+
+	f.ix = index.FromRawParts(g, index.RawParts{
+		Phi:    sectionI32(sec(secPhi)),
+		KMax:   kmax,
+		ByPhi:  sectionI32(sec(secByPhi)),
+		Pos:    sectionI32(sec(secPos)),
+		Cnt:    cnt,
+		Sizes:  sectionI64(sec(secSizes)),
+		Levels: levels,
+	})
+	return f, nil
+}
+
+// parsePreamble decodes and checksums the header and section table.
+func parsePreamble(data []byte) (header, []secEntry, error) {
+	if len(data) < preambleLen {
+		return header{}, nil, corruptf("file is %d bytes, smaller than the %d-byte preamble", len(data), preambleLen)
+	}
+	if string(data[:8]) != Magic {
+		return header{}, nil, corruptf("bad magic %q", data[:8])
+	}
+	le := binary.LittleEndian
+	hdr := header{
+		formatVersion:   le.Uint32(data[8:]),
+		sectionCount:    le.Uint32(data[16:]),
+		n:               le.Uint64(data[24:]),
+		m:               le.Uint64(data[32:]),
+		kmax:            le.Uint32(data[40:]),
+		graphVersion:    le.Uint64(data[48:]),
+		createdUnixNano: int64(le.Uint64(data[56:])),
+		fileSize:        le.Uint64(data[64:]),
+	}
+	if hdr.formatVersion != FormatVersion {
+		return header{}, nil, corruptf("format version %d, this build reads %d", hdr.formatVersion, FormatVersion)
+	}
+	if hl := le.Uint32(data[12:]); hl != headerLen {
+		return header{}, nil, corruptf("header length %d, want %d", hl, headerLen)
+	}
+	if hdr.sectionCount != numSections {
+		return header{}, nil, corruptf("section count %d, want %d", hdr.sectionCount, numSections)
+	}
+	tableEnd := headerLen + numSections*secEntryLen
+	if got, want := crc32.Checksum(data[:tableEnd], castagnoli), le.Uint32(data[tableEnd:]); got != want {
+		return header{}, nil, corruptf("header/table checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	if hdr.fileSize != uint64(len(data)) {
+		return header{}, nil, corruptf("header says %d bytes, file has %d", hdr.fileSize, len(data))
+	}
+	// The alignment padding after the table CRC is outside the checksum;
+	// requiring it zero keeps every preamble byte accounted for.
+	for _, b := range data[tableEnd+4 : preambleLen] {
+		if b != 0 {
+			return header{}, nil, corruptf("non-zero preamble padding")
+		}
+	}
+	secs := make([]secEntry, numSections)
+	for i := range secs {
+		p := data[headerLen+i*secEntryLen:]
+		secs[i] = secEntry{
+			id:  le.Uint32(p),
+			crc: le.Uint32(p[4:]),
+			off: le.Uint64(p[8:]),
+			len: le.Uint64(p[16:]),
+		}
+	}
+	return hdr, secs, nil
+}
+
+// checkSections validates the section table: IDs 1..14 in order, every
+// payload 8-aligned, in bounds, non-overlapping, and exactly the length
+// the header's (n, m, kmax) dictate for its element type. The dimension
+// bounds up front keep every later size product inside uint64.
+func checkSections(hdr header, secs []secEntry, size uint64) error {
+	const (
+		maxN    = 1 << 33 // vertices are uint32 IDs; headroom for n+1
+		maxM    = 1 << 31 // edge IDs are int32
+		maxKMax = 1 << 31
+	)
+	if hdr.n > maxN || hdr.m > maxM || uint64(hdr.kmax) > maxKMax {
+		return corruptf("implausible dimensions n=%d m=%d kmax=%d", hdr.n, hdr.m, hdr.kmax)
+	}
+	if int32(hdr.kmax) < 0 {
+		return corruptf("negative kmax %d", int32(hdr.kmax))
+	}
+	// Expected byte length per section, 0 meaning "any" (resolved below).
+	k := uint64(hdr.kmax)
+	want := map[uint32]uint64{
+		secCSROff:   8 * (hdr.n + 1),
+		secCSRAdjV:  4 * 2 * hdr.m,
+		secCSRAdjE:  4 * 2 * hdr.m,
+		secEdges:    8 * hdr.m,
+		secPhi:      4 * hdr.m,
+		secByPhi:    4 * hdr.m,
+		secPos:      4 * hdr.m,
+		secCnt:      4 * (k + 2),
+		secSizes:    8 * (k + 1),
+		secLevelDir: secEntryLen * (k + 1),
+	}
+	end := uint64(preambleLen)
+	for i, s := range secs {
+		if s.id != uint32(i+1) {
+			return corruptf("section %d has id %d, want %d", i, s.id, i+1)
+		}
+		if s.off%align != 0 {
+			return corruptf("section %s offset %d not %d-aligned", sectionNames[s.id], s.off, align)
+		}
+		if s.off < end || s.off > size || s.len > size-s.off {
+			return corruptf("section %s spans [%d,%d+%d), outside [%d,%d)", sectionNames[s.id], s.off, s.off, s.len, end, size)
+		}
+		end = s.off + s.len
+		if w, pinned := want[s.id]; pinned && s.len != w {
+			return corruptf("section %s is %d bytes, want %d for n=%d m=%d kmax=%d",
+				sectionNames[s.id], s.len, w, hdr.n, hdr.m, hdr.kmax)
+		}
+		switch s.id {
+		case secMeta:
+			if s.len < 4 {
+				return corruptf("meta section is %d bytes, want at least 4", s.len)
+			}
+		case secEdgeOrder, secCommOff, secCommIdx:
+			if s.len%4 != 0 {
+				return corruptf("section %s length %d not a multiple of 4", sectionNames[s.id], s.len)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStructure validates the O(kmax) cross-section invariants: cnt is
+// a monotone prefix-count table, sizes is its derivative summing to m,
+// and the level directory tiles the concatenated community arrays
+// exactly with consistent per-level community offsets.
+func checkStructure(hdr header, cnt []int32, sizes []int64, dir []levelDirEnt, eoLen, coLen uint64) error {
+	m := int64(hdr.m)
+	kmax := int32(hdr.kmax)
+	if int64(cnt[0]) != m || cnt[kmax+1] != 0 {
+		return corruptf("cnt spans [%d,%d], want [m=%d,0]", cnt[0], cnt[kmax+1], m)
+	}
+	var sum int64
+	for k := int32(0); k <= kmax; k++ {
+		if cnt[k] < cnt[k+1] {
+			return corruptf("cnt not monotone at k=%d (%d < %d)", k, cnt[k], cnt[k+1])
+		}
+		if sizes[k] < 0 || sizes[k] != int64(cnt[k]-cnt[k+1]) {
+			return corruptf("sizes[%d]=%d disagrees with cnt (%d-%d)", k, sizes[k], cnt[k], cnt[k+1])
+		}
+		sum += sizes[k]
+	}
+	if sum != m {
+		return corruptf("class sizes sum to %d, want m=%d", sum, m)
+	}
+	var eoCur, coCur uint64
+	for k := int32(0); k <= kmax; k++ {
+		d := dir[k]
+		if k < 3 {
+			if d != (levelDirEnt{}) {
+				return corruptf("level %d below 3 has a non-zero directory entry", k)
+			}
+			continue
+		}
+		nk := uint64(cnt[k])
+		if d.eoStart != eoCur || d.coStart != coCur {
+			return corruptf("level %d directory starts (%d,%d), want (%d,%d)", k, d.eoStart, d.coStart, eoCur, coCur)
+		}
+		if uint64(d.commCount) > nk {
+			return corruptf("level %d has %d communities over %d edges", k, d.commCount, nk)
+		}
+		eoCur += nk
+		coCur += uint64(d.commCount) + 1
+	}
+	if eoCur != eoLen || coCur != coLen {
+		return corruptf("level directory tiles %d/%d community elements, sections hold %d/%d", eoCur, coCur, eoLen, coLen)
+	}
+	return nil
+}
+
+// decodeLevelDir parses the level-directory section.
+func decodeLevelDir(b []byte) []levelDirEnt {
+	out := make([]levelDirEnt, len(b)/secEntryLen)
+	le := binary.LittleEndian
+	for i := range out {
+		p := b[i*secEntryLen:]
+		out[i] = levelDirEnt{
+			eoStart:   le.Uint64(p),
+			coStart:   le.Uint64(p[8:]),
+			commCount: le.Uint32(p[16:]),
+		}
+	}
+	return out
+}
+
+// Index returns the queryable TrussIndex view. It aliases the mapping:
+// do not use it after Close.
+func (f *File) Index() *index.TrussIndex { return f.ix }
+
+// Meta returns the file's metadata (source string, graph version,
+// creation time).
+func (f *File) Meta() Meta { return f.meta }
+
+// FormatVersion returns the file's format version.
+func (f *File) FormatVersion() uint32 { return f.hdr.formatVersion }
+
+// MappedBytes returns the size of the mapping in bytes.
+func (f *File) MappedBytes() int64 { return int64(f.hdr.fileSize) }
+
+// Path returns the path the file was opened from.
+func (f *File) Path() string { return f.path }
+
+// Sections lists the file's sections for tooling.
+func (f *File) Sections() []SectionInfo {
+	out := make([]SectionInfo, len(f.secs))
+	for i, s := range f.secs {
+		out[i] = SectionInfo{ID: s.id, Name: sectionNames[s.id], Off: s.off, Len: s.len, CRC: s.crc}
+	}
+	return out
+}
+
+// Close releases the mapping. The Index view (and every slice obtained
+// from it) must not be used afterwards.
+func (f *File) Close() error {
+	return f.mm.close()
+}

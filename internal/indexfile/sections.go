@@ -1,0 +1,152 @@
+package indexfile
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// hostLE reports whether this machine is little-endian. On such hosts
+// (amd64, arm64, riscv64 — everything we serve on) section payloads are
+// aliased in place with zero copies; on big-endian hosts the reader
+// falls back to an element-wise decode into heap slices, trading the
+// zero-copy property for correctness.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// The alias helpers reinterpret a byte slice as a typed slice without
+// copying. Callers guarantee little-endian host, element-size-divisible
+// length, and 8-byte base alignment (mmap bases are page-aligned, the
+// heap fallback allocates via []uint64, and every section offset is
+// 8-aligned by construction).
+
+func asU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func asI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func asI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func asEdges(b []byte) []graph.Edge {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.Edge)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// The byte-view helpers are the write-side inverse: view a typed slice
+// as raw bytes for bulk output and CRC. Little-endian hosts only.
+
+func bytesOfU32(v []uint32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func bytesOfI32(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func bytesOfI64(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+func bytesOfEdges(v []graph.Edge) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+// Element-wise decoders for big-endian hosts: allocate and convert.
+
+func decodeU32(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+func decodeI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func decodeI64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func decodeEdges(b []byte) []graph.Edge {
+	out := make([]graph.Edge, len(b)/8)
+	for i := range out {
+		out[i] = graph.Edge{
+			U: binary.LittleEndian.Uint32(b[8*i:]),
+			V: binary.LittleEndian.Uint32(b[8*i+4:]),
+		}
+	}
+	return out
+}
+
+// sectionI32 / sectionI64 / sectionU32 / sectionEdges view one section's
+// payload as a typed slice: zero-copy alias on little-endian hosts, heap
+// decode otherwise.
+
+func sectionU32(b []byte) []uint32 {
+	if hostLE {
+		return asU32(b)
+	}
+	return decodeU32(b)
+}
+
+func sectionI32(b []byte) []int32 {
+	if hostLE {
+		return asI32(b)
+	}
+	return decodeI32(b)
+}
+
+func sectionI64(b []byte) []int64 {
+	if hostLE {
+		return asI64(b)
+	}
+	return decodeI64(b)
+}
+
+func sectionEdges(b []byte) []graph.Edge {
+	if hostLE {
+		return asEdges(b)
+	}
+	return decodeEdges(b)
+}

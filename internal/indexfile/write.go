@@ -1,0 +1,388 @@
+package indexfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Meta carries the file-level metadata stored alongside the index.
+type Meta struct {
+	// Source describes where the graph came from (a path, a URL, a
+	// registry note); free-form, returned verbatim by Open.
+	Source string
+	// GraphVersion is the server's mutation epoch for the graph at write
+	// time; 0 when unused.
+	GraphVersion uint64
+	// CreatedUnixNano timestamps the write; 0 leaves it unset.
+	CreatedUnixNano int64
+}
+
+// payload is one section's write plan: its ID, exact byte length, and a
+// routine that emits those bytes. Emitting twice (once into a CRC, once
+// into the output) keeps Write a single forward pass over any io.Writer
+// — no seeking back to patch checksums.
+type payload struct {
+	id     uint32
+	length uint64
+	emit   func(e *emitter)
+}
+
+// Write serializes ix into the indexfile format and returns the number
+// of bytes written. The output is deterministic for a given index and
+// meta. Write does not sync; use WriteFile for the durable
+// temp+rename+fsync discipline.
+func Write(w io.Writer, ix *index.TrussIndex, meta Meta) (int64, error) {
+	secs, hdr, err := plan(ix, meta)
+	if err != nil {
+		return 0, err
+	}
+
+	// Pass 1: compute each section's CRC32-C by emitting into the hasher.
+	entries := make([]secEntry, len(secs))
+	fileOff := uint64(preambleLen)
+	for i, s := range secs {
+		crc := crc32.New(castagnoli)
+		e := &emitter{w: crc}
+		s.emit(e)
+		if e.err != nil {
+			return 0, e.err
+		}
+		if uint64(e.n) != s.length {
+			return 0, fmt.Errorf("indexfile: section %s emitted %d bytes, planned %d",
+				sectionNames[s.id], e.n, s.length)
+		}
+		entries[i] = secEntry{id: s.id, crc: crc.Sum32(), off: fileOff, len: s.length}
+		fileOff += s.length + padLen(s.length)
+	}
+	hdr.fileSize = fileOff
+
+	// Pass 2: stream preamble then payloads.
+	bw := bufio.NewWriterSize(w, 1<<16)
+	e := &emitter{w: bw}
+	e.write(encodePreamble(hdr, entries))
+	for _, s := range secs {
+		s.emit(e)
+		e.pad(padLen(s.length))
+	}
+	if e.err != nil {
+		return e.n, e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return e.n, err
+	}
+	if uint64(e.n) != hdr.fileSize {
+		return e.n, fmt.Errorf("indexfile: wrote %d bytes, planned %d", e.n, hdr.fileSize)
+	}
+	return e.n, nil
+}
+
+// WriteFile writes ix to path with full crash durability: temp file in
+// the same directory, fsync, atomic rename, then fsync of the parent
+// directory so the rename itself survives power loss.
+func WriteFile(path string, ix *index.TrussIndex, meta Meta) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := Write(tmp, ix, meta); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-completed rename or create in it
+// is durable — without it, a power cut after rename can resurrect the
+// old directory entry even though the new file's data was synced.
+// Platforms or filesystems that cannot sync directories (EINVAL,
+// windows) are treated as success: the rename is already as durable as
+// that platform allows.
+func SyncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && errorIsEINVAL(err) {
+		err = nil
+	}
+	return err
+}
+
+// errorIsEINVAL reports whether err is the "fsync not supported here"
+// errno some filesystems return for directory syncs.
+func errorIsEINVAL(err error) bool {
+	for {
+		if errno, ok := err.(syscall.Errno); ok {
+			return errno == syscall.EINVAL
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+		if err == nil {
+			return false
+		}
+	}
+}
+
+// plan derives the section payloads and header from the index, after
+// validating that its arrays have the shapes the format freezes.
+func plan(ix *index.TrussIndex, meta Meta) ([]payload, header, error) {
+	g := ix.Graph()
+	parts := ix.RawParts()
+	off, adjV, adjE := g.CSR()
+	edges := g.Edges()
+	n := g.NumVertices()
+	m := len(edges)
+
+	if err := checkParts(parts, off, adjV, adjE, n, m); err != nil {
+		return nil, header{}, err
+	}
+	if uint64(len(meta.Source)) > 1<<20 {
+		return nil, header{}, fmt.Errorf("indexfile: source string too long (%d bytes)", len(meta.Source))
+	}
+
+	// Level directory and concatenated community-array totals.
+	kmax := parts.KMax
+	dir := make([]levelDirEnt, kmax+1)
+	var eoTotal, coTotal uint64
+	for k := int32(3); k <= kmax; k++ {
+		lv := &parts.Levels[k]
+		dir[k] = levelDirEnt{
+			eoStart:   eoTotal,
+			coStart:   coTotal,
+			commCount: uint32(len(lv.CommOff) - 1),
+		}
+		eoTotal += uint64(len(lv.EdgeOrder))
+		coTotal += uint64(len(lv.CommOff))
+	}
+
+	hdr := header{
+		formatVersion:   FormatVersion,
+		sectionCount:    numSections,
+		n:               uint64(n),
+		m:               uint64(m),
+		kmax:            uint32(kmax),
+		graphVersion:    meta.GraphVersion,
+		createdUnixNano: meta.CreatedUnixNano,
+	}
+
+	secs := []payload{
+		{secMeta, uint64(4 + len(meta.Source)), func(e *emitter) {
+			e.u32(uint32(len(meta.Source)))
+			e.write([]byte(meta.Source))
+		}},
+		{secCSROff, uint64(8 * len(off)), func(e *emitter) { e.i64s(off) }},
+		{secCSRAdjV, uint64(4 * len(adjV)), func(e *emitter) { e.u32s(adjV) }},
+		{secCSRAdjE, uint64(4 * len(adjE)), func(e *emitter) { e.i32s(adjE) }},
+		{secEdges, uint64(8 * len(edges)), func(e *emitter) { e.edges(edges) }},
+		{secPhi, uint64(4 * len(parts.Phi)), func(e *emitter) { e.i32s(parts.Phi) }},
+		{secByPhi, uint64(4 * len(parts.ByPhi)), func(e *emitter) { e.i32s(parts.ByPhi) }},
+		{secPos, uint64(4 * len(parts.Pos)), func(e *emitter) { e.i32s(parts.Pos) }},
+		{secCnt, uint64(4 * len(parts.Cnt)), func(e *emitter) { e.i32s(parts.Cnt) }},
+		{secSizes, uint64(8 * len(parts.Sizes)), func(e *emitter) { e.i64s(parts.Sizes) }},
+		{secLevelDir, uint64(secEntryLen * len(dir)), func(e *emitter) {
+			for _, d := range dir {
+				e.u64(d.eoStart)
+				e.u64(d.coStart)
+				e.u32(d.commCount)
+				e.u32(0)
+			}
+		}},
+		{secEdgeOrder, 4 * eoTotal, func(e *emitter) {
+			for k := range parts.Levels {
+				e.i32s(parts.Levels[k].EdgeOrder)
+			}
+		}},
+		{secCommOff, 4 * coTotal, func(e *emitter) {
+			for k := range parts.Levels {
+				e.i32s(parts.Levels[k].CommOff)
+			}
+		}},
+		{secCommIdx, 4 * eoTotal, func(e *emitter) {
+			for k := range parts.Levels {
+				e.i32s(parts.Levels[k].CommIdx)
+			}
+		}},
+	}
+	return secs, hdr, nil
+}
+
+// checkParts validates the writer's inputs against the format's shape
+// invariants, so a malformed index is rejected before a single byte hits
+// disk rather than discovered by a reader.
+func checkParts(p index.RawParts, off []int64, adjV []uint32, adjE []int32, n, m int) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("indexfile: index shape invalid: %s", fmt.Sprintf(format, args...))
+	}
+	if len(off) != n+1 {
+		return bad("CSR offsets length %d, want n+1 = %d", len(off), n+1)
+	}
+	if len(adjV) != 2*m || len(adjE) != 2*m {
+		return bad("CSR adjacency lengths %d/%d, want 2m = %d", len(adjV), len(adjE), 2*m)
+	}
+	if len(p.Phi) != m || len(p.ByPhi) != m || len(p.Pos) != m {
+		return bad("per-edge arrays %d/%d/%d, want m = %d", len(p.Phi), len(p.ByPhi), len(p.Pos), m)
+	}
+	k := p.KMax
+	if k < 0 {
+		return bad("negative kmax %d", k)
+	}
+	if len(p.Cnt) != int(k)+2 || len(p.Sizes) != int(k)+1 || len(p.Levels) != int(k)+1 {
+		return bad("cnt/sizes/levels lengths %d/%d/%d, want kmax+2/kmax+1/kmax+1 with kmax = %d",
+			len(p.Cnt), len(p.Sizes), len(p.Levels), k)
+	}
+	for i := int32(0); i <= k; i++ {
+		lv := &p.Levels[i]
+		if i < 3 {
+			if len(lv.EdgeOrder) != 0 || len(lv.CommOff) != 0 || len(lv.CommIdx) != 0 {
+				return bad("level %d below 3 is non-empty", i)
+			}
+			continue
+		}
+		nk := int(p.Cnt[i])
+		if len(lv.EdgeOrder) != nk || len(lv.CommIdx) != nk {
+			return bad("level %d tables %d/%d edges, want cnt[%d] = %d",
+				i, len(lv.EdgeOrder), len(lv.CommIdx), i, nk)
+		}
+		if len(lv.CommOff) < 1 || lv.CommOff[0] != 0 || int(lv.CommOff[len(lv.CommOff)-1]) != nk {
+			return bad("level %d community offsets do not span [0,%d]", i, nk)
+		}
+	}
+	return nil
+}
+
+// encodePreamble serializes the header, section table, and table CRC
+// into the fixed-size preamble block.
+func encodePreamble(hdr header, entries []secEntry) []byte {
+	buf := make([]byte, preambleLen)
+	copy(buf, Magic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], hdr.formatVersion)
+	le.PutUint32(buf[12:], headerLen)
+	le.PutUint32(buf[16:], hdr.sectionCount)
+	le.PutUint64(buf[24:], hdr.n)
+	le.PutUint64(buf[32:], hdr.m)
+	le.PutUint32(buf[40:], hdr.kmax)
+	le.PutUint64(buf[48:], hdr.graphVersion)
+	le.PutUint64(buf[56:], uint64(hdr.createdUnixNano))
+	le.PutUint64(buf[64:], hdr.fileSize)
+	for i, s := range entries {
+		p := buf[headerLen+i*secEntryLen:]
+		le.PutUint32(p, s.id)
+		le.PutUint32(p[4:], s.crc)
+		le.PutUint64(p[8:], s.off)
+		le.PutUint64(p[16:], s.len)
+	}
+	tableEnd := headerLen + len(entries)*secEntryLen
+	le.PutUint32(buf[tableEnd:], crc32.Checksum(buf[:tableEnd], castagnoli))
+	return buf
+}
+
+// emitter writes typed values little-endian to w, tracking the running
+// byte count and the first error. On little-endian hosts bulk slices go
+// out as single writes over their raw bytes; big-endian hosts fall back
+// to element-wise encoding.
+type emitter struct {
+	w       io.Writer
+	err     error
+	n       int64
+	scratch [8]byte
+}
+
+func (e *emitter) write(b []byte) {
+	if e.err != nil || len(b) == 0 {
+		return
+	}
+	k, err := e.w.Write(b)
+	e.n += int64(k)
+	e.err = err
+}
+
+func (e *emitter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	e.write(e.scratch[:4])
+}
+
+func (e *emitter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	e.write(e.scratch[:8])
+}
+
+func (e *emitter) u32s(v []uint32) {
+	if hostLE {
+		e.write(bytesOfU32(v))
+		return
+	}
+	for _, x := range v {
+		e.u32(x)
+	}
+}
+
+func (e *emitter) i32s(v []int32) {
+	if hostLE {
+		e.write(bytesOfI32(v))
+		return
+	}
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+func (e *emitter) i64s(v []int64) {
+	if hostLE {
+		e.write(bytesOfI64(v))
+		return
+	}
+	for _, x := range v {
+		e.u64(uint64(x))
+	}
+}
+
+func (e *emitter) edges(v []graph.Edge) {
+	if hostLE {
+		e.write(bytesOfEdges(v))
+		return
+	}
+	for _, x := range v {
+		e.u32(x.U)
+		e.u32(x.V)
+	}
+}
+
+// pad emits k zero bytes (inter-section alignment padding).
+func (e *emitter) pad(k uint64) {
+	var zeros [align]byte
+	e.write(zeros[:k])
+}

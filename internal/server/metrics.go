@@ -51,6 +51,14 @@ type serverMetrics struct {
 	recovered   *obs.Counter
 	replayed    *obs.Counter
 
+	// Indexfile serving (snapshot v2): open latency, bytes currently
+	// mapped, and which path each recovered graph took back to serving.
+	ixOpenDur       *obs.Histogram
+	ixMapped        *obs.Gauge
+	restartV2Open   *obs.Counter
+	restartV2Replay *obs.Counter
+	restartV1Replay *obs.Counter
+
 	// Registry state.
 	graphsReady *obs.Gauge
 }
@@ -98,6 +106,23 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		compactions: reg.Counter("truss_wal_compactions_total", "WALs folded into fresh snapshots."),
 		recovered:   reg.Counter("truss_recovered_graphs_total", "Graphs restored from durable state at startup."),
 		replayed:    reg.Counter("truss_wal_replayed_batches_total", "WAL mutation batches replayed during recovery."),
+
+		ixOpenDur: reg.Histogram("truss_indexfile_open_seconds",
+			"Time to open (map + validate) an index snapshot at recovery.", nil),
+		ixMapped: reg.Gauge("truss_indexfile_mapped_bytes",
+			"Bytes of index snapshots currently memory-mapped and serving."),
+		restartV2Open: reg.Counter("truss_restart_path_total",
+			"Recovered graphs by restart path: v2-open serves the mapped snapshot directly, "+
+				"v2-replay patches WAL batches over it, v1-replay rebuilds from a legacy snapshot (then migrates).",
+			"path", "v2-open"),
+		restartV2Replay: reg.Counter("truss_restart_path_total",
+			"Recovered graphs by restart path: v2-open serves the mapped snapshot directly, "+
+				"v2-replay patches WAL batches over it, v1-replay rebuilds from a legacy snapshot (then migrates).",
+			"path", "v2-replay"),
+		restartV1Replay: reg.Counter("truss_restart_path_total",
+			"Recovered graphs by restart path: v2-open serves the mapped snapshot directly, "+
+				"v2-replay patches WAL batches over it, v1-replay rebuilds from a legacy snapshot (then migrates).",
+			"path", "v1-replay"),
 
 		graphsReady: reg.Gauge("truss_graphs_ready", "Graphs currently resident and serving."),
 	}
@@ -153,4 +178,11 @@ func codeLabel(code int) string {
 // names, never by request input.
 func (m *serverMetrics) walSize(name string) *obs.Gauge {
 	return m.reg.Gauge("truss_wal_size_bytes", "Current WAL size per graph, reset by compaction.", "graph", name)
+}
+
+// snapFormat returns the per-graph snapshot-format gauge (1 = legacy
+// snapshot.bin, 2 = mmap-able indexfile). A fleet-wide min over this
+// gauge tells an operator when every graph has migrated.
+func (m *serverMetrics) snapFormat(name string) *obs.Gauge {
+	return m.reg.Gauge("truss_snapshot_format_version", "Snapshot format version persisted per graph.", "graph", name)
 }

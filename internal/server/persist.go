@@ -11,20 +11,30 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/indexfile"
 )
 
 // Store persists the registry under a data directory so trussd restarts
 // warm. Each graph gets its own subdirectory holding two files:
 //
-//   - snapshot.bin — the full decomposition at some version: a versioned
-//     header, the canonical edge list, and the per-edge truss numbers,
-//     closed by a CRC32. Written atomically (temp file + rename).
+//   - index.tix — snapshot v2: the complete indexfile (see
+//     internal/indexfile) at some version. Recovery memory-maps it and
+//     serves straight off the page cache — no replay, no re-peeling.
+//     Written atomically (temp file + fsync + rename + directory fsync).
 //   - wal.bin — mutations applied after the snapshot, one length- and
 //     CRC-prefixed record per batch: {version, adds, dels}. Appended (and
 //     synced) before a mutation is published, so a crash between the WAL
 //     write and the in-memory install replays to the same state.
+//
+// Older data directories may instead hold snapshot.bin — snapshot v1,
+// the pre-indexfile format carrying only the edge list and truss
+// numbers, which costs a full index rebuild at recovery. The Store still
+// reads v1 (the server migrates such graphs to v2 on first recovery) but
+// only ever writes v2.
 //
 // Recovery loads the snapshot, replays the WAL in order, and stops at the
 // first truncated or corrupt record — the tail that a crash mid-append
@@ -36,14 +46,31 @@ import (
 // graph with its mutation locks.
 type Store struct {
 	dir string
+
+	// VerifyOnLoad makes load additionally check every indexfile section
+	// checksum (indexfile.Verify) before serving it. Off by default: the
+	// atomic write discipline means a torn file cannot appear, so this
+	// guards only against at-rest bit rot, at the cost of one sequential
+	// read of the file during recovery.
+	VerifyOnLoad bool
+	// OnOpen, when non-nil, observes every successful indexfile open
+	// (recovery instrumentation).
+	OnOpen func(elapsed time.Duration, mappedBytes int64)
 }
 
 // Snapshot file layout constants.
 const (
 	snapshotMagic = "TRUSSNP1"
-	snapshotFile  = "snapshot.bin"
+	snapshotFile  = "snapshot.bin" // snapshot v1 (legacy, read-only)
+	indexFile     = "index.tix"    // snapshot v2: mmap-able indexfile
 	walFile       = "wal.bin"
 	graphDirPre   = "g-"
+)
+
+// Snapshot format versions as reported by PersistedGraph.Format.
+const (
+	SnapshotFormatV1 = 1
+	SnapshotFormatV2 = 2
 )
 
 // errCorrupt tags snapshot integrity failures.
@@ -76,6 +103,16 @@ type PersistedGraph struct {
 	G       *graph.Graph
 	Phi     []int32
 	KMax    int32
+	// Format is the snapshot format the graph was read from
+	// (SnapshotFormatV1 or SnapshotFormatV2).
+	Format int
+	// File and Index are set for v2: the open indexfile mapping and the
+	// TrussIndex view aliasing it (G and Phi above alias it too). The
+	// caller owns File — either keep it open for as long as Index serves,
+	// or Close it once done (e.g. after replaying Mutations into a heap
+	// copy). For v1 they are nil and G/Phi are heap arrays.
+	File  *indexfile.File
+	Index *index.TrussIndex
 	// Mutations are the WAL records appended after the snapshot, in
 	// order; Version above is the snapshot's, each record carries its own.
 	Mutations []MutationRec
@@ -88,8 +125,35 @@ type MutationRec struct {
 	Dels    []graph.Edge
 }
 
-// SaveSnapshot atomically writes the full decomposition of name at
-// version and truncates its WAL (the snapshot subsumes it).
+// SaveIndexSnapshot atomically writes the v2 snapshot of name at
+// version — the complete indexfile, ready to be mmap'd by the next
+// recovery — and truncates its WAL plus any legacy v1 snapshot (both are
+// subsumed). This is the only snapshot format the Store writes.
+func (st *Store) SaveIndexSnapshot(name, source string, version uint64, ix *index.TrussIndex) error {
+	dir := st.graphDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := indexfile.Meta{Source: source, GraphVersion: version, CreatedUnixNano: time.Now().UnixNano()}
+	if err := indexfile.WriteFile(filepath.Join(dir, indexFile), ix, meta); err != nil {
+		return err
+	}
+	// The WAL (and a pre-migration v1 snapshot, if any) is now folded into
+	// the indexfile. Failing to unlink them is not fatal to durability —
+	// recovery prefers v2 and skips WAL records at or below its version —
+	// but surfacing the error keeps disk usage honest.
+	for _, stale := range []string{walFile, snapshotFile} {
+		if err := os.Remove(filepath.Join(dir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return indexfile.SyncDir(dir)
+}
+
+// SaveSnapshot atomically writes the legacy v1 snapshot of name at
+// version and truncates its WAL (the snapshot subsumes it). The server
+// no longer calls this — it exists so tests can fabricate pre-migration
+// data directories and prove the v1 read path keeps working.
 func (st *Store) SaveSnapshot(name, source string, version uint64, g *graph.Graph, phi []int32, kmax int32) error {
 	dir := st.graphDir(name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -151,14 +215,23 @@ func (st *Store) SaveSnapshot(name, source string, version uint64, g *graph.Grap
 	if err := os.Remove(filepath.Join(dir, walFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	return nil
+	// Make the rename itself durable: without the directory fsync a power
+	// cut can roll the directory entry back to the old snapshot even
+	// though the new file's blocks were synced.
+	return indexfile.SyncDir(dir)
 }
 
 // AppendMutation durably appends one mutation batch to name's WAL and
 // returns the WAL's size in bytes afterwards (the compaction signal).
 func (st *Store) AppendMutation(name string, version uint64, adds, dels []graph.Edge) (int64, error) {
 	dir := st.graphDir(name)
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, walFile)
+	// The first append creates the WAL file; its directory entry needs
+	// the same fsync discipline as a snapshot rename, or a power cut
+	// could lose the whole file while its records were "durably" synced.
+	_, statErr := os.Stat(path)
+	created := errors.Is(statErr, os.ErrNotExist)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -189,6 +262,9 @@ func (st *Store) AppendMutation(name string, version uint64, adds, dels []graph.
 	size, err := f.Seek(0, io.SeekEnd)
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil && created {
+		err = indexfile.SyncDir(dir)
 	}
 	return size, err
 }
@@ -226,19 +302,57 @@ func (st *Store) LoadAll() (graphs []*PersistedGraph, broken map[string]error, e
 	return graphs, broken, nil
 }
 
-// load reads one graph's snapshot and WAL.
+// load reads one graph's snapshot and WAL, preferring the v2 indexfile
+// when present (a crash between migration steps can leave both formats
+// on disk; v2 is always the newer state because it is written first).
 func (st *Store) load(name string) (*PersistedGraph, error) {
 	dir := st.graphDir(name)
-	pg, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	pg, err := st.openIndexSnapshot(filepath.Join(dir, indexFile))
+	if errors.Is(err, os.ErrNotExist) {
+		pg, err = readSnapshot(filepath.Join(dir, snapshotFile))
+	}
 	if err != nil {
 		return nil, err
 	}
 	pg.Name = name
 	pg.Mutations, err = readWAL(filepath.Join(dir, walFile))
 	if err != nil {
+		if pg.File != nil {
+			pg.File.Close()
+		}
 		return nil, err
 	}
 	return pg, nil
+}
+
+// openIndexSnapshot maps a v2 snapshot. The returned PersistedGraph
+// aliases the mapping (Index, G, Phi); the caller owns File.
+func (st *Store) openIndexSnapshot(path string) (*PersistedGraph, error) {
+	start := time.Now()
+	f, err := indexfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.VerifyOnLoad {
+		if err := f.Verify(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if st.OnOpen != nil {
+		st.OnOpen(time.Since(start), f.MappedBytes())
+	}
+	ix := f.Index()
+	return &PersistedGraph{
+		Source:  f.Meta().Source,
+		Version: f.Meta().GraphVersion,
+		G:       ix.Graph(),
+		Phi:     ix.PhiView(),
+		KMax:    ix.KMax(),
+		Format:  SnapshotFormatV2,
+		File:    f,
+		Index:   ix,
+	}, nil
 }
 
 // readSnapshot parses and integrity-checks a snapshot file.
@@ -257,7 +371,7 @@ func readSnapshot(path string) (*PersistedGraph, error) {
 	r := body[8:]
 	u32 := func() uint32 { v := binary.LittleEndian.Uint32(r); r = r[4:]; return v }
 	u64 := func() uint64 { v := binary.LittleEndian.Uint64(r); r = r[8:]; return v }
-	pg := &PersistedGraph{Version: u64()}
+	pg := &PersistedGraph{Version: u64(), Format: SnapshotFormatV1}
 	n := int(u32())
 	pg.KMax = int32(u32())
 	m := u64()

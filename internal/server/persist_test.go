@@ -10,11 +10,14 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/indexfile"
+	"repro/internal/obs"
 )
 
 // mutateJSON issues a mutation request and decodes the response.
@@ -244,15 +247,17 @@ func TestRecoveryTornWAL(t *testing.T) {
 	}
 }
 
-// TestRecoveryCorruptSnapshot flips a byte in the snapshot body and checks
-// the graph is skipped (not wrongly served) while others recover.
+// TestRecoveryCorruptSnapshot flips a byte in the index snapshot and checks
+// the graph is skipped (not wrongly served) while others recover. Byte 20
+// sits in a reserved header field, so the preamble checksum catches it at
+// Open time — no Verify pass needed.
 func TestRecoveryCorruptSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	s1 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir})
 	s1.Build("bad", gen.PaperExample(), "inline")
 	s1.Build("good", gen.PaperExample(), "inline")
 
-	snapPath := filepath.Join(s1.store.graphDir("bad"), snapshotFile)
+	snapPath := filepath.Join(s1.store.graphDir("bad"), indexFile)
 	raw, err := os.ReadFile(snapPath)
 	if err != nil {
 		t.Fatal(err)
@@ -375,5 +380,167 @@ func TestRemoveDeletesPersistedState(t *testing.T) {
 	}
 	if _, ok := s2.Lookup("g"); ok {
 		t.Fatal("removed graph came back after restart")
+	}
+}
+
+// TestRecoveryV2OpenPath: after a clean shutdown each graph dir holds only
+// an index.tix, and the next process serves it straight off the mapping —
+// no WAL replay, no re-peel, no Build — announcing the path in both the
+// restart metrics and the access log. Mutations then patch copy-on-write
+// over the mapped base.
+func TestRecoveryV2OpenPath(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir})
+	s1.Build("a", gen.PaperExample(), "inline")
+	s1.Build("b", gen.ErdosRenyi(30, 120, 3), "inline")
+	ea, _ := s1.Lookup("a")
+	wantTruss := ea.Index.EdgeTruss(0)
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(s1.store.graphDir("a"), snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot written alongside indexfile: %v", err)
+	}
+
+	var accessLog bytes.Buffer
+	s2 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir,
+		Metrics: obs.NewRegistry(), AccessLog: &accessLog})
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.metrics.restartV2Open.Value(); got != 2 {
+		t.Fatalf("restart_path{v2-open} = %d, want 2", got)
+	}
+	if got := s2.metrics.builds.Value(); got != 0 {
+		t.Fatalf("builds during v2-open recovery = %d, want 0", got)
+	}
+	if got := s2.metrics.replayed.Value(); got != 0 {
+		t.Fatalf("WAL batches replayed = %d, want 0", got)
+	}
+	if got := s2.metrics.ixMapped.Value(); got <= 0 {
+		t.Fatalf("truss_indexfile_mapped_bytes = %d, want > 0", got)
+	}
+	if !strings.Contains(accessLog.String(), "restart_path=v2-open") {
+		t.Fatalf("access log missing restart path:\n%s", accessLog.String())
+	}
+	e2, ok := s2.Lookup("a")
+	if !ok || e2.State != StateReady || e2.Index.EdgeTruss(0) != wantTruss {
+		t.Fatalf("mapped graph wrong: %+v", e2)
+	}
+	// The mapped entry accepts mutations: Patch overlays the mmap base.
+	if _, _, err := s2.Mutate(context.Background(), "a",
+		[]graph.Edge{{U: 0, V: 9}}, nil); err != nil {
+		t.Fatalf("mutation over mapped index: %v", err)
+	}
+	e3, _ := s2.Lookup("a")
+	want := core.Decompose(e3.Index.Graph())
+	for id, p := range want.Phi {
+		if e3.Index.EdgeTruss(int32(id)) != p {
+			t.Fatalf("edge %d after patch over mmap: %d, want %d",
+				id, e3.Index.EdgeTruss(int32(id)), p)
+		}
+	}
+}
+
+// TestRecoveryV1Migration: a legacy snapshot.bin recovers through the old
+// replay-and-rebuild path exactly once — recovery rewrites it as an
+// indexfile, so the next restart maps and goes.
+func TestRecoveryV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	res := core.Decompose(gen.PaperExample())
+
+	// Fabricate a pre-migration graph dir: v1 snapshot, no indexfile.
+	s0 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir})
+	if err := s0.store.SaveSnapshot("legacy", "inline", 1, res.G, res.Phi, res.KMax); err != nil {
+		t.Fatal(err)
+	}
+	gdir := s0.store.graphDir("legacy")
+	if _, err := os.Stat(filepath.Join(gdir, indexFile)); !os.IsNotExist(err) {
+		t.Fatalf("fixture already has an indexfile: %v", err)
+	}
+
+	s1 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir, Metrics: obs.NewRegistry()})
+	if err := s1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.metrics.restartV1Replay.Value(); got != 1 {
+		t.Fatalf("restart_path{v1-replay} = %d, want 1", got)
+	}
+	e, ok := s1.Lookup("legacy")
+	if !ok || e.State != StateReady || e.Version != 1 {
+		t.Fatalf("legacy graph not recovered: %+v", e)
+	}
+	for id, p := range res.Phi {
+		if e.Index.EdgeTruss(int32(id)) != p {
+			t.Fatalf("edge %d: %d, want %d", id, e.Index.EdgeTruss(int32(id)), p)
+		}
+	}
+	// Migration happened: indexfile present, legacy snapshot gone.
+	if _, err := os.Stat(filepath.Join(gdir, indexFile)); err != nil {
+		t.Fatalf("migration did not write an indexfile: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(gdir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot not removed by migration: %v", err)
+	}
+
+	// Second restart takes the fast path.
+	s2 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir, Metrics: obs.NewRegistry()})
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.metrics.restartV2Open.Value(); got != 1 {
+		t.Fatalf("post-migration restart_path{v2-open} = %d, want 1", got)
+	}
+}
+
+// TestVerifySnapshotsCatchesBitRot: Open's O(kmax) validation deliberately
+// skips data-section checksums (that's what keeps readiness independent of
+// edge count), so rot inside a payload section maps cleanly by default.
+// Options.VerifySnapshots opts into the full CRC sweep at recovery.
+func TestVerifySnapshotsCatchesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir})
+	s1.Build("g", gen.PaperExample(), "inline")
+	path := filepath.Join(s1.store.graphDir("g"), indexFile)
+
+	// Flip one bit in the phi payload — outside every open-time check.
+	f, err := indexfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(-1)
+	for _, sec := range f.Sections() {
+		if sec.Name == "phi" {
+			off = int64(sec.Off)
+		}
+	}
+	f.Close()
+	if off < 0 {
+		t.Fatal("no phi section")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir, Metrics: obs.NewRegistry()})
+	if err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Lookup("g"); !ok {
+		t.Fatal("structurally valid file should map without VerifySnapshots")
+	}
+
+	s3 := New(Options{Workers: 1, Logf: t.Logf, DataDir: dir,
+		Metrics: obs.NewRegistry(), VerifySnapshots: true})
+	if err := s3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Lookup("g"); ok {
+		t.Fatal("VerifySnapshots served a bit-rotted snapshot")
 	}
 }

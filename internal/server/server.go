@@ -96,10 +96,17 @@ type Options struct {
 	// same cap applies to mutation endpoints.
 	MaxInlineVertexID int64
 	// DataDir, when non-empty, makes the registry durable: every build
-	// writes a snapshot, every mutation appends to a WAL, and Recover
-	// restores all graphs at their pre-shutdown versions without
-	// re-decomposing anything.
+	// writes a snapshot (the mmap-able indexfile format), every mutation
+	// appends to a WAL, and Recover restores all graphs at their
+	// pre-shutdown versions without re-decomposing anything — graphs with
+	// a clean v2 snapshot serve straight off the mapped file.
 	DataDir string
+	// VerifySnapshots makes recovery check every index snapshot's section
+	// checksums (one sequential read per file) before serving it. Off by
+	// default: the atomic write discipline already excludes torn files,
+	// this additionally guards against at-rest bit rot, trading away the
+	// O(1)-in-edge-count open time.
+	VerifySnapshots bool
 	// MaxRegionFraction is the incremental-maintenance fallback knob
 	// passed to dynamic.Update (0 selects its default).
 	MaxRegionFraction float64
@@ -208,6 +215,12 @@ func New(opts Options) *Server {
 		s.store, s.storeErr = NewStore(opts.DataDir)
 		if s.storeErr != nil {
 			s.logf("durability disabled: %v", s.storeErr)
+		}
+		if s.store != nil {
+			s.store.VerifyOnLoad = opts.VerifySnapshots
+			s.store.OnOpen = func(elapsed time.Duration, mappedBytes int64) {
+				s.metrics.ixOpenDur.Observe(elapsed.Seconds())
+			}
 		}
 	}
 	empty := map[string]*Entry{}
@@ -447,7 +460,7 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 	if installed && s.store != nil {
 		// A fresh build starts a fresh durable lineage: snapshot the new
 		// decomposition and drop any WAL of the graph it replaced.
-		if err := s.saveSnapshot(name, source, e.Version, g, res.Phi, res.KMax); err != nil {
+		if err := s.saveSnapshot(name, source, e.Version, ix); err != nil {
 			s.logf("graph %q: snapshot failed (durability degraded): %v", name, err)
 		}
 	}
@@ -461,19 +474,22 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 	return e
 }
 
-// saveSnapshot is the instrumented SaveSnapshot: counts, failures, and
-// write duration, which is the fsync pause an operator wants on a graph.
-func (s *Server) saveSnapshot(name, source string, version uint64, g *graph.Graph, phi []int32, kmax int32) error {
+// saveSnapshot is the instrumented SaveIndexSnapshot: counts, failures,
+// and write duration, which is the fsync pause an operator wants on a
+// graph.
+func (s *Server) saveSnapshot(name, source string, version uint64, ix *index.TrussIndex) error {
 	start := time.Now()
-	err := s.store.SaveSnapshot(name, source, version, g, phi, kmax)
+	err := s.store.SaveIndexSnapshot(name, source, version, ix)
 	if err != nil {
 		s.metrics.snapFails.Inc()
 		return err
 	}
 	s.metrics.snapSaves.Inc()
 	s.metrics.snapDur.ObserveSince(start)
-	// Builds and compactions both start a fresh WAL lineage.
+	// Builds and compactions both start a fresh WAL lineage, always in
+	// the v2 format.
 	s.metrics.walSize(name).Set(0)
+	s.metrics.snapFormat(name).Set(SnapshotFormatV2)
 	return nil
 }
 
@@ -514,6 +530,11 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 	if err != nil {
 		return nil, nil, err
 	}
+	// Patch before the WAL append: the patched index is pure compute (a
+	// copy-on-write overlay, safe even when e.Index serves off an mmap'd
+	// snapshot), and having it in hand lets a triggered compaction
+	// persist the exact index being published.
+	patched := e.Index.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed)
 	version := e.Version + 1
 	if s.store != nil {
 		// Durability before visibility: if the WAL append fails the
@@ -525,7 +546,7 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 		s.metrics.walAppends.Inc()
 		s.metrics.walSize(name).Set(walBytes)
 		if walBytes >= s.opts.walCompactBytes() {
-			if err := s.saveSnapshot(name, e.Source, version, res.G, res.Phi, res.KMax); err != nil {
+			if err := s.saveSnapshot(name, e.Source, version, patched); err != nil {
 				s.logf("graph %q: WAL compaction failed: %v", name, err)
 			} else {
 				s.metrics.compactions.Inc()
@@ -543,7 +564,7 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 	ne := &Entry{
 		Name:      name,
 		State:     StateReady,
-		Index:     e.Index.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed),
+		Index:     patched,
 		Source:    e.Source,
 		LoadedAt:  time.Now(),
 		BuildTime: e.BuildTime,
@@ -563,11 +584,17 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 	return ne, res, nil
 }
 
-// Recover restores every graph persisted under Options.DataDir: snapshots
-// are loaded, WALs replayed through the incremental maintainer, and the
-// resulting entries installed at their pre-shutdown versions — no
-// decomposition is recomputed. Graphs with corrupt snapshots are skipped
-// (and logged); a torn WAL tail is dropped. Call it once, before serving.
+// Recover restores every graph persisted under Options.DataDir. Graphs
+// with a clean v2 snapshot serve straight off the memory-mapped
+// indexfile — open cost is O(sections + kmax) validation, no replay, no
+// re-peeling — so readiness flips after O(graphs) opens regardless of
+// edge counts. WAL batches a crash left behind are patched over the
+// mapped base (Patch is copy-on-write, so the result is an ordinary
+// heap index and the mapping is released). Legacy v1 snapshots take the
+// old path — replay into heap structures plus a full index rebuild —
+// exactly once: recovery migrates them to v2 on the way through.
+// Graphs with corrupt snapshots are skipped (and logged); a torn WAL
+// tail is dropped. Call it once, before serving.
 func (s *Server) Recover() error {
 	if s.storeErr != nil {
 		return s.storeErr
@@ -583,19 +610,65 @@ func (s *Server) Recover() error {
 		s.logf("graph %q: not recovered: %v", name, berr)
 	}
 	for _, pg := range graphs {
-		g, phi, kmax, version := pg.G, pg.Phi, pg.KMax, pg.Version
-		replayed := 0
+		start := time.Now()
+		version := pg.Version
+		// Skip WAL records already folded into the snapshot: a crash
+		// between a compaction's snapshot rename and its WAL unlink
+		// leaves the whole WAL behind at versions the snapshot includes.
+		muts := pg.Mutations[:0:0]
 		for _, mut := range pg.Mutations {
-			res, err := dynamic.Update(s.baseCtx, g, phi,
-				dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
-				dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
-			if err != nil {
-				return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
+			if mut.Version > pg.Version {
+				muts = append(muts, mut)
 			}
-			g, phi, kmax, version = res.G, res.Phi, res.KMax, mut.Version
-			replayed++
 		}
-		ix := index.Build(&core.Result{G: g, Phi: phi, KMax: kmax})
+
+		var ix *index.TrussIndex
+		var path string
+		switch {
+		case pg.Format == SnapshotFormatV2 && len(muts) == 0:
+			// The fast path the format exists for: the mapped file is the
+			// index. The mapping stays open for the life of the process
+			// (queries may hold the entry at any time, so it is never
+			// unmapped — later rebuilds just stop referencing it).
+			ix = pg.Index
+			path = "v2-open"
+		case pg.Format == SnapshotFormatV2:
+			// Patch the WAL over the mapped base: each batch costs its
+			// touched levels, not a rebuild. The final index is pure heap
+			// (Patch copies), so the mapping can be released afterwards.
+			cur, g, phi := pg.Index, pg.G, pg.Phi
+			for _, mut := range muts {
+				res, err := dynamic.Update(s.baseCtx, g, phi,
+					dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
+					dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+				if err != nil {
+					pg.File.Close()
+					return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
+				}
+				cur = cur.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed)
+				g, phi, version = res.G, res.Phi, mut.Version
+			}
+			pg.File.Close()
+			pg.File = nil
+			ix = cur
+			path = "v2-replay"
+		default:
+			// Legacy v1: replay into heap structures and rebuild the index
+			// from scratch — the O(m^1.5) restart this format retires.
+			g, phi, kmax := pg.G, pg.Phi, pg.KMax
+			for _, mut := range muts {
+				res, err := dynamic.Update(s.baseCtx, g, phi,
+					dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
+					dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+				if err != nil {
+					return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
+				}
+				g, phi, kmax, version = res.G, res.Phi, res.KMax, mut.Version
+			}
+			ix = index.Build(&core.Result{G: g, Phi: phi, KMax: kmax})
+			path = "v1-replay"
+		}
+
 		e := &Entry{
 			Name:     pg.Name,
 			State:    StateReady,
@@ -606,22 +679,62 @@ func (s *Server) Recover() error {
 			Version:  version,
 		}
 		if !s.install(pg.Name, e, s.beginBuild()) {
+			if pg.File != nil {
+				pg.File.Close()
+			}
 			continue
 		}
 		s.metrics.recovered.Inc()
-		s.metrics.replayed.Add(int64(replayed))
-		if replayed > 0 {
-			// Fold the replayed WAL in so the next restart is snapshot-only.
-			if err := s.saveSnapshot(pg.Name, pg.Source, version, g, phi, kmax); err != nil {
+		s.metrics.replayed.Add(int64(len(muts)))
+		switch path {
+		case "v2-open":
+			s.metrics.restartV2Open.Inc()
+			s.metrics.ixMapped.Add(pg.File.MappedBytes())
+			s.metrics.snapFormat(pg.Name).Set(SnapshotFormatV2)
+		case "v2-replay":
+			s.metrics.restartV2Replay.Inc()
+			// Fold the replayed WAL in so the next restart maps and goes.
+			if err := s.saveSnapshot(pg.Name, pg.Source, version, ix); err != nil {
 				s.logf("graph %q: post-recovery compaction failed: %v", pg.Name, err)
 			} else {
 				s.metrics.compactions.Inc()
 			}
+		case "v1-replay":
+			s.metrics.restartV1Replay.Inc()
+			s.metrics.snapFormat(pg.Name).Set(SnapshotFormatV1)
+			// Migrate: persist the rebuilt index as v2 so this graph never
+			// takes the replay path again.
+			if err := s.saveSnapshot(pg.Name, pg.Source, version, ix); err != nil {
+				s.logf("graph %q: v1 snapshot migration failed: %v", pg.Name, err)
+			} else if len(muts) > 0 {
+				s.metrics.compactions.Inc()
+			}
 		}
-		s.logf("graph %q recovered at version %d: n=%d m=%d kmax=%d (%d WAL batches replayed)",
-			pg.Name, version, g.NumVertices(), g.NumEdges(), kmax, replayed)
+		s.recoveryLog(pg, path, version, len(muts), time.Since(start))
+		s.logf("graph %q recovered at version %d via %s: n=%d m=%d kmax=%d (%d WAL batches replayed, %s)",
+			pg.Name, version, path, ix.Graph().NumVertices(), ix.Graph().NumEdges(), ix.KMax(),
+			len(muts), time.Since(start).Round(time.Microsecond))
 	}
 	return nil
+}
+
+// recoveryLog surfaces each graph's restart path in the access log — the
+// same stream request lines go to — so an operator can grep one place to
+// see whether a restart mapped its snapshots or had to replay. Recover
+// runs before the HTTP listener opens, so writing directly is ordered
+// before any request line.
+func (s *Server) recoveryLog(pg *PersistedGraph, path string, version uint64, replayed int, elapsed time.Duration) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	var mapped int64
+	if pg.File != nil {
+		mapped = pg.File.MappedBytes()
+	}
+	fmt.Fprintf(s.opts.AccessLog,
+		"time=%s event=recovery graph=%q restart_path=%s version=%d replayed=%d mapped_bytes=%d dur=%s\n",
+		time.Now().UTC().Format(time.RFC3339Nano), pg.Name, path, version, replayed, mapped,
+		elapsed.Round(time.Microsecond))
 }
 
 // BuildAsync publishes a building placeholder for name (retaining the

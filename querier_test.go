@@ -8,6 +8,7 @@ package truss_test
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	truss "repro"
 	"repro/client"
+	"repro/internal/dynamic"
 	"repro/internal/gen"
 )
 
@@ -67,6 +69,18 @@ func newParityFixture(t *testing.T) *parityFixture {
 		t.Fatal(err)
 	}
 
+	// Fifth implementation: the reference index round-tripped through the
+	// on-disk format and served off a memory mapping.
+	tixPath := filepath.Join(t.TempDir(), "parity.tix")
+	if err := truss.WriteIndexFile(tixPath, truss.BuildIndex(res), "parity"); err != nil {
+		t.Fatal(err)
+	}
+	tix, err := truss.OpenIndexFile(tixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tix.Close() })
+
 	return &parityFixture{
 		g:         g,
 		reference: reference,
@@ -76,6 +90,7 @@ func newParityFixture(t *testing.T) *parityFixture {
 			"adapter-inmem":    truss.QueryDecomposition(d),
 			"adapter-bottomup": truss.QueryDecomposition(dbu),
 			"http-client":      c.Graph("parity"),
+			"mmap-indexfile":   truss.QueryIndex(tix.Index()),
 		},
 	}
 }
@@ -304,5 +319,71 @@ func TestOpenRejectsNilSource(t *testing.T) {
 	_, err = truss.Open(context.Background(), nil, truss.WithEngine(truss.EngineBottomUp))
 	if err == nil || !strings.Contains(err.Error(), "non-nil Source") {
 		t.Fatalf("Open(nil, bottomup) = %v, want the nil-source error", err)
+	}
+}
+
+// TestMmapQuerierParityAfterPatch: the mmap-backed view must stay
+// answer-for-answer with a fresh decomposition after Patch overlays a
+// mutation batch on the mapped base — and keep agreeing after the
+// mapping itself is closed, since Patch output is pure heap
+// (copy-on-write, never aliasing mapped pages it might outlive).
+func TestMmapQuerierParityAfterPatch(t *testing.T) {
+	ctx := context.Background()
+	g := gen.WithPlantedCliques(gen.Community(3, 11, 0.8, 1.5, 17), []int{7}, 9)
+	res := truss.Decompose(g)
+
+	path := filepath.Join(t.TempDir(), "g.tix")
+	if err := truss.WriteIndexFile(path, truss.BuildIndex(res), "patch-parity"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := truss.OpenIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	upd, err := dynamic.Update(ctx, g, res.Phi, dynamic.Batch{
+		Adds: []truss.Edge{{U: 0, V: 5}, {U: 1, V: 20}, {U: 100, V: 101}},
+		Dels: []truss.Edge{g.Edge(2)},
+	}, dynamic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := f.Index().Patch(upd.G, upd.Phi, upd.KMax, upd.Remap, upd.Changed)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := truss.QueryIndex(patched)
+	ref := truss.QueryIndex(truss.BuildIndex(truss.Decompose(upd.G)))
+
+	pairs := upd.G.Edges()
+	got, err := q.TrussNumbers(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.TrussNumbers(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TrussNumbers after patch disagree:\n got %v\nwant %v", got, want)
+	}
+	gh, _ := q.Histogram(ctx)
+	wh, _ := ref.Histogram(ctx)
+	if !reflect.DeepEqual(gh, wh) {
+		t.Fatalf("Histogram after patch = %v want %v", gh, wh)
+	}
+	for k := int32(3); k <= patched.KMax()+1; k++ {
+		gc, err := q.Communities(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, err := ref.Communities(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gc, wc) {
+			t.Fatalf("Communities(%d) after patch: %d communities want %d", k, len(gc), len(wc))
+		}
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/community"
 	"repro/internal/core"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/indexfile"
 	"repro/internal/kcore"
 	"repro/internal/mapreduce"
 	"repro/internal/metrics"
@@ -386,6 +388,42 @@ type IndexClass = index.Class
 // accepts any engine's Decomposition (external spools and MapReduce
 // results included) and produces a structurally identical Index.
 func BuildIndex(r *Result) *Index { return index.Build(r) }
+
+// IndexFile is an open handle on a memory-mapped index snapshot: the
+// on-disk serialization of an Index, validated and served straight off
+// the page cache. Its Index() method returns a fully query-capable
+// *Index that aliases the mapping — zero copy, open time independent of
+// edge count. IndexFile is an alias for the internal indexfile.File;
+// produce files with WriteIndexFile and open them with OpenIndexFile.
+type IndexFile = indexfile.File
+
+// ErrCorruptIndexFile is wrapped by every validation failure from
+// OpenIndexFile and IndexFile.Verify — truncated files, flipped bits,
+// impossible section tables. Test with errors.Is.
+var ErrCorruptIndexFile = indexfile.ErrCorrupt
+
+// WriteIndexFile atomically persists ix to path in the indexfile format
+// (temp file + fsync + rename + directory fsync): a versioned,
+// checksummed, 8-byte-aligned binary layout that OpenIndexFile maps
+// back without deserializing. source is a free-form provenance label
+// stored in the file's metadata section.
+func WriteIndexFile(path string, ix *Index, source string) error {
+	return indexfile.WriteFile(path, ix, indexfile.Meta{
+		Source:          source,
+		CreatedUnixNano: time.Now().UnixNano(),
+	})
+}
+
+// OpenIndexFile memory-maps an index snapshot written by WriteIndexFile
+// (ReadFile fallback on platforms without mmap) and validates its
+// preamble checksum plus structural invariants — O(kmax) work, so open
+// time does not grow with the graph. The returned handle's Index() is
+// ready to query immediately; pages fault in from the OS page cache on
+// first touch. Call Verify for a full data-checksum sweep (O(file
+// size)) when reading files of uncertain provenance. Close releases the
+// mapping — only after every *Index obtained from the handle is
+// unreachable.
+func OpenIndexFile(path string) (*IndexFile, error) { return indexfile.Open(path) }
 
 // Server is an HTTP truss-query server: a registry of named graphs, each
 // frozen into an Index, queried concurrently through immutable snapshots
