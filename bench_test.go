@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	truss "repro"
@@ -586,6 +587,83 @@ func BenchmarkIndexfileOpen(b *testing.B) {
 			}
 			if truss.BuildIndex(&core.Result{G: g, Phi: phi, KMax: kmax}).KMax() == 0 {
 				b.Fatal("kmax 0")
+			}
+		}
+	})
+}
+
+// --- Group-committed ingestion (internal/server + internal/ingest) ----------
+
+// BenchmarkIngest prices the ingestion pipeline's reason to exist: the
+// same 512-mutation stream against a durable (WAL + fsync) 100k+ edge
+// graph, arriving either as sequential unary requests — each paying its
+// own dynamic.Update, index Patch, WAL append, and fsync — or from 32
+// concurrent producers whose mutations the pipeline coalesces into
+// group commits that amortize all four. CI gates pipelined vs
+// per-request at >= 5x via benchjson -speedup.
+func BenchmarkIngest(b *testing.B) {
+	base := gen.BarabasiAlbert(22000, 5, 1)
+	if base.NumEdges() < 100_000 {
+		b.Fatalf("ingest target shrank below 100k edges: m=%d", base.NumEdges())
+	}
+	const streamLen = 512
+	const producers = 32
+	// One deterministic stream per iteration: fresh edges between a
+	// dedicated vertex range (never in the base graph, no duplicates), so
+	// both arrival modes commit identical non-trivial work.
+	stream := func(iter int) []graph.Edge {
+		edges := make([]graph.Edge, streamLen)
+		for k := range edges {
+			id := uint32(iter*streamLen + k)
+			edges[k] = graph.Edge{U: 30000 + 2*id, V: 30001 + 2*id}
+		}
+		return edges
+	}
+	newServer := func(b *testing.B) *server.Server {
+		s := server.New(server.Options{Workers: 1, DataDir: b.TempDir()})
+		s.Build("g", base, "bench")
+		b.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+		return s
+	}
+
+	b.Run("per-request", func(b *testing.B) {
+		s := newServer(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range stream(i) {
+				if _, _, err := s.Mutate(ctx, "g", []graph.Edge{e}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("pipelined", func(b *testing.B) {
+		s := newServer(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			edges := stream(i)
+			var wg sync.WaitGroup
+			errs := make(chan error, producers)
+			per := len(edges) / producers
+			for w := 0; w < producers; w++ {
+				wg.Add(1)
+				go func(part []graph.Edge) {
+					defer wg.Done()
+					for _, e := range part {
+						if _, _, err := s.Mutate(ctx, "g", []graph.Edge{e}, nil); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(edges[w*per : (w+1)*per])
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

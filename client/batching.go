@@ -1,0 +1,245 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	truss "repro"
+)
+
+// BatchingMutator buffers single-edge mutations client-side and ships
+// them as mixed batches, the client half of the server's group-committed
+// ingestion pipeline: callers write one edge at a time and the mutator
+// turns a chatty stream of unary requests into a few large POSTs.
+//
+// Buffered ops coalesce before they travel — the last op per edge wins,
+// duplicates collapse — so an add immediately undone by a delete never
+// costs a network byte. Batches flush when the buffer reaches MaxBatch,
+// on every FlushInterval tick, on an explicit Flush, and on Close.
+//
+// A mutator is safe for concurrent use, but mutations buffered by
+// different goroutines land in one shared batch: per-edge ordering is
+// last-writer-wins, with no cross-edge ordering promise inside a batch
+// (the server applies a batch atomically, so no intermediate state is
+// observable anyway).
+//
+// Flush errors are sticky: a failed background flush parks its error and
+// every later Insert/Delete/Flush/Close returns it until the caller
+// clears it with ClearError. The buffered batch that failed stays
+// buffered, so clearing the error and flushing again retries it.
+type BatchingMutator struct {
+	g *Graph
+
+	maxBatch int
+	onError  func(error)
+
+	mu      sync.Mutex
+	ops     map[truss.Edge]bool // edge -> is-add (last writer wins)
+	order   []truss.Edge        // first-appearance order, for deterministic wire batches
+	version uint64              // highest acked server version
+	err     error               // sticky flush error
+	closed  bool
+
+	flushMu sync.Mutex // serializes wire flushes so versions stay ordered
+
+	ticker *time.Ticker
+	stop   chan struct{}
+	bg     sync.WaitGroup
+}
+
+// BatchingConfig configures a BatchingMutator. The zero value is usable.
+type BatchingConfig struct {
+	// MaxBatch flushes the buffer when it holds this many distinct edges
+	// (default 4096).
+	MaxBatch int
+	// FlushInterval adds a background flush cadence so a trickle of
+	// mutations still becomes durable promptly (0: flush only on size,
+	// explicit Flush, and Close).
+	FlushInterval time.Duration
+	// OnError observes background-flush errors as they happen (they are
+	// also parked as the sticky error). Called without locks held.
+	OnError func(error)
+}
+
+// ErrMutatorClosed is returned by operations on a closed BatchingMutator.
+var ErrMutatorClosed = errors.New("client: batching mutator closed")
+
+const defaultMutatorBatch = 4096
+
+// BatchingMutator returns a mutator feeding this graph.
+func (g *Graph) BatchingMutator(cfg BatchingConfig) *BatchingMutator {
+	m := &BatchingMutator{
+		g:        g,
+		maxBatch: cfg.MaxBatch,
+		onError:  cfg.OnError,
+		ops:      make(map[truss.Edge]bool),
+		stop:     make(chan struct{}),
+	}
+	if m.maxBatch <= 0 {
+		m.maxBatch = defaultMutatorBatch
+	}
+	if cfg.FlushInterval > 0 {
+		m.ticker = time.NewTicker(cfg.FlushInterval)
+		m.bg.Add(1)
+		go func() {
+			defer m.bg.Done()
+			for {
+				select {
+				case <-m.ticker.C:
+					if _, err := m.Flush(context.Background()); err != nil &&
+						!errors.Is(err, ErrMutatorClosed) && m.onError != nil {
+						m.onError(err)
+					}
+				case <-m.stop:
+					return
+				}
+			}
+		}()
+	}
+	return m
+}
+
+// InsertEdges buffers edge insertions. The returned error is the sticky
+// flush error if one is parked, or the error of the size-triggered flush
+// this call performed.
+func (m *BatchingMutator) InsertEdges(ctx context.Context, edges ...truss.Edge) error {
+	return m.buffer(ctx, edges, true)
+}
+
+// DeleteEdges buffers edge deletions.
+func (m *BatchingMutator) DeleteEdges(ctx context.Context, edges ...truss.Edge) error {
+	return m.buffer(ctx, edges, false)
+}
+
+func (m *BatchingMutator) buffer(ctx context.Context, edges []truss.Edge, isAdd bool) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrMutatorClosed
+	}
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return err
+	}
+	for _, e := range edges {
+		e = e.Canon()
+		if e.U == e.V {
+			continue // self-loops can never form triangles; drop client-side
+		}
+		if _, seen := m.ops[e]; !seen {
+			m.order = append(m.order, e)
+		}
+		m.ops[e] = isAdd
+	}
+	full := len(m.order) >= m.maxBatch
+	m.mu.Unlock()
+	if full {
+		_, err := m.Flush(ctx)
+		return err
+	}
+	return nil
+}
+
+// Flush ships the buffered batch now and returns the server's result
+// (nil result when the buffer was empty). On failure the batch stays
+// buffered and the error parks as the sticky error.
+func (m *BatchingMutator) Flush(ctx context.Context) (*MutationResult, error) {
+	// One wire flush at a time: concurrent flushes would race versions.
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	if len(m.order) == 0 {
+		m.mu.Unlock()
+		return nil, nil
+	}
+	adds := make([]truss.Edge, 0, len(m.order))
+	dels := make([]truss.Edge, 0)
+	for _, e := range m.order {
+		if m.ops[e] {
+			adds = append(adds, e)
+		} else {
+			dels = append(dels, e)
+		}
+	}
+	// Take the batch out of the buffer but keep it restorable: new
+	// mutations buffered during the network call go into fresh storage.
+	taken, takenOrder := m.ops, m.order
+	m.ops = make(map[truss.Edge]bool)
+	m.order = nil
+	m.mu.Unlock()
+
+	res, err := m.g.Update(ctx, adds, dels)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		// Restore the failed batch in front of anything buffered since,
+		// preserving last-writer-wins: newer ops override restored ones.
+		for _, e := range m.order {
+			if _, dup := taken[e]; !dup {
+				takenOrder = append(takenOrder, e)
+			}
+			taken[e] = m.ops[e]
+		}
+		m.ops, m.order = taken, takenOrder
+		m.err = fmt.Errorf("client: flush of %d edges failed: %w", len(adds)+len(dels), err)
+		return nil, m.err
+	}
+	if res.Version > m.version {
+		m.version = res.Version
+	}
+	return res, nil
+}
+
+// LastVersion returns the highest server version an acked flush reached
+// (0 before the first flush).
+func (m *BatchingMutator) LastVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Buffered returns how many distinct edges are waiting to flush.
+func (m *BatchingMutator) Buffered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// ClearError clears the sticky flush error, keeping the failed batch
+// buffered for a retry; it returns the cleared error.
+func (m *BatchingMutator) ClearError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.err
+	m.err = nil
+	return err
+}
+
+// Close stops the background flusher, ships any remaining batch, and
+// marks the mutator closed. Safe to call twice.
+func (m *BatchingMutator) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+	close(m.stop)
+	m.bg.Wait()
+	_, err := m.Flush(ctx)
+	return err
+}

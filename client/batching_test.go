@@ -1,0 +1,200 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	truss "repro"
+	"repro/client"
+	"repro/internal/gen"
+)
+
+// mutatorFixture serves one ready graph through the real server stack.
+func mutatorFixture(t *testing.T) *client.Graph {
+	t.Helper()
+	srv := truss.NewServer(truss.ServerOptions{Workers: 1, Logf: t.Logf})
+	srv.Build("g", gen.PaperExample(), "test")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Graph("g")
+}
+
+func TestBatchingMutatorSizeTrigger(t *testing.T) {
+	g := mutatorFixture(t)
+	m := g.BatchingMutator(client.BatchingConfig{MaxBatch: 4})
+	defer m.Close(context.Background())
+
+	ctx := context.Background()
+	for i := uint32(0); i < 3; i++ {
+		if err := m.InsertEdges(ctx, truss.Edge{U: 30 + i, V: 40 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.Buffered(); n != 3 {
+		t.Fatalf("3 distinct edges buffered, got %d", n)
+	}
+	if v := m.LastVersion(); v != 0 {
+		t.Fatalf("no flush should have happened yet (version %d)", v)
+	}
+	// The fourth edge reaches MaxBatch and flushes inline.
+	if err := m.InsertEdges(ctx, truss.Edge{U: 33, V: 43}); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Buffered(); n != 0 {
+		t.Fatalf("size-triggered flush left %d edges buffered", n)
+	}
+	// A fresh build installs at version 1, so the first batch lands at 2.
+	if v := m.LastVersion(); v != 2 {
+		t.Fatalf("one batch should land at version 2, got %d", v)
+	}
+	info, err := g.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("server at version %d after one batch", info.Version)
+	}
+}
+
+// TestBatchingMutatorCoalesces: duplicate inserts collapse and
+// add-then-delete leaves only the delete (which the server's own
+// coalescer then discards as a no-op against the live graph, acking
+// without a version bump).
+func TestBatchingMutatorCoalesces(t *testing.T) {
+	g := mutatorFixture(t)
+	m := g.BatchingMutator(client.BatchingConfig{})
+	defer m.Close(context.Background())
+
+	ctx := context.Background()
+	e := truss.Edge{U: 50, V: 51}
+	if err := m.InsertEdges(ctx, e, e, e); err != nil { // dups collapse
+		t.Fatal(err)
+	}
+	if err := m.DeleteEdges(ctx, e); err != nil { // LWW: delete wins
+		t.Fatal(err)
+	}
+	if n := m.Buffered(); n != 1 {
+		t.Fatalf("coalesced buffer should hold 1 edge, got %d", n)
+	}
+	res, err := m.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lone delete targets an absent edge: the server coalesces it
+	// away and acks at the untouched build version.
+	if res.Version != 1 || res.Changed != 0 {
+		t.Fatalf("no-op batch bumped the graph: %+v", res)
+	}
+	// Self-loops are dropped client-side, empty flushes skip the wire.
+	if err := m.InsertEdges(ctx, truss.Edge{U: 7, V: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := m.Flush(ctx); err != nil || res != nil {
+		t.Fatalf("empty flush should be a local no-op, got %+v, %v", res, err)
+	}
+}
+
+func TestBatchingMutatorIntervalFlush(t *testing.T) {
+	g := mutatorFixture(t)
+	m := g.BatchingMutator(client.BatchingConfig{FlushInterval: 5 * time.Millisecond})
+	defer m.Close(context.Background())
+
+	if err := m.InsertEdges(context.Background(), truss.Edge{U: 60, V: 61}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.LastVersion() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flush never happened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := m.Buffered(); n != 0 {
+		t.Fatalf("background flush left %d edges buffered", n)
+	}
+}
+
+// TestBatchingMutatorStickyError: a failed flush parks its error, keeps
+// the batch buffered for retry, and rejects further use until cleared.
+func TestBatchingMutatorStickyError(t *testing.T) {
+	var fail atomic.Bool
+	srv := truss.NewServer(truss.ServerOptions{Workers: 1, Logf: t.Logf})
+	srv.Build("g", gen.PaperExample(), "test")
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() && r.Method == http.MethodPost {
+			http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Graph("g").BatchingMutator(client.BatchingConfig{})
+	defer m.Close(context.Background())
+
+	ctx := context.Background()
+	e := truss.Edge{U: 70, V: 71}
+	if err := m.InsertEdges(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+	fail.Store(true)
+	if _, err := m.Flush(ctx); err == nil {
+		t.Fatal("flush against a failing server returned nil error")
+	}
+	if n := m.Buffered(); n != 1 {
+		t.Fatalf("failed batch should stay buffered, got %d", n)
+	}
+	if err := m.InsertEdges(ctx, truss.Edge{U: 72, V: 73}); err == nil {
+		t.Fatal("sticky error not surfaced on the next insert")
+	}
+	if cleared := m.ClearError(); cleared == nil {
+		t.Fatal("ClearError returned nil with an error parked")
+	}
+	fail.Store(false)
+	res, err := m.Flush(ctx)
+	if err != nil {
+		t.Fatalf("retry after ClearError: %v", err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("retried batch should land as version 2, got %d", res.Version)
+	}
+	if tn, ok, err := c.Graph("g").TrussNumber(ctx, e.U, e.V); err != nil || !ok || tn < 2 {
+		t.Fatalf("retried edge not on the server: truss=%d ok=%v err=%v", tn, ok, err)
+	}
+}
+
+func TestBatchingMutatorClose(t *testing.T) {
+	g := mutatorFixture(t)
+	m := g.BatchingMutator(client.BatchingConfig{FlushInterval: time.Hour})
+
+	ctx := context.Background()
+	if err := m.InsertEdges(ctx, truss.Edge{U: 80, V: 81}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastVersion() != 2 {
+		t.Fatalf("Close did not flush the remainder (version %d)", m.LastVersion())
+	}
+	if err := m.InsertEdges(ctx, truss.Edge{U: 82, V: 83}); err != client.ErrMutatorClosed {
+		t.Fatalf("insert after Close: %v", err)
+	}
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

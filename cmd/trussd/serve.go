@@ -63,12 +63,17 @@ func serveMain(args []string) error {
 	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slow-client guard on request headers (0 = 5s default, negative = disabled)")
 	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a full request incl. body (0 = 5m default, negative = disabled)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle bound (0 = 2m default, negative = disabled)")
+	ingestFlush := fs.Duration("ingest-flush-interval", 0, "ingestion flush window (0 = adaptive: flush whenever the queue drains)")
+	ingestBatch := fs.Int("ingest-max-batch", 0, "max mutations group-committed per flush (0 = default)")
+	ingestQueue := fs.Int("ingest-queue", 0, "per-graph ingestion queue depth; full queues block producers (0 = default)")
+	parallelCutoff := fs.Int("region-parallel-cutoff", 0, "region size (edges) at which re-peels go parallel (0 = default, negative = always serial)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: trussd serve [-addr :8080] [-workers N] [-load name=path]... [-wait] [-data-dir dir]")
 		fmt.Fprintln(os.Stderr, "                    [-metrics] [-pprof] [-max-inflight N] [-access-log dest]")
 		fmt.Fprintln(os.Stderr, "                    [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]")
+		fmt.Fprintln(os.Stderr, "                    [-ingest-flush-interval d] [-ingest-max-batch N] [-ingest-queue N] [-region-parallel-cutoff N]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +94,10 @@ func serveMain(args []string) error {
 		AccessLog:              accessOut,
 		DisableMetricsEndpoint: !*metricsOn,
 		EnablePprof:            *pprofOn,
+		IngestFlushInterval:    *ingestFlush,
+		IngestMaxBatch:         *ingestBatch,
+		IngestMaxQueue:         *ingestQueue,
+		ParallelRegionCutoff:   *parallelCutoff,
 	})
 	if *dataDir != "" {
 		// Restore persisted graphs before preloads: a -load of an already

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -295,6 +296,220 @@ func TestServeDurableRestart(t *testing.T) {
 	if got := metricValue(addr, "truss_indexfile_mapped_bytes"); got == "" || got == "0" {
 		t.Fatalf("truss_indexfile_mapped_bytes = %q, want > 0", got)
 	}
+}
+
+// TestServeCrashMidFlushHonorsAcks is the crash half of the group-commit
+// contract: concurrent writers hammer single-edge POSTs while the server
+// is SIGKILLed mid-storm — some flushes die between WAL append and
+// response, some between fsync and ack. Whatever the kill point, every
+// mutation the server ACKNOWLEDGED must survive the restart at or above
+// its acked version; unacked mutations may or may not (both are
+// correct).
+func TestServeCrashMidFlushHonorsAcks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	dataDir := filepath.Join(dir, "state")
+
+	gpath := filepath.Join(dir, "tri.txt")
+	if err := os.WriteFile(gpath, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startServe(t, trussd, "-data-dir", dataDir, "-load", "g="+gpath, "-wait")
+
+	type ack struct {
+		u, v    uint32
+		version uint64
+	}
+	var (
+		mu    sync.Mutex
+		acked []ack
+	)
+	var wg sync.WaitGroup
+	killed := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-killed:
+					return
+				default:
+				}
+				u, v := uint32(100+w*1000+i), uint32(200+w*1000+i)
+				resp, err := http.Post("http://"+addr+"/v1/graphs/g/edges", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"edges":[[%d,%d]]}`, u, v)))
+				if err != nil {
+					return // the kill landed mid-request: this one was never acked
+				}
+				var body map[string]any
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					return
+				}
+				mu.Lock()
+				acked = append(acked, ack{u, v, uint64(body["version"].(float64))})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Let the storm build up real group commits, then kill without mercy.
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 64 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop(false) // SIGKILL mid-storm
+	close(killed)
+	wg.Wait()
+
+	mu.Lock()
+	var maxAcked uint64
+	for _, a := range acked {
+		if a.version > maxAcked {
+			maxAcked = a.version
+		}
+	}
+	t.Logf("%d acked mutations, max acked version %d", len(acked), maxAcked)
+	mu.Unlock()
+
+	addr, stop = startServe(t, trussd, "-data-dir", dataDir)
+	defer stop(true)
+	resp, err := http.Get("http://" + addr + "/v1/graphs/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info["state"] != "ready" {
+		t.Fatalf("recovered state = %v", info)
+	}
+	if got := uint64(info["version"].(float64)); got < maxAcked {
+		t.Fatalf("recovered version %d < max acked version %d: acked work lost", got, maxAcked)
+	}
+	for _, a := range acked {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/graphs/g/truss?u=%d&v=%d", addr, a.u, a.v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if body["found"] != true {
+			t.Fatalf("edge (%d,%d) acked at version %d lost in the crash", a.u, a.v, a.version)
+		}
+	}
+}
+
+// TestServeFirehose drives the NDJSON streaming endpoint against a real
+// process: per-chunk acks arrive in order, the summary reconciles, and
+// the streamed edges are queryable (and durable across a graceful
+// restart).
+func TestServeFirehose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	dataDir := filepath.Join(dir, "state")
+	gpath := filepath.Join(dir, "tri.txt")
+	if err := os.WriteFile(gpath, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startServe(t, trussd, "-data-dir", dataDir, "-load", "g="+gpath, "-wait")
+
+	var b strings.Builder
+	const n = 1500 // > 2 chunks at the server's 512-record chunking
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"u":%d,"v":%d}`+"\n", 10+i, 11+i)
+	}
+	b.WriteString(`{"op":"del","u":10,"v":11}` + "\n")
+	resp, err := http.Post("http://"+addr+"/v1/graphs/g/edges:stream",
+		"application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("firehose status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []map[string]any
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad ack line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 4 { // >= 3 chunk acks + summary
+		t.Fatalf("expected chunked acks, got %d lines", len(lines))
+	}
+	sum := lines[len(lines)-1]
+	if sum["done"] != true || sum["ok"] != true || int(sum["accepted"].(float64)) != n+1 {
+		t.Fatalf("summary = %v", sum)
+	}
+	var last uint64
+	for _, ln := range lines[:len(lines)-1] {
+		if ln["ok"] != true {
+			t.Fatalf("chunk failed: %v", ln)
+		}
+		if v := uint64(ln["version"].(float64)); v < last {
+			t.Fatalf("acks out of order: %d after %d", v, last)
+		} else {
+			last = v
+		}
+	}
+
+	check := func(addr string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/graphs/g/truss?u=%d&v=%d", addr, 10+n-1, 11+n-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if body["found"] != true {
+			t.Fatalf("last streamed edge missing: %v", body)
+		}
+		resp, err = http.Get("http://" + addr + "/v1/graphs/g/truss?u=10&v=11")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = map[string]any{}
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if body["found"] == true {
+			t.Fatal("deleted edge still present")
+		}
+	}
+	check(addr)
+	stop(true)
+
+	// The firehose's acks were group commits: everything survives restart.
+	addr, stop = startServe(t, trussd, "-data-dir", dataDir)
+	defer stop(true)
+	check(addr)
 }
 
 // TestServeEndToEnd starts `trussd serve` as a real process, preloads the

@@ -45,6 +45,7 @@ package dynamic
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -70,9 +71,14 @@ type Config struct {
 	// locality and recomputes from scratch (0 selects 0.25; values >= 1
 	// never fall back).
 	MaxRegionFraction float64
-	// Workers is handed to the parallel peeler on the fallback path
-	// (0 = GOMAXPROCS).
+	// Workers is handed to the parallel peeler on the fallback path and
+	// to the parallel region re-peel (0 = GOMAXPROCS).
 	Workers int
+	// ParallelRegionCutoff is the region size (in edges) at or above
+	// which the affected-region re-peel runs on the PKT bulk-synchronous
+	// machinery instead of the serial cascade. 0 selects
+	// DefaultParallelRegionCutoff; negative disables parallel re-peel.
+	ParallelRegionCutoff int
 }
 
 func (c Config) maxRegionFraction() float64 {
@@ -80,6 +86,23 @@ func (c Config) maxRegionFraction() float64 {
 		return 0.25
 	}
 	return c.MaxRegionFraction
+}
+
+func (c Config) parallelRegionCutoff() int {
+	if c.ParallelRegionCutoff == 0 {
+		return DefaultParallelRegionCutoff
+	}
+	if c.ParallelRegionCutoff < 0 {
+		return 0 // disabled
+	}
+	return c.ParallelRegionCutoff
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Stats describes how an Update was carried out.
@@ -97,6 +120,9 @@ type Stats struct {
 	// FellBack reports that the region limit was hit and the decomposition
 	// was recomputed in full.
 	FellBack bool
+	// ParallelPeels counts region re-peels dispatched onto the parallel
+	// bulk-synchronous peeler (region size reached ParallelRegionCutoff).
+	ParallelPeels int
 }
 
 // Result is the maintained decomposition after one batch.
@@ -231,7 +257,14 @@ func Update(ctx context.Context, g *graph.Graph, phi []int32, batch Batch, cfg C
 		if len(region) > limit {
 			return fallback(ctx, g2, re, base, cfg, res)
 		}
-		boundary, err := peelRegion(ctx, g2, base, inR, region, phiNew)
+		var boundary []int32
+		var err error
+		if cut := cfg.parallelRegionCutoff(); cut > 0 && len(region) >= cut && cfg.workers() > 1 {
+			boundary, err = peelRegionParallel(ctx, g2, base, inR, region, phiNew, cfg.workers())
+			res.Stats.ParallelPeels++
+		} else {
+			boundary, err = peelRegion(ctx, g2, base, inR, region, phiNew)
+		}
 		if err != nil {
 			return nil, err
 		}

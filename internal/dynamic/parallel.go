@@ -1,0 +1,264 @@
+package dynamic
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/triangle"
+)
+
+// Region-peel states, the PKT lifecycle transplanted onto region edges.
+// Frozen (non-region) edges never carry a state: their presence at stage
+// k is decided by base[f] >= k alone.
+const (
+	rpAlive int32 = iota
+	rpScheduled
+	rpFrontier
+	rpDead
+)
+
+const (
+	// rpSerialCutoff keeps tiny frontiers and retire sets on one
+	// goroutine — below this, fan-out costs more than it saves.
+	rpSerialCutoff = 256
+	// DefaultParallelRegionCutoff is the region size above which Update
+	// dispatches the re-peel onto the bulk-synchronous peeler. Small
+	// regions (the single-edge mutation case) stay serial: the cascade is
+	// a few dozen edges and the barrier overhead would dominate.
+	DefaultParallelRegionCutoff = 4096
+)
+
+// peelRegionParallel is peelRegion on the PKT bulk-synchronous machinery
+// from internal/core: per stage k it retires boundary edges in parallel,
+// collects the frontier (alive region edges under threshold) with a
+// chunked scan, and peels it in sub-rounds of dynamically balanced
+// chunks with atomic support decrements under the PKT charging
+// discipline — a triangle dies in the sub-round its first frontier edge
+// dies; one frontier edge decrements both surviving partners, two
+// co-frontier edges let the smaller ID charge the lone survivor, three
+// charge nothing. Each dying triangle therefore decrements each survivor
+// exactly once, which is the invariant that makes the stage-k death set
+// — and hence phiNew — identical to the serial peel's (the differential
+// tests in this package pin that equivalence edge-for-edge).
+//
+// Stages advance one k at a time, exactly like the serial peel: boundary
+// retirements happen at every level, so there is no empty-level jump.
+func peelRegionParallel(ctx context.Context, g2 *graph.Graph, base []int32, inR []bool, region []int32, phiNew []int32, workers int) ([]int32, error) {
+	m2 := g2.NumEdges()
+	cnt := make([]int32, m2)   // live triangle count, region edges only
+	state := make([]int32, m2) // rp* lifecycle, region edges only
+	seenB := make([]int32, m2) // boundary membership (CAS-claimed)
+
+	// parallelFor fans f(w, lo, hi) over [0, n) in contiguous chunks, one
+	// per worker; n below the cutoff stays on the calling goroutine.
+	parallelFor := func(n int, f func(w, lo, hi int)) {
+		if n < rpSerialCutoff || workers <= 1 {
+			f(0, 0, n)
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				f(w, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Initial counts at level 3 (every triangle present) plus boundary
+	// collection; workers claim boundary edges via CAS so each appears in
+	// exactly one per-worker buffer.
+	boundBuf := make([][]int32, workers)
+	parallelFor(len(region), func(w, lo, hi int) {
+		buf := boundBuf[w]
+		for _, e := range region[lo:hi] {
+			ed := g2.Edge(e)
+			c := int32(0)
+			triangle.ForEachOf(g2, ed.U, ed.V, func(a, b int32) {
+				c++
+				if !inR[a] && atomic.CompareAndSwapInt32(&seenB[a], 0, 1) {
+					buf = append(buf, a)
+				}
+				if !inR[b] && atomic.CompareAndSwapInt32(&seenB[b], 0, 1) {
+					buf = append(buf, b)
+				}
+			})
+			cnt[e] = c
+		}
+		boundBuf[w] = buf
+	})
+	var boundary []int32
+	for _, buf := range boundBuf {
+		boundary = append(boundary, buf...)
+	}
+
+	// Bucket boundary edges by retirement stage, as in the serial peel.
+	retire := map[int32][]int32{}
+	for _, f := range boundary {
+		retire[base[f]] = append(retire[base[f]], f)
+	}
+
+	// decRetire mirrors the serial decRetire under concurrency: state is
+	// quiescent during the retire phase (only alive/dead survive a stage
+	// barrier), so the presence checks read consistent values and only
+	// the count decrement needs an atomic.
+	decRetire := func(f, x, y, k int32) {
+		if !inR[x] || atomic.LoadInt32(&state[x]) == rpDead {
+			return
+		}
+		if inR[y] {
+			if atomic.LoadInt32(&state[y]) == rpDead {
+				return // triangle already gone
+			}
+		} else {
+			if base[y] < k-1 {
+				return // triangle already gone
+			}
+			if base[y] == k-1 && f > y {
+				return // y retires in the same stage; the smaller ID charges
+			}
+		}
+		atomic.AddInt32(&cnt[x], -1)
+	}
+
+	// processEdge peels one frontier edge at stage k (assigning phi k-1),
+	// spilling region partners that cross the threshold into buf.
+	processEdge := func(e, k int32, buf *[]int32) {
+		phiNew[e] = k - 1
+		ed := g2.Edge(e)
+		present := func(x int32) bool {
+			if inR[x] {
+				return atomic.LoadInt32(&state[x]) != rpDead
+			}
+			return base[x] >= k
+		}
+		inFrontier := func(x int32) bool {
+			return inR[x] && atomic.LoadInt32(&state[x]) == rpFrontier
+		}
+		dec := func(x int32) {
+			if !inR[x] {
+				return
+			}
+			if atomic.AddInt32(&cnt[x], -1) < k-2 && atomic.CompareAndSwapInt32(&state[x], rpAlive, rpScheduled) {
+				*buf = append(*buf, x)
+			}
+		}
+		triangle.ForEachOf(g2, ed.U, ed.V, func(a, b int32) {
+			if !present(a) || !present(b) {
+				return
+			}
+			aF, bF := inFrontier(a), inFrontier(b)
+			switch {
+			case !aF && !bF:
+				dec(a)
+				dec(b)
+			case aF && !bF:
+				if e < a {
+					dec(b)
+				}
+			case bF && !aF:
+				if e < b {
+					dec(a)
+				}
+				// default: all three dying; no survivor to charge.
+			}
+		})
+	}
+
+	spill := make([][]int32, workers)
+	scanBuf := make([][]int32, workers)
+	alive := len(region)
+	var cur, next []int32
+	for k := int32(3); alive > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Retire boundary edges frozen at k-1.
+		if rs := retire[k-1]; len(rs) > 0 {
+			parallelFor(len(rs), func(_, lo, hi int) {
+				for _, f := range rs[lo:hi] {
+					fd := g2.Edge(f)
+					triangle.ForEachOf(g2, fd.U, fd.V, func(a, b int32) {
+						decRetire(f, a, b, k)
+						decRetire(f, b, a, k)
+					})
+				}
+			})
+		}
+		// Collect the stage frontier with a chunked scan over the region.
+		cur = cur[:0]
+		parallelFor(len(region), func(w, lo, hi int) {
+			buf := scanBuf[w][:0]
+			for _, e := range region[lo:hi] {
+				if state[e] == rpAlive && cnt[e] < k-2 {
+					state[e] = rpFrontier
+					buf = append(buf, e)
+				}
+			}
+			scanBuf[w] = buf
+		})
+		for w := range scanBuf {
+			cur = append(cur, scanBuf[w]...)
+			scanBuf[w] = scanBuf[w][:0]
+		}
+		// Sub-rounds: peel, barrier, promote spills, repeat until dry.
+		for len(cur) > 0 {
+			if len(cur) < rpSerialCutoff || workers <= 1 {
+				buf := spill[0][:0]
+				for _, e := range cur {
+					processEdge(e, k, &buf)
+				}
+				spill[0] = buf
+				for w := 1; w < workers; w++ {
+					spill[w] = spill[w][:0]
+				}
+			} else {
+				var idx atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						buf := spill[w][:0]
+						const chunk = 64
+						for {
+							lo := int(idx.Add(chunk)) - chunk
+							if lo >= len(cur) {
+								break
+							}
+							hi := min(lo+chunk, len(cur))
+							for _, e := range cur[lo:hi] {
+								processEdge(e, k, &buf)
+							}
+						}
+						spill[w] = buf
+					}(w)
+				}
+				wg.Wait()
+			}
+			alive -= len(cur)
+			for _, e := range cur {
+				state[e] = rpDead
+			}
+			next = next[:0]
+			for w := 0; w < workers; w++ {
+				next = append(next, spill[w]...)
+			}
+			for _, e := range next {
+				state[e] = rpFrontier
+			}
+			cur, next = next, cur
+		}
+	}
+	return boundary, nil
+}

@@ -1,0 +1,129 @@
+package dynamic
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestParallelRegionDifferential drives the same randomized mutation
+// sequences as the serial suite with the cutoff forced to 1, so every
+// region re-peel runs on the bulk-synchronous machinery; checkExact
+// holds each step to a fresh decomposition, across worker counts.
+func TestParallelRegionDifferential(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		for seed := int64(40); seed <= 46; seed++ {
+			runSequence(t, seed, 5, 5, Config{
+				MaxRegionFraction:    2, // never fall back: exercise the peel itself
+				ParallelRegionCutoff: 1,
+				Workers:              workers,
+			})
+		}
+	}
+}
+
+// TestParallelRegionMatchesSerial compares the two peels head to head on
+// identical batches: same phi, same stats shape, and the parallel run
+// actually took the parallel path.
+func TestParallelRegionMatchesSerial(t *testing.T) {
+	for seed := int64(60); seed <= 66; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(60, 400, seed)
+		phi := core.Decompose(g).Phi
+		batch := randomBatch(rng, g, 12, 12)
+
+		serial, err := Update(context.Background(), g, phi, batch, Config{
+			MaxRegionFraction:    2,
+			ParallelRegionCutoff: -1, // force serial
+		})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		par, err := Update(context.Background(), g, phi, batch, Config{
+			MaxRegionFraction:    2,
+			ParallelRegionCutoff: 1,
+			Workers:              4,
+		})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+
+		if serial.Stats.ParallelPeels != 0 {
+			t.Fatalf("seed %d: serial run reported %d parallel peels", seed, serial.Stats.ParallelPeels)
+		}
+		if par.Stats.ParallelPeels == 0 && par.Stats.Region > 0 {
+			t.Fatalf("seed %d: cutoff 1 run never took the parallel path (stats %+v)", seed, par.Stats)
+		}
+		if len(serial.Phi) != len(par.Phi) {
+			t.Fatalf("seed %d: phi lengths differ: %d vs %d", seed, len(serial.Phi), len(par.Phi))
+		}
+		for id := range serial.Phi {
+			if serial.Phi[id] != par.Phi[id] {
+				t.Fatalf("seed %d: phi(%v) serial %d, parallel %d",
+					seed, serial.G.Edge(int32(id)), serial.Phi[id], par.Phi[id])
+			}
+		}
+		if serial.Stats.Region != par.Stats.Region || serial.Stats.Boundary != par.Stats.Boundary {
+			t.Fatalf("seed %d: stats diverge: serial %+v vs parallel %+v", seed, serial.Stats, par.Stats)
+		}
+	}
+}
+
+// TestParallelRegionCutoffDispatch pins the dispatch rule: regions under
+// the cutoff stay serial, at or above go parallel, negative disables.
+func TestParallelRegionCutoffDispatch(t *testing.T) {
+	g := gen.ErdosRenyi(40, 220, 7)
+	phi := core.Decompose(g).Phi
+	rng := rand.New(rand.NewSource(7))
+	batch := randomBatch(rng, g, 6, 6)
+
+	res, err := Update(context.Background(), g, phi, batch, Config{
+		MaxRegionFraction: 2, ParallelRegionCutoff: 1 << 30, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ParallelPeels != 0 {
+		t.Fatalf("huge cutoff still dispatched %d parallel peels", res.Stats.ParallelPeels)
+	}
+
+	res, err = Update(context.Background(), g, phi, batch, Config{
+		MaxRegionFraction: 2, ParallelRegionCutoff: -1, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ParallelPeels != 0 {
+		t.Fatalf("disabled cutoff still dispatched %d parallel peels", res.Stats.ParallelPeels)
+	}
+
+	// Workers <= 1 must stay serial no matter the cutoff.
+	res, err = Update(context.Background(), g, phi, batch, Config{
+		MaxRegionFraction: 2, ParallelRegionCutoff: 1, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ParallelPeels != 0 {
+		t.Fatalf("single-worker run dispatched %d parallel peels", res.Stats.ParallelPeels)
+	}
+}
+
+// TestParallelRegionCancellation: the parallel peel polls ctx between
+// stages like the serial one.
+func TestParallelRegionCancellation(t *testing.T) {
+	g := gen.ErdosRenyi(60, 400, 9)
+	phi := core.Decompose(g).Phi
+	rng := rand.New(rand.NewSource(9))
+	batch := randomBatch(rng, g, 10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Update(ctx, g, phi, batch, Config{
+		MaxRegionFraction: 2, ParallelRegionCutoff: 1, Workers: 4,
+	}); err == nil {
+		t.Fatal("cancelled parallel update returned nil error")
+	}
+}

@@ -1,0 +1,72 @@
+package ingest
+
+import "repro/internal/graph"
+
+// Coalesce folds an arrival-ordered mutation stream into the minimal
+// add/delete batch with the same effect: duplicates dedup, the last
+// operation per edge wins (so add→del and del→add reduce to the final
+// op), and self-loops vanish. When has is non-nil it reports current
+// edge presence, letting Coalesce also drop final ops that are no-ops
+// against the live graph — an add of a present edge, a delete of an
+// absent one, and in particular an add+delete pair over an absent edge,
+// which truly cancels to nothing.
+//
+// Applying the result as one batch is equivalent to applying muts one
+// at a time in order: only the final op per edge can affect the final
+// graph, intermediate states are observable by no one (every producer
+// in the flush is acked with the same post-flush version), and the
+// batch applier tolerates redundant ops — deletes of absent edges and
+// adds of present ones are no-ops there too, so pruning them changes
+// nothing. The differential tests pin this equivalence on randomized
+// interleavings.
+//
+// Result order follows each edge's first appearance in muts, keeping
+// coalesced WAL records deterministic for a given arrival order.
+func Coalesce(muts []Mutation, has func(u, v uint32) bool) (adds, dels []graph.Edge) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	final := make(map[uint64]Op, len(muts))
+	order := make([]graph.Edge, 0, len(muts))
+	for _, m := range muts {
+		e := m.Edge.Canon()
+		if e.U == e.V {
+			continue
+		}
+		k := e.Key()
+		if _, seen := final[k]; !seen {
+			order = append(order, e)
+		}
+		final[k] = m.Op
+	}
+	for _, e := range order {
+		op := final[e.Key()]
+		if has != nil {
+			if present := has(e.U, e.V); present == (op == OpAdd) {
+				continue
+			}
+		}
+		if op == OpAdd {
+			adds = append(adds, e)
+		} else {
+			dels = append(dels, e)
+		}
+	}
+	return adds, dels
+}
+
+// FromBatch converts one request's add/delete lists into a mutation
+// stream, deletes first. That matches the batch applier's semantics —
+// it processes deletions before insertions, so an edge named in both
+// lists ends up present — because with deletes first, the edge's add is
+// the last op and wins the coalesce.
+func FromBatch(adds, dels []graph.Edge) []Mutation {
+	muts := make([]Mutation, 0, len(adds)+len(dels))
+	for _, e := range dels {
+		muts = append(muts, Mutation{Op: OpDel, Edge: e})
+	}
+	for _, e := range adds {
+		muts = append(muts, Mutation{Op: OpAdd, Edge: e})
+	}
+	return muts
+}

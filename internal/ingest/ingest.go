@@ -1,0 +1,415 @@
+// Package ingest converts the serving stack's write path from
+// per-request to per-flush economics. A Pipeline accepts mutations from
+// any number of producers through a bounded queue, coalesces everything
+// that arrives inside one flush window (duplicates dedup, add+delete of
+// the same edge cancels, the last operation per edge wins), and hands
+// the surviving batch to a single Apply call — which group-commits it as
+// one WAL append + fsync and one incremental maintenance pass. Every
+// producer that contributed to the flush is then woken with the version
+// its mutations became visible at, so the durability-before-visibility
+// and monotonic-version contracts of the per-request path carry over
+// unchanged: an acked version is on disk, and reading at it sees the
+// acked mutations.
+//
+// Flush triggers, in the order they are checked:
+//
+//   - size: the collected batch reached MaxBatch mutations;
+//   - sync: a producer demanded a barrier (Flush);
+//   - window: FlushInterval elapsed since the first collected mutation;
+//   - drain: with FlushInterval == 0 (adaptive group commit) the queue
+//     stayed empty — a lone producer flushes immediately and pays no
+//     added latency, while under concurrency the flusher holds a short
+//     gather window (drainGather) whenever the queue dips empty, so the
+//     producers the previous flush woke rejoin the batch instead of
+//     fragmenting into tiny flushes;
+//   - shutdown: Close drained the final batch.
+//
+// The pipeline is deliberately ignorant of graphs, WALs, and HTTP: Apply
+// is a closure, so the package is testable with a counter and reusable
+// by anything that wants group commit over a mutation stream.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Op is one mutation's direction.
+type Op uint8
+
+// Mutation operations.
+const (
+	// OpAdd inserts the edge (a no-op if it is already present).
+	OpAdd Op = iota
+	// OpDel deletes the edge (a no-op if it is absent).
+	OpDel
+)
+
+// Mutation is one edge operation in arrival order.
+type Mutation struct {
+	Op   Op
+	Edge graph.Edge
+}
+
+// Applied describes one group-committed flush from the perspective of
+// the producers it woke.
+type Applied struct {
+	// Version is the graph version at which the flush's mutations are
+	// visible (unchanged when the whole batch coalesced away).
+	Version uint64
+	// Submitted is the number of raw mutations collected into the flush.
+	Submitted int
+	// Adds and Dels count the coalesced mutations actually applied.
+	Adds, Dels int
+	// Payload carries the Apply implementation's own result through to
+	// the producers (the server threads its registry entry and
+	// maintenance stats here).
+	Payload any
+}
+
+// Outcome is what each waiting producer receives when its flush lands.
+type Outcome struct {
+	Applied Applied
+	Err     error
+}
+
+// ApplyFunc applies one coalesced batch atomically and returns the
+// version it became visible at. It runs on the pipeline's flusher
+// goroutine, one call at a time.
+type ApplyFunc func(ctx context.Context, muts []Mutation) (Applied, error)
+
+// Config configures a Pipeline. Apply is required; zero values elsewhere
+// pick the defaults below.
+type Config struct {
+	// Name labels the pipeline's queue-depth gauge (the graph name).
+	Name string
+	// Apply group-commits one coalesced batch.
+	Apply ApplyFunc
+	// MaxBatch caps the mutations collected into one flush
+	// (0 selects DefaultMaxBatch).
+	MaxBatch int
+	// MaxQueue bounds the submission queue; producers block (with
+	// context) once it fills — backpressure instead of unbounded memory
+	// (0 selects DefaultMaxQueue).
+	MaxQueue int
+	// FlushInterval is the group-commit window: how long the flusher
+	// keeps collecting after the first mutation before applying. 0 is
+	// adaptive group commit — flush once the queue stays empty across a
+	// short gather window — which adds no latency for a lone producer
+	// and batches at the full producer count under concurrency.
+	FlushInterval time.Duration
+	// Metrics, when non-nil, receives the truss_ingest_* instrumentation.
+	Metrics *Metrics
+}
+
+// Pipeline defaults.
+const (
+	// DefaultMaxBatch bounds one flush to a region the incremental
+	// maintainer handles well before its fallback threshold.
+	DefaultMaxBatch = 8192
+	// DefaultMaxQueue bounds queued submissions (not mutations).
+	DefaultMaxQueue = 1024
+	// drainGather is adaptive mode's group-commit gather window. When the
+	// queue empties mid-collection but the pipeline is under concurrency
+	// (this or the previous batch had more than one producer), the
+	// producers the last flush woke are usually mid-resubmit, a few
+	// scheduler quanta away — so the flusher waits this long for them
+	// before committing, letting batches form at the full producer count
+	// instead of whatever happened to race in. A lone producer never pays
+	// it: with no concurrency signal the drain flush stays immediate.
+	drainGather = 200 * time.Microsecond
+)
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return DefaultMaxBatch
+	}
+	return c.MaxBatch
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return DefaultMaxQueue
+	}
+	return c.MaxQueue
+}
+
+// Flush reasons, as counted by truss_ingest_flushes_total.
+const (
+	FlushSize     = "size"
+	FlushWindow   = "window"
+	FlushDrain    = "drain"
+	FlushSync     = "sync"
+	FlushShutdown = "shutdown"
+)
+
+// FlushReasons lists every reason label, for metric pre-registration.
+var FlushReasons = []string{FlushSize, FlushWindow, FlushDrain, FlushSync, FlushShutdown}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// submission is one producer's contribution plus its wake-up channel.
+type submission struct {
+	muts []Mutation
+	sync bool
+	resp chan Outcome // buffered (cap 1): the flusher never blocks on a producer
+}
+
+// Pipeline is one graph's ingestion queue and flusher goroutine.
+// Create with New; it runs until Close.
+type Pipeline struct {
+	cfg   Config
+	subs  chan submission
+	done  chan struct{}
+	depth *obs.Gauge
+
+	// lastBatch is the submission count of the previous flush — the
+	// concurrency signal for adaptive drain gathering. Flusher-only.
+	lastBatch int
+
+	// mu guards closed and orders Submit's channel send against Close's
+	// channel close: senders hold it shared, Close exclusively, so a send
+	// can never race the close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts a pipeline. Config.Apply must be non-nil.
+func New(cfg Config) *Pipeline {
+	if cfg.Apply == nil {
+		panic("ingest: Config.Apply is required")
+	}
+	p := &Pipeline{
+		cfg:  cfg,
+		subs: make(chan submission, cfg.maxQueue()),
+		done: make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		p.depth = cfg.Metrics.queueDepth(cfg.Name)
+	}
+	go p.run()
+	return p
+}
+
+// Submit enqueues muts and blocks until the flush containing them lands,
+// returning the version they became visible at. Mutations from
+// concurrent Submit calls group-commit into one flush. If ctx expires
+// while waiting, the mutations may still be applied by the in-flight
+// flush — the caller merely stops waiting for the ack.
+func (p *Pipeline) Submit(ctx context.Context, muts []Mutation) (Applied, error) {
+	resp, err := p.submit(ctx, muts, false)
+	if err != nil {
+		return Applied{}, err
+	}
+	return p.wait(ctx, resp)
+}
+
+// SubmitAsync enqueues muts and returns the channel the flush outcome
+// will be delivered on (exactly one Outcome, channel buffered). The
+// firehose handler uses this to keep many batches in flight while
+// acking them in order.
+func (p *Pipeline) SubmitAsync(ctx context.Context, muts []Mutation) (<-chan Outcome, error) {
+	return p.submit(ctx, muts, false)
+}
+
+// Flush submits a barrier: it forces everything queued before it (and
+// the barrier itself) to flush immediately and waits for the result.
+// With no pending mutations it still reports the current version.
+func (p *Pipeline) Flush(ctx context.Context) (Applied, error) {
+	resp, err := p.submit(ctx, nil, true)
+	if err != nil {
+		return Applied{}, err
+	}
+	return p.wait(ctx, resp)
+}
+
+func (p *Pipeline) wait(ctx context.Context, resp <-chan Outcome) (Applied, error) {
+	select {
+	case out := <-resp:
+		return out.Applied, out.Err
+	case <-ctx.Done():
+		return Applied{}, ctx.Err()
+	}
+}
+
+func (p *Pipeline) submit(ctx context.Context, muts []Mutation, sync bool) (chan Outcome, error) {
+	sub := submission{muts: muts, sync: sync, resp: make(chan Outcome, 1)}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	// A blocking send under the shared lock is safe: the flusher drains
+	// the channel without ever taking p.mu, and Close (which wants the
+	// exclusive lock) simply waits until in-flight sends land.
+	select {
+	case p.subs <- sub:
+		if p.depth != nil {
+			p.depth.Inc()
+		}
+		return sub.resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, flushes everything already queued
+// (reason "shutdown"), and waits for the flusher to exit, bounded by
+// ctx. Safe to call more than once.
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.subs)
+	}
+	p.mu.Unlock()
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the flusher: collect a batch, apply it, wake the producers,
+// repeat until the queue closes.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	var batch []submission
+	var muts []Mutation
+	for {
+		first, ok := <-p.subs
+		if !ok {
+			return
+		}
+		batch, muts = batch[:0], muts[:0]
+		var reason string
+		batch, muts, reason = p.collect(first, batch, muts)
+		p.flush(batch, muts, reason)
+	}
+}
+
+// collect accumulates submissions after first until a flush trigger
+// fires, returning the grown buffers and the trigger's reason.
+func (p *Pipeline) collect(first submission, batch []submission, muts []Mutation) ([]submission, []Mutation, string) {
+	add := func(s submission) bool {
+		batch = append(batch, s)
+		muts = append(muts, s.muts...)
+		if p.depth != nil {
+			p.depth.Dec()
+		}
+		return s.sync
+	}
+	if add(first) {
+		return batch, muts, FlushSync
+	}
+	var window <-chan time.Time
+	if p.cfg.FlushInterval > 0 {
+		t := time.NewTimer(p.cfg.FlushInterval)
+		defer t.Stop()
+		window = t.C
+	}
+	maxBatch := p.cfg.maxBatch()
+	for {
+		if len(muts) >= maxBatch {
+			return batch, muts, FlushSize
+		}
+		if window != nil {
+			select {
+			case s, ok := <-p.subs:
+				if !ok {
+					return batch, muts, FlushShutdown
+				}
+				if add(s) {
+					return batch, muts, FlushSync
+				}
+			case <-window:
+				return batch, muts, FlushWindow
+			}
+		} else {
+			select {
+			case s, ok := <-p.subs:
+				if !ok {
+					return batch, muts, FlushShutdown
+				}
+				if add(s) {
+					return batch, muts, FlushSync
+				}
+				continue
+			default:
+			}
+			// The queue went momentarily empty. Yield before believing it:
+			// a producer's channel send schedules the blocked flusher with
+			// handoff priority, so the flusher can wake, drain one
+			// submission, and land here before the other producers the
+			// previous flush woke have had any CPU to resubmit —
+			// fragmenting group commits into singletons. Gosched hands the
+			// processor to exactly those runnable producers, and costs a
+			// few nanoseconds when there are none.
+			runtime.Gosched()
+			select {
+			case s, ok := <-p.subs:
+				if !ok {
+					return batch, muts, FlushShutdown
+				}
+				if add(s) {
+					return batch, muts, FlushSync
+				}
+				continue
+			default:
+			}
+			// Still empty after the yield. Without a concurrency signal
+			// this really is a lone producer: commit now, no added latency.
+			if len(batch) <= 1 && p.lastBatch <= 1 {
+				return batch, muts, FlushDrain
+			}
+			// Under concurrency a woken producer may be mid-Submit on
+			// another processor; give stragglers one gather window before
+			// concluding the queue is dry.
+			t := time.NewTimer(drainGather)
+			select {
+			case s, ok := <-p.subs:
+				t.Stop()
+				if !ok {
+					return batch, muts, FlushShutdown
+				}
+				if add(s) {
+					return batch, muts, FlushSync
+				}
+			case <-t.C:
+				return batch, muts, FlushDrain
+			}
+		}
+	}
+}
+
+// flush applies one collected batch and fans the outcome to every
+// producer that contributed to it.
+func (p *Pipeline) flush(batch []submission, muts []Mutation, reason string) {
+	start := time.Now()
+	applied, err := p.cfg.Apply(context.Background(), muts)
+	applied.Submitted = len(muts)
+	if m := p.cfg.Metrics; m != nil {
+		m.submitted.Add(int64(len(muts)))
+		m.flushSize.Observe(float64(len(muts)))
+		m.flushDur.ObserveSince(start)
+		m.flushes(reason).Inc()
+		if err != nil {
+			m.failures.Inc()
+		} else {
+			m.applied.Add(int64(applied.Adds + applied.Dels))
+		}
+	}
+	out := Outcome{Applied: applied, Err: err}
+	for _, s := range batch {
+		s.resp <- out
+	}
+	p.lastBatch = len(batch)
+}

@@ -1,0 +1,502 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// edgeSet is the one-at-a-time reference model: a plain set of canonical
+// edges mutated in arrival order.
+type edgeSet map[uint64]graph.Edge
+
+func (s edgeSet) apply(m Mutation) {
+	e := m.Edge.Canon()
+	if e.U == e.V {
+		return
+	}
+	if m.Op == OpAdd {
+		s[e.Key()] = e
+	} else {
+		delete(s, e.Key())
+	}
+}
+
+func (s edgeSet) has(u, v uint32) bool {
+	_, ok := s[graph.Edge{U: u, V: v}.Canon().Key()]
+	return ok
+}
+
+func (s edgeSet) clone() edgeSet {
+	c := make(edgeSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// TestCoalesceModel is the coalescer's differential suite: random
+// mutation streams over a small vertex universe (lots of collisions,
+// cancellation pairs, dedups, del-then-add flips) must produce a batch
+// whose one-shot application lands on exactly the state reached by
+// applying the stream one mutation at a time in arrival order.
+func TestCoalesceModel(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		seed := int64(0xC0A1 + trial)
+		rng := rand.New(rand.NewSource(seed))
+
+		base := make(edgeSet)
+		for i := 0; i < rng.Intn(30); i++ {
+			base.apply(Mutation{Op: OpAdd, Edge: graph.Edge{U: uint32(rng.Intn(8)), V: uint32(rng.Intn(8))}})
+		}
+
+		muts := make([]Mutation, rng.Intn(60))
+		for i := range muts {
+			op := OpAdd
+			if rng.Intn(2) == 1 {
+				op = OpDel
+			}
+			muts[i] = Mutation{Op: op, Edge: graph.Edge{U: uint32(rng.Intn(8)), V: uint32(rng.Intn(8))}}
+		}
+
+		want := base.clone()
+		for _, m := range muts {
+			want.apply(m)
+		}
+
+		adds, dels := Coalesce(muts, base.has)
+		got := base.clone()
+		for _, e := range dels {
+			got.apply(Mutation{Op: OpDel, Edge: e})
+		}
+		for _, e := range adds {
+			got.apply(Mutation{Op: OpAdd, Edge: e})
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %#x: coalesced state has %d edges, sequential has %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("seed %#x: edge %v in sequential state but not after coalesced batch", seed, want[k])
+			}
+		}
+
+		// Every surviving op must be effective against base: no redundant
+		// adds of present edges or deletes of absent ones reach the WAL.
+		for _, e := range adds {
+			if base.has(e.U, e.V) {
+				t.Fatalf("seed %#x: coalesced add of already-present edge %v", seed, e)
+			}
+		}
+		for _, e := range dels {
+			if !base.has(e.U, e.V) {
+				t.Fatalf("seed %#x: coalesced delete of absent edge %v", seed, e)
+			}
+		}
+	}
+}
+
+func TestCoalesceSemantics(t *testing.T) {
+	e := graph.Edge{U: 1, V: 2}
+	has := func(bool) func(u, v uint32) bool {
+		return func(u, v uint32) bool { return false }
+	}
+
+	// add+delete of an absent edge cancels to nothing.
+	adds, dels := Coalesce([]Mutation{{OpAdd, e}, {OpDel, e}}, has(false))
+	if len(adds)+len(dels) != 0 {
+		t.Fatalf("add+del pair survived coalescing: adds=%v dels=%v", adds, dels)
+	}
+
+	// duplicates dedup to one op.
+	adds, dels = Coalesce([]Mutation{{OpAdd, e}, {OpAdd, e}, {OpAdd, e}}, nil)
+	if len(adds) != 1 || len(dels) != 0 {
+		t.Fatalf("triplicate add coalesced to adds=%v dels=%v", adds, dels)
+	}
+
+	// last op wins regardless of orientation: del(2,1) after add(1,2).
+	adds, dels = Coalesce([]Mutation{{OpAdd, e}, {OpDel, graph.Edge{U: 2, V: 1}}}, nil)
+	if len(adds) != 0 || len(dels) != 1 {
+		t.Fatalf("LWW across orientations: adds=%v dels=%v", adds, dels)
+	}
+
+	// presence pruning: add of a present edge is dropped.
+	adds, dels = Coalesce([]Mutation{{OpAdd, e}}, func(u, v uint32) bool { return true })
+	if len(adds)+len(dels) != 0 {
+		t.Fatalf("no-op add survived presence pruning: adds=%v dels=%v", adds, dels)
+	}
+
+	// self-loops vanish.
+	adds, dels = Coalesce([]Mutation{{OpAdd, graph.Edge{U: 3, V: 3}}}, nil)
+	if len(adds)+len(dels) != 0 {
+		t.Fatalf("self-loop survived: adds=%v dels=%v", adds, dels)
+	}
+}
+
+// TestFromBatchBothLists pins the mixed-request contract: an edge named
+// in both the adds and dels of one request ends up present, matching
+// the batch applier's dels-before-adds order.
+func TestFromBatchBothLists(t *testing.T) {
+	e := graph.Edge{U: 4, V: 7}
+	muts := FromBatch([]graph.Edge{e}, []graph.Edge{e})
+	adds, dels := Coalesce(muts, func(u, v uint32) bool { return false })
+	if len(adds) != 1 || len(dels) != 0 {
+		t.Fatalf("edge in both lists coalesced to adds=%v dels=%v, want one add", adds, dels)
+	}
+}
+
+// applyRecorder is a controllable ApplyFunc: it logs each flush's
+// mutations, assigns monotonic versions, and can be gated so flushes
+// block until the test releases them.
+type applyRecorder struct {
+	mu      sync.Mutex
+	flushes [][]Mutation
+	version uint64
+	gate    chan struct{} // non-nil: each Apply waits for one token
+	began   chan struct{} // non-nil: signaled when an Apply starts
+	delay   time.Duration // simulated group-commit cost (fsync stand-in)
+	err     error
+}
+
+func (a *applyRecorder) apply(ctx context.Context, muts []Mutation) (Applied, error) {
+	if a.began != nil {
+		a.began <- struct{}{}
+	}
+	if a.gate != nil {
+		<-a.gate
+	}
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return Applied{}, a.err
+	}
+	cp := make([]Mutation, len(muts))
+	copy(cp, muts)
+	a.flushes = append(a.flushes, cp)
+	adds, dels := Coalesce(muts, nil)
+	if len(adds)+len(dels) > 0 {
+		a.version++
+	}
+	return Applied{Version: a.version, Adds: len(adds), Dels: len(dels)}, nil
+}
+
+func mut(u, v uint32) []Mutation {
+	return []Mutation{{Op: OpAdd, Edge: graph.Edge{U: u, V: v}}}
+}
+
+// TestPipelineGroupCommit holds the first flush open while more
+// producers queue up, then verifies the backlog lands as one flush and
+// every producer is acked with the version its mutations became
+// visible at.
+func TestPipelineGroupCommit(t *testing.T) {
+	rec := &applyRecorder{gate: make(chan struct{}), began: make(chan struct{}, 16)}
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	p := New(Config{Name: "g", Apply: rec.apply, Metrics: m})
+	defer p.Close(context.Background())
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	versions := make([]uint64, 10)
+	submit := func(i int) {
+		defer wg.Done()
+		ap, err := p.Submit(ctx, mut(uint32(i), uint32(i)+100))
+		if err != nil {
+			t.Errorf("submit %d: %v", i, err)
+			return
+		}
+		versions[i] = ap.Version
+	}
+
+	wg.Add(1)
+	go submit(0)
+	<-rec.began // first flush (just mutation 0) is now blocked in Apply
+
+	wg.Add(9)
+	done := make(chan struct{})
+	go func() {
+		for i := 1; i < 10; i++ {
+			go submit(i)
+		}
+		// Wait for all 9 to be queued before releasing the gate.
+		for reg.Gauge("truss_ingest_queue_depth", "", "graph", "g").Value() < 9 {
+			time.Sleep(time.Millisecond)
+		}
+		close(done)
+	}()
+	<-done
+	rec.gate <- struct{}{} // release flush 1
+	<-rec.began            // flush 2 begins with the 9-mutation backlog
+	rec.gate <- struct{}{}
+	wg.Wait()
+
+	if n := len(rec.flushes); n != 2 {
+		t.Fatalf("expected 2 flushes (1 then group-committed 9), got %d: %v", n, rec.flushes)
+	}
+	if len(rec.flushes[1]) != 9 {
+		t.Fatalf("second flush group-committed %d mutations, want 9", len(rec.flushes[1]))
+	}
+	if versions[0] != 1 {
+		t.Fatalf("first producer acked version %d, want 1", versions[0])
+	}
+	for i := 1; i < 10; i++ {
+		if versions[i] != 2 {
+			t.Fatalf("producer %d acked version %d, want the shared flush version 2", i, versions[i])
+		}
+	}
+
+	if got := m.submitted.Value(); got != 10 {
+		t.Fatalf("truss_ingest_submitted_total = %d, want 10", got)
+	}
+	if got := m.applied.Value(); got != 10 {
+		t.Fatalf("truss_ingest_applied_total = %d, want 10", got)
+	}
+	if got := m.flushes(FlushDrain).Value(); got != 2 {
+		t.Fatalf("drain flushes = %d, want 2", got)
+	}
+	if d := reg.Gauge("truss_ingest_queue_depth", "", "graph", "g").Value(); d != 0 {
+		t.Fatalf("queue depth after quiescence = %d, want 0", d)
+	}
+}
+
+// TestPipelineSizeTrigger pins the size trigger: with MaxBatch 4 and 8
+// queued mutations, the backlog drains as two size-triggered flushes.
+func TestPipelineSizeTrigger(t *testing.T) {
+	rec := &applyRecorder{gate: make(chan struct{}), began: make(chan struct{}, 16)}
+	m := NewMetrics(obs.NewRegistry())
+	p := New(Config{Name: "g", Apply: rec.apply, MaxBatch: 4, Metrics: m})
+	defer p.Close(context.Background())
+
+	ctx := context.Background()
+	if _, err := p.SubmitAsync(ctx, mut(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	<-rec.began
+	var chans []<-chan Outcome
+	for i := 1; i <= 8; i++ {
+		ch, err := p.SubmitAsync(ctx, mut(uint32(i), uint32(i)+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	for i := 0; i < 3; i++ { // release flush 1, then the two size flushes
+		rec.gate <- struct{}{}
+		if i < 2 {
+			<-rec.began
+		}
+	}
+	for _, ch := range chans {
+		if out := <-ch; out.Err != nil {
+			t.Fatal(out.Err)
+		}
+	}
+	if n := len(rec.flushes); n != 3 {
+		t.Fatalf("expected 3 flushes, got %d", n)
+	}
+	if len(rec.flushes[1]) != 4 || len(rec.flushes[2]) != 4 {
+		t.Fatalf("size-triggered flushes of %d and %d mutations, want 4 and 4",
+			len(rec.flushes[1]), len(rec.flushes[2]))
+	}
+	if got := m.flushes(FlushSize).Value(); got != 2 {
+		t.Fatalf("size flushes = %d, want 2", got)
+	}
+}
+
+// TestPipelineWindowTrigger pins the timed window: with a flush
+// interval set, a lone mutation waits out the window (reason "window")
+// instead of flushing on drain.
+func TestPipelineWindowTrigger(t *testing.T) {
+	rec := &applyRecorder{}
+	m := NewMetrics(obs.NewRegistry())
+	p := New(Config{Name: "g", Apply: rec.apply, FlushInterval: 5 * time.Millisecond, Metrics: m})
+	defer p.Close(context.Background())
+
+	if _, err := p.Submit(context.Background(), mut(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.flushes(FlushWindow).Value(); got != 1 {
+		t.Fatalf("window flushes = %d, want 1", got)
+	}
+	if got := m.flushes(FlushDrain).Value(); got != 0 {
+		t.Fatalf("drain flushes = %d, want 0 when an interval is set", got)
+	}
+}
+
+// TestPipelineFlushBarrier verifies Flush forces queued work out
+// immediately (reason "sync", overriding an hour-long window) and
+// reports the resulting version even when the barrier itself carries no
+// mutations.
+func TestPipelineFlushBarrier(t *testing.T) {
+	rec := &applyRecorder{}
+	m := NewMetrics(obs.NewRegistry())
+	p := New(Config{Name: "g", Apply: rec.apply, FlushInterval: time.Hour, Metrics: m})
+	defer p.Close(context.Background())
+
+	ctx := context.Background()
+	ch, err := p.SubmitAsync(ctx, mut(1, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrier, err := p.Flush(ctx) // the 1h window would otherwise hold the mutation
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-ch
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Applied.Version != barrier.Version || barrier.Version != 1 {
+		t.Fatalf("barrier version %d, mutation version %d, want both 1", barrier.Version, out.Applied.Version)
+	}
+	if got := m.flushes(FlushSync).Value(); got != 1 {
+		t.Fatalf("sync flushes = %d, want 1", got)
+	}
+
+	// An empty barrier still reports the current version without a bump.
+	barrier, err = p.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier.Version != 1 {
+		t.Fatalf("empty barrier version = %d, want 1", barrier.Version)
+	}
+	if got := m.flushes(FlushSync).Value(); got != 2 {
+		t.Fatalf("sync flushes = %d, want 2", got)
+	}
+}
+
+// TestPipelineClose: close flushes the backlog, later submits fail with
+// ErrClosed, and double close is safe.
+func TestPipelineClose(t *testing.T) {
+	rec := &applyRecorder{}
+	p := New(Config{Name: "g", Apply: rec.apply})
+	ch, err := p.SubmitAsync(context.Background(), mut(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-ch:
+		if out.Err != nil {
+			t.Fatalf("queued mutation lost at close: %v", out.Err)
+		}
+	default:
+		t.Fatal("close returned before flushing the queued mutation")
+	}
+	if _, err := p.Submit(context.Background(), mut(3, 4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineApplyError fans the flush error to every waiting producer.
+func TestPipelineApplyError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	rec := &applyRecorder{err: boom}
+	m := NewMetrics(obs.NewRegistry())
+	p := New(Config{Name: "g", Apply: rec.apply, Metrics: m})
+	defer p.Close(context.Background())
+	if _, err := p.Submit(context.Background(), mut(1, 2)); !errors.Is(err, boom) {
+		t.Fatalf("submit error = %v, want %v", err, boom)
+	}
+	if got := m.failures.Value(); got != 1 {
+		t.Fatalf("flush failures = %d, want 1", got)
+	}
+}
+
+// TestPipelineSubmitContext: a producer whose context expires while
+// waiting gets ctx.Err, but its mutation still lands.
+func TestPipelineSubmitContext(t *testing.T) {
+	rec := &applyRecorder{gate: make(chan struct{}), began: make(chan struct{}, 16)}
+	p := New(Config{Name: "g", Apply: rec.apply})
+	defer p.Close(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, mut(1, 2))
+		errc <- err
+	}()
+	<-rec.began
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit under cancelled ctx = %v, want context.Canceled", err)
+	}
+	rec.gate <- struct{}{}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.flushes) != 1 || len(rec.flushes[0]) != 1 {
+		t.Fatalf("cancelled producer's mutation did not apply: %v", rec.flushes)
+	}
+}
+
+// TestPipelineConcurrentStress hammers one pipeline from many producers
+// (run under -race in CI) and checks conservation: every submitted
+// mutation is applied by exactly one flush, and versions ack
+// monotonically per producer.
+func TestPipelineConcurrentStress(t *testing.T) {
+	// The delay stands in for the fsync each group commit amortizes:
+	// while one flush is inside it, concurrent producers pile into the
+	// queue and the next flush picks them all up.
+	rec := &applyRecorder{delay: 200 * time.Microsecond}
+	m := NewMetrics(obs.NewRegistry())
+	p := New(Config{Name: "g", Apply: rec.apply, MaxBatch: 64, Metrics: m})
+
+	const producers, perProducer = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < perProducer; i++ {
+				ap, err := p.Submit(context.Background(), mut(uint32(w), uint32(1000+i)))
+				if err != nil {
+					t.Errorf("producer %d: %v", w, err)
+					return
+				}
+				if ap.Version < last {
+					t.Errorf("producer %d: version went backwards %d -> %d", w, last, ap.Version)
+					return
+				}
+				last = ap.Version
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for _, f := range rec.flushes {
+		total += len(f)
+	}
+	if want := producers * perProducer; total != want {
+		t.Fatalf("flushes applied %d mutations, want %d", total, want)
+	}
+	if got := m.submitted.Value(); got != int64(producers*perProducer) {
+		t.Fatalf("submitted = %d, want %d", got, producers*perProducer)
+	}
+	if len(rec.flushes) >= producers*perProducer {
+		t.Fatalf("no group commit happened: %d flushes for %d mutations", len(rec.flushes), producers*perProducer)
+	}
+	t.Logf("group commit: %d mutations in %d flushes (%.1f avg)",
+		total, len(rec.flushes), float64(total)/float64(len(rec.flushes)))
+}

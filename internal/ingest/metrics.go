@@ -1,0 +1,61 @@
+package ingest
+
+import "repro/internal/obs"
+
+// Metrics is the truss_ingest_* instrument panel, shared by every
+// pipeline on a server so the families register once. The coalesce
+// ratio is derived by the reader as
+// truss_ingest_applied_total / truss_ingest_submitted_total — the gap
+// between them is exactly the work the coalescer made disappear.
+type Metrics struct {
+	reg *obs.Registry
+
+	submitted *obs.Counter   // raw mutations collected into flushes
+	applied   *obs.Counter   // coalesced mutations that survived to Apply
+	flushSize *obs.Histogram // mutations per flush
+	flushDur  *obs.Histogram // wall time per flush (group commit incl. fsync)
+	failures  *obs.Counter   // flushes whose Apply returned an error
+	byReason  map[string]*obs.Counter
+}
+
+// flushSizeBuckets covers flush batch sizes from a lone mutation up to
+// DefaultMaxBatch in powers of two.
+var flushSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// NewMetrics registers the ingest metric families on reg (nil selects
+// obs.Default()). Per-reason flush counters are pre-registered so every
+// reason appears in the exposition from the first scrape.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &Metrics{
+		reg: reg,
+		submitted: reg.Counter("truss_ingest_submitted_total",
+			"Raw mutations collected into ingestion flushes, before coalescing."),
+		applied: reg.Counter("truss_ingest_applied_total",
+			"Coalesced mutations applied by ingestion flushes; submitted minus applied is the coalescer's win."),
+		flushSize: reg.Histogram("truss_ingest_flush_batch_size",
+			"Raw mutations per group-committed flush.", flushSizeBuckets),
+		flushDur: reg.Histogram("truss_ingest_flush_seconds",
+			"Group-commit flush duration: coalesce + WAL append/fsync + incremental maintenance + install.", nil),
+		failures: reg.Counter("truss_ingest_flush_failures_total",
+			"Flushes whose apply step failed; every producer in the flush saw the error."),
+		byReason: make(map[string]*obs.Counter, len(FlushReasons)),
+	}
+	for _, r := range FlushReasons {
+		m.byReason[r] = reg.Counter("truss_ingest_flushes_total",
+			"Group-committed flushes by trigger: size (batch cap), window (flush interval), "+
+				"drain (adaptive: queue went empty), sync (explicit barrier), shutdown (pipeline close).",
+			"reason", r)
+	}
+	return m
+}
+
+func (m *Metrics) flushes(reason string) *obs.Counter { return m.byReason[reason] }
+
+// queueDepth returns the per-graph queued-submissions gauge.
+func (m *Metrics) queueDepth(name string) *obs.Gauge {
+	return m.reg.Gauge("truss_ingest_queue_depth",
+		"Submissions waiting in the ingestion queue.", "graph", name)
+}

@@ -27,6 +27,7 @@ import (
 //	GET    /v1/graphs/{name}                 graph status + summary stats
 //	POST   /v1/graphs/{name}/edges           insert edges: {"edges":[[u,v],...]} (or {"adds":...,"dels":...})
 //	DELETE /v1/graphs/{name}/edges           delete edges: {"edges":[[u,v],...]}
+//	POST   /v1/graphs/{name}/edges:stream    NDJSON mutation firehose with per-chunk acks (see stream.go)
 //	GET    /v1/graphs/{name}/edges?k=        stream the k-truss edges as NDJSON (k=0: all edges)
 //	POST   /v1/graphs/{name}/query           batched truss-number lookups: {"pairs":[[u,v],...]}
 //	GET    /v1/graphs/{name}/truss?u=&v=     truss number of one edge
@@ -125,6 +126,7 @@ func (s *Server) apiMux() *http.ServeMux {
 		{"GET", "/v1/graphs/{name}", s.withEntry(s.handleInfo)},
 		{"POST", "/v1/graphs/{name}/edges", s.handleMutate(false)},
 		{"DELETE", "/v1/graphs/{name}/edges", s.handleMutate(true)},
+		{"POST", "/v1/graphs/{name}/edges:stream", s.handleIngestStream},
 		{"GET", "/v1/graphs/{name}/edges", s.withIndex(s.handleEdgesStream)},
 		{"POST", "/v1/graphs/{name}/query", s.withIndex(s.handleQuery)},
 		{"GET", "/v1/graphs/{name}/truss", s.withIndex(s.handleTruss)},

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/obs"
 )
 
@@ -41,6 +42,12 @@ type serverMetrics struct {
 	maintChanged  *obs.Counter
 	maintRegion   *obs.Counter
 	maintFallback *obs.Counter
+	maintParallel *obs.Counter
+
+	// Ingestion pipeline (group commit). The ingest package owns the
+	// family definitions; the server shares one instance across all
+	// per-graph pipelines so /metrics aggregates the whole firehose.
+	ingest *ingest.Metrics
 
 	// Durability (snapshot + WAL).
 	snapSaves   *obs.Counter
@@ -98,6 +105,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		maintChanged:  reg.Counter("truss_maintenance_changed_edges_total", "Edges whose truss number changed under maintenance."),
 		maintRegion:   reg.Counter("truss_maintenance_region_edges_total", "Edges re-peeled inside affected regions."),
 		maintFallback: reg.Counter("truss_maintenance_fallbacks_total", "Maintenance batches that fell back to full recompute."),
+		maintParallel: reg.Counter("truss_maintenance_parallel_peels_total",
+			"Region re-peels dispatched onto the parallel bulk-synchronous peeler."),
+
+		ingest: ingest.NewMetrics(reg),
 
 		snapSaves:   reg.Counter("truss_snapshot_saves_total", "Durable snapshots written."),
 		snapFails:   reg.Counter("truss_snapshot_failures_total", "Snapshot writes that failed."),

@@ -128,16 +128,15 @@ type MutationRec struct {
 // SaveIndexSnapshot atomically writes the v2 snapshot of name at
 // version — the complete indexfile, ready to be mmap'd by the next
 // recovery — and truncates its WAL plus any legacy v1 snapshot (both are
-// subsumed). This is the only snapshot format the Store writes.
+// subsumed). This is the only snapshot format the Store writes. Callers
+// must ensure no append lands between the write and the unlink (the
+// server holds the graph's mutation lock); when appends must keep
+// flowing, use WriteIndexSnapshot + TruncateWAL instead.
 func (st *Store) SaveIndexSnapshot(name, source string, version uint64, ix *index.TrussIndex) error {
+	if err := st.WriteIndexSnapshot(name, source, version, ix); err != nil {
+		return err
+	}
 	dir := st.graphDir(name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	meta := indexfile.Meta{Source: source, GraphVersion: version, CreatedUnixNano: time.Now().UnixNano()}
-	if err := indexfile.WriteFile(filepath.Join(dir, indexFile), ix, meta); err != nil {
-		return err
-	}
 	// The WAL (and a pre-migration v1 snapshot, if any) is now folded into
 	// the indexfile. Failing to unlink them is not fatal to durability —
 	// recovery prefers v2 and skips WAL records at or below its version —
@@ -148,6 +147,70 @@ func (st *Store) SaveIndexSnapshot(name, source string, version uint64, ix *inde
 		}
 	}
 	return indexfile.SyncDir(dir)
+}
+
+// WriteIndexSnapshot atomically writes the v2 snapshot of name at
+// version without touching the WAL. It is the first phase of an
+// asynchronous compaction: the snapshot can be written while mutations
+// keep appending, because recovery ignores WAL records at or below the
+// snapshot's version; TruncateWAL reclaims them afterwards.
+func (st *Store) WriteIndexSnapshot(name, source string, version uint64, ix *index.TrussIndex) error {
+	dir := st.graphDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := indexfile.Meta{Source: source, GraphVersion: version, CreatedUnixNano: time.Now().UnixNano()}
+	return indexfile.WriteFile(filepath.Join(dir, indexFile), ix, meta)
+}
+
+// TruncateWAL drops name's WAL records at or below version upto (already
+// covered by a snapshot), keeping later ones. The surviving records are
+// rewritten atomically (temp + fsync + rename + directory fsync); a WAL
+// left with no records is removed outright, along with any legacy v1
+// snapshot the compaction has superseded. Returns the WAL's size in
+// bytes afterwards. Callers must exclude concurrent appends (the server
+// holds the graph's mutation lock).
+func (st *Store) TruncateWAL(name string, upto uint64) (int64, error) {
+	dir := st.graphDir(name)
+	path := filepath.Join(dir, walFile)
+	recs, err := readWAL(path)
+	if err != nil {
+		return 0, err
+	}
+	var keep []byte
+	for _, rec := range recs {
+		if rec.Version > upto {
+			keep = append(keep, encodeMutationRecord(rec.Version, rec.Adds, rec.Dels)...)
+		}
+	}
+	if len(keep) == 0 {
+		for _, stale := range []string{walFile, snapshotFile} {
+			if err := os.Remove(filepath.Join(dir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return 0, err
+			}
+		}
+		return 0, indexfile.SyncDir(dir)
+	}
+	tmp, err := os.CreateTemp(dir, "wal-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(keep); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return int64(len(keep)), indexfile.SyncDir(dir)
 }
 
 // SaveSnapshot atomically writes the legacy v1 snapshot of name at
@@ -235,23 +298,7 @@ func (st *Store) AppendMutation(name string, version uint64, adds, dels []graph.
 	if err != nil {
 		return 0, err
 	}
-	payload := make([]byte, 0, 16+8*(len(adds)+len(dels)))
-	payload = binary.LittleEndian.AppendUint64(payload, version)
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(adds)))
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(dels)))
-	for _, e := range adds {
-		payload = binary.LittleEndian.AppendUint32(payload, e.U)
-		payload = binary.LittleEndian.AppendUint32(payload, e.V)
-	}
-	for _, e := range dels {
-		payload = binary.LittleEndian.AppendUint32(payload, e.U)
-		payload = binary.LittleEndian.AppendUint32(payload, e.V)
-	}
-	rec := make([]byte, 0, 8+len(payload))
-	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
-	rec = append(rec, payload...)
-	if _, err := f.Write(rec); err != nil {
+	if _, err := f.Write(encodeMutationRecord(version, adds, dels)); err != nil {
 		f.Close()
 		return 0, err
 	}
@@ -267,6 +314,29 @@ func (st *Store) AppendMutation(name string, version uint64, adds, dels []graph.
 		err = indexfile.SyncDir(dir)
 	}
 	return size, err
+}
+
+// encodeMutationRecord renders one WAL record: u32 payload length, u32
+// CRC32-IEEE of the payload, then {u64 version, u32 nAdds, u32 nDels,
+// edge pairs}. AppendMutation and TruncateWAL share it so a rewritten
+// WAL is byte-identical to one appended record by record.
+func encodeMutationRecord(version uint64, adds, dels []graph.Edge) []byte {
+	payload := make([]byte, 0, 16+8*(len(adds)+len(dels)))
+	payload = binary.LittleEndian.AppendUint64(payload, version)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(adds)))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(dels)))
+	for _, e := range adds {
+		payload = binary.LittleEndian.AppendUint32(payload, e.U)
+		payload = binary.LittleEndian.AppendUint32(payload, e.V)
+	}
+	for _, e := range dels {
+		payload = binary.LittleEndian.AppendUint32(payload, e.U)
+		payload = binary.LittleEndian.AppendUint32(payload, e.V)
+	}
+	rec := make([]byte, 0, 8+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	return append(rec, payload...)
 }
 
 // Remove deletes name's persisted state entirely.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 )
 
@@ -110,6 +111,24 @@ type Options struct {
 	// MaxRegionFraction is the incremental-maintenance fallback knob
 	// passed to dynamic.Update (0 selects its default).
 	MaxRegionFraction float64
+	// ParallelRegionCutoff is the affected-region size at which
+	// dynamic.Update re-peels on the parallel bulk-synchronous machinery
+	// instead of the serial cascade (0 selects the dynamic package
+	// default; negative disables parallel re-peel).
+	ParallelRegionCutoff int
+	// IngestFlushInterval is the ingestion pipeline's group-commit
+	// window. The default 0 is adaptive: a flush commits as soon as the
+	// queue goes empty, so a lone client sees per-request latency while
+	// concurrent clients batch naturally (the queue refills during each
+	// flush's fsync). A positive interval trades that first-mutation
+	// latency for strictly larger batches.
+	IngestFlushInterval time.Duration
+	// IngestMaxBatch caps raw mutations per group-committed flush
+	// (0 selects the ingest package default).
+	IngestMaxBatch int
+	// IngestMaxQueue bounds each graph's ingestion queue; producers block
+	// once it fills (0 selects the ingest package default).
+	IngestMaxQueue int
 	// WALCompactBytes is the WAL size that triggers folding the WAL into
 	// a fresh snapshot (0 selects DefaultWALCompactBytes).
 	WALCompactBytes int64
@@ -196,20 +215,89 @@ type Server struct {
 	// storeErr holds the data-dir open failure, surfaced by Recover.
 	store    *Store
 	storeErr error
-	// mutLocks serializes mutations and persistence per graph name
-	// (guarded by mu); queries stay lock-free on the snapshot.
-	mutLocks map[string]*sync.Mutex
+	// names serializes mutations and persistence per graph name; queries
+	// stay lock-free on the snapshot. snaps serializes snapshot writers
+	// per graph, so an asynchronous compaction's snapshot write cannot
+	// interleave with a rebuild's. Lock order is always name before snap;
+	// the compactor takes them one at a time, never nested.
+	names *lockTable
+	snaps *lockTable
+	// pipes holds each graph's ingestion pipeline, created on first
+	// mutation; compacting marks graphs with an asynchronous WAL
+	// compaction in flight. Both guarded by mu.
+	pipes      map[string]*ingest.Pipeline
+	compacting map[string]bool
+}
+
+// lockTable is a set of named mutexes that evicts idle entries, so a
+// churning registry (many distinct names over a server's lifetime) does
+// not grow the maps without bound.
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+}
+
+func newLockTable() *lockTable { return &lockTable{locks: map[string]*sync.Mutex{}} }
+
+// get returns name's mutex, creating it on first use.
+func (t *lockTable) get(name string) *sync.Mutex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		t.locks[name] = l
+	}
+	return l
+}
+
+// lock acquires name's mutex. Eviction can race the acquire, so after
+// blocking it re-validates that the held lock is still the table's lock
+// for name — two goroutines can never end up holding different locks for
+// the same name.
+func (t *lockTable) lock(name string) *sync.Mutex {
+	for {
+		l := t.get(name)
+		l.Lock()
+		if t.get(name) == l {
+			return l
+		}
+		l.Unlock()
+	}
+}
+
+// evict drops name's entry if nobody holds or waits on it. TryLock never
+// blocks, so calling this under other locks cannot deadlock; a goroutine
+// still holding an evicted pointer is harmless because lock re-validates
+// after acquiring.
+func (t *lockTable) evict(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.locks[name]; ok && l.TryLock() {
+		delete(t.locks, name)
+		l.Unlock()
+	}
+}
+
+// size reports the number of live entries (tests watch it for leaks).
+func (t *lockTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.locks)
 }
 
 // New returns an empty Server.
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:     opts,
-		mutLocks: map[string]*sync.Mutex{},
-		baseCtx:  ctx,
-		stop:     cancel,
-		metrics:  newServerMetrics(opts.Metrics),
+		opts:       opts,
+		names:      newLockTable(),
+		snaps:      newLockTable(),
+		pipes:      map[string]*ingest.Pipeline{},
+		compacting: map[string]bool{},
+		baseCtx:    ctx,
+		stop:       cancel,
+		metrics:    newServerMetrics(opts.Metrics),
 	}
 	if opts.DataDir != "" {
 		s.store, s.storeErr = NewStore(opts.DataDir)
@@ -228,42 +316,44 @@ func New(opts Options) *Server {
 	return s
 }
 
-// nameLock returns the mutation lock for name, creating it on first use.
-func (s *Server) nameLock(name string) *sync.Mutex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.mutLocks[name]
-	if !ok {
-		l = &sync.Mutex{}
-		s.mutLocks[name] = l
-	}
-	return l
-}
-
-// lockName acquires the per-name mutation lock. Remove evicts idle locks
-// from the map, so after blocking the acquire re-validates that the held
-// lock is still the map's lock for name — two goroutines can never end
-// up holding different locks for the same name.
+// lockName acquires the per-name mutation lock.
 func (s *Server) lockName(name string) *sync.Mutex {
-	for {
-		l := s.nameLock(name)
-		l.Lock()
-		if s.nameLock(name) == l {
-			return l
-		}
-		l.Unlock()
+	return s.names.lock(name)
+}
+
+// unlockName releases a lock taken with lockName and, when the name no
+// longer exists in the registry, evicts its idle lock entries — the
+// counterpart of Remove's eviction for the lock a removal could not
+// reclaim because this goroutine was still holding it.
+func (s *Server) unlockName(name string, l *sync.Mutex) {
+	l.Unlock()
+	if _, ok := s.Lookup(name); !ok {
+		s.names.evict(name)
+		s.snaps.evict(name)
 	}
 }
 
-// Shutdown cancels every in-flight background build and waits for the
-// build goroutines to exit, bounded by ctx. The registry stays readable —
-// resident indexes keep answering queries — but no new decomposition will
-// complete after Shutdown returns: later BuildAsync calls are refused.
-// Safe to call more than once.
+// Shutdown drains every ingestion pipeline (queued mutations group-commit
+// and ack), then cancels in-flight background work — builds and
+// compactions — and waits for it to exit, all bounded by ctx. The
+// registry stays readable — resident indexes keep answering queries — but
+// no new decomposition will complete after Shutdown returns: later
+// BuildAsync calls and mutations are refused. Safe to call more than
+// once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.down = true
+	pipes := s.pipes
+	s.pipes = map[string]*ingest.Pipeline{}
 	s.mu.Unlock()
+	// Drain before cancelling the lifecycle context: a flush in progress
+	// commits (and its producers are acked) rather than erroring out.
+	var drainErr error
+	for _, p := range pipes {
+		if err := p.Close(ctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	s.stop()
 	done := make(chan struct{})
 	go func() {
@@ -272,7 +362,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return drainErr
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -454,7 +544,7 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 		BuildTime: time.Since(start),
 	}
 	// The mutation lock orders this install (and its snapshot) against
-	// concurrent Mutate calls on the same name.
+	// concurrent mutation flushes on the same name.
 	lock := s.lockName(name)
 	installed := s.install(name, e, seq)
 	if installed && s.store != nil {
@@ -464,7 +554,7 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 			s.logf("graph %q: snapshot failed (durability degraded): %v", name, err)
 		}
 	}
-	lock.Unlock()
+	s.unlockName(name, lock)
 	if !installed {
 		s.logf("graph %q build #%d superseded by a newer build", name, seq)
 		return e
@@ -476,8 +566,12 @@ func (s *Server) build(name string, g *graph.Graph, source string, seq int) *Ent
 
 // saveSnapshot is the instrumented SaveIndexSnapshot: counts, failures,
 // and write duration, which is the fsync pause an operator wants on a
-// graph.
+// graph. The per-graph snapshot lock serializes it against asynchronous
+// compaction writes (callers already hold the name lock; lock order is
+// name before snap).
 func (s *Server) saveSnapshot(name, source string, version uint64, ix *index.TrussIndex) error {
+	snapL := s.snaps.lock(name)
+	defer snapL.Unlock()
 	start := time.Now()
 	err := s.store.SaveIndexSnapshot(name, source, version, ix)
 	if err != nil {
@@ -500,22 +594,26 @@ var ErrNotReady = errors.New("graph has no resident index yet")
 // ErrNoGraph is returned by Mutate for unknown registry names.
 var ErrNoGraph = errors.New("no such graph")
 
-// Mutate applies one batch of edge insertions and deletions to a resident
-// graph: the decomposition is maintained incrementally (dynamic.Update),
-// the index is patched rather than rebuilt, the batch is appended to the
-// WAL before publication, and the entry's version counter advances by
-// one. Mutations on the same name serialize; queries continue lock-free
-// against the previous snapshot until the new entry is installed.
+// Mutate applies one batch of edge insertions and deletions to a
+// resident graph through its ingestion pipeline: the batch joins
+// whatever flush is forming, coalesces with concurrent mutations, and is
+// group-committed — one WAL append + fsync, one dynamic.Update, one
+// index Patch for the whole flush. Mutate blocks until that flush lands
+// and returns the entry it published, so the acked version is durable
+// and reading at it sees this call's mutations (read-your-writes). The
+// version counter advances by one per non-empty flush, not per call:
+// concurrent callers whose mutations share a flush are acked with the
+// same version.
 //
 // Rebuilds win over mutations: while a reload of the same name is in
 // flight the entry is in StateBuilding and Mutate refuses (the old graph
-// is about to be replaced wholesale), and a mutation computed against a
+// is about to be replaced wholesale), and a flush computed against a
 // pre-rebuild entry that races the rebuild's publication is rejected by
 // the sequence guard rather than clobbering the fresh decomposition.
 func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edge) (*Entry, *dynamic.Result, error) {
-	lock := s.lockName(name)
-	defer lock.Unlock()
-
+	// Pre-flight against the lock-free snapshot so unknown and not-ready
+	// names fail fast without spinning up a pipeline. applyFlush re-checks
+	// under the name lock; this check is advisory.
 	e, ok := s.Lookup(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
@@ -523,65 +621,21 @@ func (s *Server) Mutate(ctx context.Context, name string, adds, dels []graph.Edg
 	if e.State != StateReady || e.Index == nil {
 		return nil, nil, fmt.Errorf("graph %q (%s): %w", name, e.State, ErrNotReady)
 	}
-	start := time.Now()
-	res, err := dynamic.Update(ctx, e.Index.Graph(), e.Index.PhiView(),
-		dynamic.Batch{Adds: adds, Dels: dels},
-		dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+	p, err := s.pipeline(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Patch before the WAL append: the patched index is pure compute (a
-	// copy-on-write overlay, safe even when e.Index serves off an mmap'd
-	// snapshot), and having it in hand lets a triggered compaction
-	// persist the exact index being published.
-	patched := e.Index.Patch(res.G, res.Phi, res.KMax, res.Remap, res.Changed)
-	version := e.Version + 1
-	if s.store != nil {
-		// Durability before visibility: if the WAL append fails the
-		// mutation is rejected, so disk never lags memory.
-		walBytes, err := s.store.AppendMutation(name, version, adds, dels)
-		if err != nil {
-			return nil, nil, fmt.Errorf("graph %q: mutation rejected, WAL append failed: %w", name, err)
+	ap, err := p.Submit(ctx, ingest.FromBatch(adds, dels))
+	if err != nil {
+		if errors.Is(err, ingest.ErrClosed) {
+			// The pipeline closed between lookup and submit (remove or
+			// shutdown won the race).
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
 		}
-		s.metrics.walAppends.Inc()
-		s.metrics.walSize(name).Set(walBytes)
-		if walBytes >= s.opts.walCompactBytes() {
-			if err := s.saveSnapshot(name, e.Source, version, patched); err != nil {
-				s.logf("graph %q: WAL compaction failed: %v", name, err)
-			} else {
-				s.metrics.compactions.Inc()
-				s.logf("graph %q: WAL compacted into snapshot at version %d", name, version)
-			}
-		}
+		return nil, nil, err
 	}
-	s.metrics.maints.Inc()
-	s.metrics.maintDur.ObserveSince(start)
-	s.metrics.maintChanged.Add(int64(res.Stats.Changed))
-	s.metrics.maintRegion.Add(int64(res.Stats.Region))
-	if res.Stats.FellBack {
-		s.metrics.maintFallback.Inc()
-	}
-	ne := &Entry{
-		Name:      name,
-		State:     StateReady,
-		Index:     patched,
-		Source:    e.Source,
-		LoadedAt:  time.Now(),
-		BuildTime: e.BuildTime,
-		Epoch:     e.Epoch,
-		Version:   version,
-	}
-	// Install under the sequence of the entry the mutation was computed
-	// from: if a rebuild claimed a newer sequence meanwhile, this install
-	// is rejected instead of overwriting the rebuilt decomposition (the
-	// rebuild's own snapshot will truncate the orphan WAL record).
-	if !s.install(name, ne, e.seq) {
-		return nil, nil, fmt.Errorf("graph %q: mutation superseded by a concurrent rebuild", name)
-	}
-	s.logf("graph %q mutated to version %d: +%d -%d edges, m=%d kmax=%d, %s (region=%d fallback=%v)",
-		name, version, len(adds), len(dels), res.G.NumEdges(), res.KMax,
-		time.Since(start).Round(time.Microsecond), res.Stats.Region, res.Stats.FellBack)
-	return ne, res, nil
+	out := ap.Payload.(*flushOutcome)
+	return out.entry, out.res, nil
 }
 
 // Recover restores every graph persisted under Options.DataDir. Graphs
@@ -640,7 +694,7 @@ func (s *Server) Recover() error {
 			for _, mut := range muts {
 				res, err := dynamic.Update(s.baseCtx, g, phi,
 					dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
-					dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+					s.dynConfig())
 				if err != nil {
 					pg.File.Close()
 					return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
@@ -659,7 +713,7 @@ func (s *Server) Recover() error {
 			for _, mut := range muts {
 				res, err := dynamic.Update(s.baseCtx, g, phi,
 					dynamic.Batch{Adds: mut.Adds, Dels: mut.Dels},
-					dynamic.Config{MaxRegionFraction: s.opts.MaxRegionFraction, Workers: s.opts.Workers})
+					s.dynConfig())
 				if err != nil {
 					return fmt.Errorf("graph %q: WAL replay: %w", pg.Name, err)
 				}
@@ -785,28 +839,46 @@ func (s *Server) LoadFileAsync(name, path string) error {
 // It reports whether the name was present. An in-flight rebuild of the
 // same name may re-publish it.
 func (s *Server) Remove(name string) bool {
+	// Take both per-graph locks for the whole removal: the name lock
+	// serializes against in-flight flushes, and the snapshot lock keeps a
+	// concurrent compaction phase 1 from recreating the on-disk directory
+	// after store.Remove deletes it. Lock order matches compact (name
+	// before snap is never nested there, but flushes take name first, so
+	// we do too).
+	lock := s.lockName(name)
+	snapL := s.snaps.lock(name)
+
 	s.mu.Lock()
 	_, ok := (*s.snap.Load())[name]
 	if ok {
 		s.storeLocked(name, nil)
 	}
-	// Evict the name's mutation lock if nobody holds it, so a churning
-	// registry (many distinct names over a server's lifetime) does not
-	// grow the lock map without bound. TryLock never blocks, so taking it
-	// under mu cannot deadlock with lockName (which never holds mu while
-	// locking); a goroutine still holding the evicted pointer is harmless
-	// because lockName re-validates after acquiring.
-	if l, held := s.mutLocks[name]; held && l.TryLock() {
-		delete(s.mutLocks, name)
-		l.Unlock()
-	}
+	p := s.pipes[name]
+	delete(s.pipes, name)
 	s.mu.Unlock()
-	if ok {
-		if s.store != nil {
-			if err := s.store.Remove(name); err != nil {
-				s.logf("graph %q: removing persisted state: %v", name, err)
-			}
+
+	if ok && s.store != nil {
+		if err := s.store.Remove(name); err != nil {
+			s.logf("graph %q: removing persisted state: %v", name, err)
 		}
+	}
+	snapL.Unlock()
+	lock.Unlock()
+	// The name has left the registry, so evict its lock-table entries —
+	// including the case where an in-flight mutation held the name lock
+	// while Remove ran (the old TryLock-based eviction leaked exactly
+	// that case). Eviction is safe while other goroutines still hold the
+	// evicted pointers: lockName re-validates against the table after
+	// acquiring, so stale holders drain without splitting the lock.
+	s.names.evict(name)
+	s.snaps.evict(name)
+	// Close the pipeline after releasing the name lock — its flusher may
+	// be blocked in applyFlush waiting for that very lock. In-flight
+	// flushes now fail their Lookup and producers get ErrNoGraph.
+	if p != nil {
+		p.Close(context.Background())
+	}
+	if ok {
 		s.logf("graph %q removed", name)
 	}
 	return ok

@@ -1,11 +1,14 @@
 package truss_test
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -63,10 +66,55 @@ func TestSoakServeStorm(t *testing.T) {
 	// The storm: 32 workers (well below -max-inflight 512), each driving
 	// point lookups, batched queries, and histogram reads. Totals are
 	// counted client-side and reconciled against the server's counters.
+	// A firehose streams mutations through the ingestion pipeline the
+	// whole time, so reads and group-committed writes contend for real.
 	const workers = 32
 	const perWorker = 150
+	const streamed = 8192 // unique adds above the R-MAT vertex range
 	var trussReqs, queryReqs, histReqs, failures atomic.Int64
 	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var b strings.Builder
+		for i := 0; i < streamed; i++ {
+			fmt.Fprintf(&b, `{"u":%d,"v":%d}`+"\n", 300000+2*i, 300001+2*i)
+		}
+		resp, err := http.Post(base+"/v1/graphs/soak/edges:stream",
+			"application/x-ndjson", strings.NewReader(b.String()))
+		if err != nil {
+			t.Errorf("firehose: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("firehose status %d", resp.StatusCode)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		var sum map[string]any
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) == "" {
+				continue
+			}
+			sum = map[string]any{}
+			if err := json.Unmarshal(sc.Bytes(), &sum); err != nil {
+				t.Errorf("firehose ack %q: %v", sc.Text(), err)
+				return
+			}
+			if sum["ok"] != true {
+				t.Errorf("firehose ack failed: %v", sum)
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Errorf("firehose read: %v", err)
+			return
+		}
+		if sum == nil || sum["done"] != true || int(sum["accepted"].(float64)) != streamed {
+			t.Errorf("firehose summary = %v, want done with %d accepted", sum, streamed)
+		}
+	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -129,6 +177,13 @@ func TestSoakServeStorm(t *testing.T) {
 			samples.Value("truss_http_requests_total", "route", "GET /v1/graphs/{name}/histogram", "code", "200")},
 		{"builds", 1, samples.Value("truss_build_total")},
 		{"graphs ready", 1, samples.Value("truss_graphs_ready")},
+		// Every streamed record is a unique absent edge, so nothing
+		// coalesces away: the pipeline must have applied exactly what the
+		// firehose pushed, with zero failed flushes and a drained queue.
+		{"ingest submitted", streamed, samples.Value("truss_ingest_submitted_total")},
+		{"ingest applied", streamed, samples.Value("truss_ingest_applied_total")},
+		{"ingest flush failures", 0, samples.Value("truss_ingest_flush_failures_total")},
+		{"ingest queue drained", 0, samples.Value("truss_ingest_queue_depth", "graph", "soak")},
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -142,7 +197,12 @@ func TestSoakServeStorm(t *testing.T) {
 	if lat != float64(trussReqs.Load()) {
 		t.Errorf("latency histogram count = %g, want %d", lat, trussReqs.Load())
 	}
-	fmt.Printf("soak: %d requests served, p-lookup count=%d batch=%d hist=%d, zero sheds\n",
+	flushes := samples.Value("truss_ingest_flush_seconds_count")
+	if flushes < 1 || flushes > streamed {
+		t.Errorf("ingest flushes = %g, want in [1, %d]", flushes, streamed)
+	}
+	fmt.Printf("soak: %d requests served, p-lookup count=%d batch=%d hist=%d, zero sheds; "+
+		"%d mutations group-committed in %g flushes\n",
 		trussReqs.Load()+queryReqs.Load()+histReqs.Load(),
-		trussReqs.Load(), queryReqs.Load(), histReqs.Load())
+		trussReqs.Load(), queryReqs.Load(), histReqs.Load(), int64(streamed), flushes)
 }
