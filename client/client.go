@@ -51,6 +51,9 @@ type APIError struct {
 	Status int
 	// Message is the server's error string ("" when undecodable).
 	Message string
+	// Primary is the primary's base URL when a read-only replica
+	// rejected a mutation (403 with a "primary" field); "" otherwise.
+	Primary string
 }
 
 func (e *APIError) Error() string {
@@ -117,6 +120,29 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // until a method is called; the returned Graph satisfies truss.Querier.
 func (c *Client) Graph(name string) *Graph { return &Graph{c: c, name: name} }
 
+// minVersionHeader pins a read's consistency floor; servers whose entry
+// is older answer 412 (see the Router's read-your-writes contract).
+const minVersionHeader = "X-Truss-Min-Version"
+
+// minVersionKey carries the floor through a context.
+type minVersionKey struct{}
+
+// WithMinVersion returns a context whose requests demand the graph be
+// at least at version v: every request issued under it sends
+// X-Truss-Min-Version, and a server still behind answers 412 instead of
+// a stale read. The Router sets this automatically from its own writes;
+// set it manually to carry a version token across processes (e.g. a
+// version handed to another service alongside a work item).
+func WithMinVersion(ctx context.Context, v uint64) context.Context {
+	return context.WithValue(ctx, minVersionKey{}, v)
+}
+
+// minVersionFrom extracts the floor WithMinVersion stored, if any.
+func minVersionFrom(ctx context.Context) (uint64, bool) {
+	v, ok := ctx.Value(minVersionKey{}).(uint64)
+	return v, ok
+}
+
 // url joins raw (unescaped) path segments and an optional query onto
 // the base URL. JoinPath escapes each segment exactly once — graph
 // names with spaces or slashes arrive at the server intact.
@@ -180,6 +206,9 @@ func (c *Client) do(ctx context.Context, method, rawurl string, body []byte, ide
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if v, ok := minVersionFrom(ctx); ok {
+			req.Header.Set(minVersionHeader, strconv.FormatUint(v, 10))
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -219,10 +248,11 @@ func drain(resp *http.Response) {
 // apiError decodes the server's {"error": "..."} body into an APIError.
 func apiError(resp *http.Response) error {
 	var body struct {
-		Error string `json:"error"`
+		Error   string `json:"error"`
+		Primary string `json:"primary"`
 	}
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
-	return &APIError{Status: resp.StatusCode, Message: body.Error}
+	return &APIError{Status: resp.StatusCode, Message: body.Error, Primary: body.Primary}
 }
 
 // call issues a request and decodes a 2xx JSON response into out

@@ -1,0 +1,293 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	truss "repro"
+)
+
+// Router fans a truss workload out across a primary and its read
+// replicas: reads rotate over the replicas (round-robin, primary as the
+// fallback of last resort) and fail over on shed load (429), server
+// errors (5xx), lagging replicas (412/404), and connection failures,
+// while every mutation goes to the primary and only the primary — a
+// mutation is never retried and never redirected, so a replica can
+// never see one even with the primary down.
+//
+// Read-your-writes across the fleet rides on the version token: the
+// Router remembers the last version each mutation returned per graph
+// and pins subsequent reads of that graph with X-Truss-Min-Version. A
+// replica still behind that version answers 412 and the Router moves to
+// the next endpoint; the primary itself always satisfies the floor.
+//
+//	r, err := client.NewRouter("http://primary:8080",
+//	    []string{"http://replica-1:8080", "http://replica-2:8080"})
+//	g := r.Graph("social")
+//	g.InsertEdges(ctx, edges)            // primary only
+//	k, ok, err := g.TrussNumber(ctx, u, v) // replicas, never older than the insert
+type Router struct {
+	primary  *Client
+	replicas []*Client
+	rr       atomic.Uint64
+
+	mu      sync.Mutex
+	written map[string]uint64 // graph -> highest version this Router wrote
+}
+
+// NewRouter builds a Router over one primary and any number of replica
+// base URLs. opts apply to every per-endpoint Client; the Router
+// defaults them to zero internal retries, because its own failover *is*
+// the retry policy (an explicit WithRetries in opts overrides that).
+func NewRouter(primaryURL string, replicaURLs []string, opts ...Option) (*Router, error) {
+	base := append([]Option{WithRetries(0)}, opts...)
+	primary, err := New(primaryURL, base...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{primary: primary, written: map[string]uint64{}}
+	for _, u := range replicaURLs {
+		c, err := New(u, base...)
+		if err != nil {
+			return nil, err
+		}
+		r.replicas = append(r.replicas, c)
+	}
+	return r, nil
+}
+
+// Primary returns the primary's Client (for operations the Router does
+// not mediate, e.g. LoadPath or Remove).
+func (r *Router) Primary() *Client { return r.primary }
+
+// Graph addresses one named graph across the fleet. The returned
+// RouterGraph satisfies truss.Querier.
+func (r *Router) Graph(name string) *RouterGraph { return &RouterGraph{r: r, name: name} }
+
+// Written returns the highest version a mutation through this Router
+// has returned for name (0 before the first write) — the read-your-
+// writes floor its reads enforce.
+func (r *Router) Written(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.written[name]
+}
+
+// noteWrite raises name's read-your-writes floor.
+func (r *Router) noteWrite(name string, version uint64) {
+	r.mu.Lock()
+	if version > r.written[name] {
+		r.written[name] = version
+	}
+	r.mu.Unlock()
+}
+
+// readOrder returns this attempt's endpoint sequence: replicas rotated
+// one step per call so load spreads, primary last — it is the one
+// endpoint that always satisfies the consistency floor, so it backstops
+// every read, but it should see a read only when the replicas cannot
+// serve it.
+func (r *Router) readOrder() []*Client {
+	n := len(r.replicas)
+	if n == 0 {
+		return []*Client{r.primary}
+	}
+	start := int(r.rr.Add(1)-1) % n
+	order := make([]*Client, 0, n+1)
+	for i := 0; i < n; i++ {
+		order = append(order, r.replicas[(start+i)%n])
+	}
+	return append(order, r.primary)
+}
+
+// failover reports whether a read error is worth trying the next
+// endpoint for: transport failures (endpoint down), shed load, server
+// errors, and replica staleness (412 below the floor, 404/503 not yet
+// hydrated) all are; deterministic client errors are not.
+func failover(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Status == http.StatusPreconditionFailed,
+			ae.Status == http.StatusNotFound,
+			ae.Status == http.StatusTooManyRequests,
+			ae.Status >= http.StatusInternalServerError:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// RouterGraph is the fleet-wide view of one graph: the full
+// truss.Querier read surface with replica fan-out, plus mutations that
+// go to the primary exclusively.
+type RouterGraph struct {
+	r    *Router
+	name string
+}
+
+var _ truss.Querier = (*RouterGraph)(nil)
+
+// Name returns the graph's registry name.
+func (g *RouterGraph) Name() string { return g.name }
+
+// read runs op against each endpoint in this attempt's order until one
+// succeeds, pinning the graph's read-your-writes floor on the context.
+// The last endpoint's error surfaces when all fail; a non-failover
+// error (bad request, cancellation) surfaces immediately.
+func (g *RouterGraph) read(ctx context.Context, op func(context.Context, *Graph) error) error {
+	if v := g.r.Written(g.name); v > 0 {
+		ctx = WithMinVersion(ctx, v)
+	}
+	var lastErr error
+	for _, c := range g.r.readOrder() {
+		err := op(ctx, c.Graph(g.name))
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !failover(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// Info fetches the graph's registry entry from the first endpoint able
+// to answer.
+func (g *RouterGraph) Info(ctx context.Context) (GraphInfo, error) {
+	var info GraphInfo
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		info, err = gr.Info(ctx)
+		return err
+	})
+	return info, err
+}
+
+// TrussNumber returns phi(u,v) and whether the edge exists.
+func (g *RouterGraph) TrussNumber(ctx context.Context, u, v uint32) (int32, bool, error) {
+	var k int32
+	var ok bool
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		k, ok, err = gr.TrussNumber(ctx, u, v)
+		return err
+	})
+	return k, ok, err
+}
+
+// TrussNumbers answers a batch of edge lookups in one round-trip.
+func (g *RouterGraph) TrussNumbers(ctx context.Context, pairs []truss.Edge) ([]truss.TrussAnswer, error) {
+	var out []truss.TrussAnswer
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		out, err = gr.TrussNumbers(ctx, pairs)
+		return err
+	})
+	return out, err
+}
+
+// Histogram returns |Phi_k| indexed by k.
+func (g *RouterGraph) Histogram(ctx context.Context) ([]int64, error) {
+	var out []int64
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		out, err = gr.Histogram(ctx)
+		return err
+	})
+	return out, err
+}
+
+// TopClasses returns the t highest non-empty k-classes.
+func (g *RouterGraph) TopClasses(ctx context.Context, t int) ([]truss.ClassSummary, error) {
+	var out []truss.ClassSummary
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		out, err = gr.TopClasses(ctx, t)
+		return err
+	})
+	return out, err
+}
+
+// Communities returns every k-truss community at level k.
+func (g *RouterGraph) Communities(ctx context.Context, k int32) ([]truss.QueryCommunity, error) {
+	var out []truss.QueryCommunity
+	err := g.read(ctx, func(ctx context.Context, gr *Graph) error {
+		var err error
+		out, err = gr.Communities(ctx, k)
+		return err
+	})
+	return out, err
+}
+
+// KTrussEdges streams the k-truss edge set. Failover happens only while
+// no edge has been yielded yet (the stream request itself failed, or
+// the endpoint rejected it); once rows are flowing, a mid-stream
+// disconnect surfaces through the error function rather than silently
+// restarting the iteration against another endpoint — the caller has
+// already consumed a prefix, and a restarted stream could repeat or
+// reorder it.
+func (g *RouterGraph) KTrussEdges(ctx context.Context, k int32) (iter.Seq2[truss.Edge, int32], func() error) {
+	rctx := ctx
+	if v := g.r.Written(g.name); v > 0 {
+		rctx = WithMinVersion(ctx, v)
+	}
+	var iterErr error
+	seq := func(yield func(truss.Edge, int32) bool) {
+		var lastErr error
+		for _, c := range g.r.readOrder() {
+			yielded := false
+			inner, errf := c.Graph(g.name).KTrussEdges(rctx, k)
+			for e, phi := range inner {
+				yielded = true
+				if !yield(e, phi) {
+					return
+				}
+			}
+			err := errf()
+			if err == nil {
+				return
+			}
+			if yielded || rctx.Err() != nil || !failover(err) {
+				iterErr = err
+				return
+			}
+			lastErr = err
+		}
+		iterErr = lastErr
+	}
+	return seq, func() error { return iterErr }
+}
+
+// InsertEdges inserts a batch of edges through the primary. Never
+// retried, never routed to a replica.
+func (g *RouterGraph) InsertEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	return g.noteResult(g.r.primary.Graph(g.name).InsertEdges(ctx, edges))
+}
+
+// DeleteEdges deletes a batch of edges through the primary. Never
+// retried, never routed to a replica.
+func (g *RouterGraph) DeleteEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	return g.noteResult(g.r.primary.Graph(g.name).DeleteEdges(ctx, edges))
+}
+
+// Update applies a mixed batch through the primary. Never retried,
+// never routed to a replica.
+func (g *RouterGraph) Update(ctx context.Context, adds, dels []truss.Edge) (*MutationResult, error) {
+	return g.noteResult(g.r.primary.Graph(g.name).Update(ctx, adds, dels))
+}
+
+// noteResult records a successful mutation's version as the graph's new
+// read-your-writes floor.
+func (g *RouterGraph) noteResult(res *MutationResult, err error) (*MutationResult, error) {
+	if err == nil && res != nil {
+		g.r.noteWrite(g.name, res.Version)
+	}
+	return res, err
+}

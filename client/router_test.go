@@ -1,0 +1,346 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	truss "repro"
+	"repro/client"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// fakeEndpoint is a scripted truss endpoint: it counts reads and
+// mutations, records the last min-version floor it saw, and answers
+// reads with status (412/500/...) or a fixed histogram body on 0.
+type fakeEndpoint struct {
+	ts         *httptest.Server
+	reads      atomic.Int64
+	mutations  atomic.Int64
+	status     atomic.Int64 // non-zero: answer reads with this status
+	lastFloor  atomic.Value // string: last X-Truss-Min-Version seen
+	mutVersion uint64       // version acked for mutations
+}
+
+func newFakeEndpoint(t *testing.T, mutVersion uint64) *fakeEndpoint {
+	t.Helper()
+	f := &fakeEndpoint{mutVersion: mutVersion}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			f.mutations.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"graph":{"name":"g"},"version":%d,"changed":1}`, f.mutVersion)
+			return
+		}
+		f.reads.Add(1)
+		f.lastFloor.Store(r.Header.Get("X-Truss-Min-Version"))
+		if code := int(f.status.Load()); code != 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"error":"scripted %d"}`, code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"kmax":3,"classes":{"3":2}}`)
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func newRouter(t *testing.T, primary string, replicas ...string) *client.Router {
+	t.Helper()
+	r, err := client.NewRouter(primary, replicas, client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRouterReadsPreferReplicas: healthy replicas absorb the whole read
+// load; the primary sees none of it.
+func TestRouterReadsPreferReplicas(t *testing.T) {
+	primary := newFakeEndpoint(t, 1)
+	r1, r2 := newFakeEndpoint(t, 1), newFakeEndpoint(t, 1)
+	r := newRouter(t, primary.ts.URL, r1.ts.URL, r2.ts.URL)
+
+	for i := 0; i < 6; i++ {
+		if _, err := r.Graph("g").Histogram(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if primary.reads.Load() != 0 {
+		t.Fatalf("primary served %d reads with healthy replicas", primary.reads.Load())
+	}
+	// Round-robin rotation spreads the six reads over both replicas.
+	if r1.reads.Load() != 3 || r2.reads.Load() != 3 {
+		t.Fatalf("replica reads = %d/%d, want 3/3", r1.reads.Load(), r2.reads.Load())
+	}
+}
+
+// TestRouterFailsOverOnErrors: shed load, server errors, staleness, and
+// dead endpoints all move a read along; a deterministic 4xx does not.
+func TestRouterFailsOverOnErrors(t *testing.T) {
+	primary := newFakeEndpoint(t, 1)
+	rep := newFakeEndpoint(t, 1)
+	r := newRouter(t, primary.ts.URL, rep.ts.URL)
+	g := r.Graph("g")
+	ctx := context.Background()
+
+	for _, code := range []int{429, 500, 503, 412} {
+		rep.status.Store(int64(code))
+		before := primary.reads.Load()
+		if _, err := g.Histogram(ctx); err != nil {
+			t.Fatalf("replica %d: read should fail over to primary, got %v", code, err)
+		}
+		if primary.reads.Load() != before+1 {
+			t.Fatalf("replica %d: primary reads %d, want %d", code, primary.reads.Load(), before+1)
+		}
+	}
+
+	// A 400 is the request's own fault: surfaced, not retried elsewhere.
+	rep.status.Store(400)
+	before := primary.reads.Load()
+	var ae *client.APIError
+	if _, err := g.Histogram(ctx); !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("replica 400: err = %v, want APIError 400", err)
+	}
+	if primary.reads.Load() != before {
+		t.Fatalf("400 failed over to primary (%d reads, want %d)", primary.reads.Load(), before)
+	}
+
+	// A dead replica (connection refused) fails over too.
+	rep.ts.Close()
+	if _, err := g.Histogram(ctx); err != nil {
+		t.Fatalf("dead replica: read should fail over, got %v", err)
+	}
+}
+
+// TestRouterReadYourWrites: a mutation's acked version becomes the floor
+// pinned on every subsequent read; a lagging replica answers 412 and the
+// read lands on the primary instead of returning stale data.
+func TestRouterReadYourWrites(t *testing.T) {
+	primary := newFakeEndpoint(t, 7)
+	rep := newFakeEndpoint(t, 7)
+	r := newRouter(t, primary.ts.URL, rep.ts.URL)
+	g := r.Graph("g")
+	ctx := context.Background()
+
+	// Before any write there is no floor.
+	if _, err := g.Histogram(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if floor := rep.lastFloor.Load().(string); floor != "" {
+		t.Fatalf("pre-write floor = %q, want none", floor)
+	}
+
+	res, err := g.InsertEdges(ctx, []truss.Edge{{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 7 || r.Written("g") != 7 {
+		t.Fatalf("mutation version %d, Written %d, want 7/7", res.Version, r.Written("g"))
+	}
+	if primary.mutations.Load() != 1 || rep.mutations.Load() != 0 {
+		t.Fatalf("mutations landed primary=%d replica=%d, want 1/0",
+			primary.mutations.Load(), rep.mutations.Load())
+	}
+
+	// The replica simulates lag: 412 below the floor. The router must
+	// pass the floor and retry on the primary.
+	rep.status.Store(412)
+	if _, err := g.Histogram(ctx); err != nil {
+		t.Fatalf("read after write: %v", err)
+	}
+	if floor := rep.lastFloor.Load().(string); floor != "7" {
+		t.Fatalf("replica saw floor %q, want \"7\"", floor)
+	}
+	if floor := primary.lastFloor.Load().(string); floor != "7" {
+		t.Fatalf("primary saw floor %q, want \"7\"", floor)
+	}
+}
+
+// TestRouterMutationsNeverLandOnReplica: with the primary unreachable,
+// every mutation fails outright — none is redirected or retried against
+// a replica, while reads keep serving from it.
+func TestRouterMutationsNeverLandOnReplica(t *testing.T) {
+	// A primary that is down: reserve an address, then close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	rep := newFakeEndpoint(t, 1)
+	r := newRouter(t, deadURL, rep.ts.URL)
+	g := r.Graph("g")
+	ctx := context.Background()
+
+	edges := []truss.Edge{{U: 1, V: 2}}
+	if _, err := g.InsertEdges(ctx, edges); err == nil {
+		t.Fatal("InsertEdges with primary down should fail")
+	}
+	if _, err := g.DeleteEdges(ctx, edges); err == nil {
+		t.Fatal("DeleteEdges with primary down should fail")
+	}
+	if _, err := g.Update(ctx, edges, nil); err == nil {
+		t.Fatal("Update with primary down should fail")
+	}
+	if n := rep.mutations.Load(); n != 0 {
+		t.Fatalf("replica received %d mutation requests, want 0", n)
+	}
+	if r.Written("g") != 0 {
+		t.Fatalf("failed mutations raised the floor to %d", r.Written("g"))
+	}
+
+	// Reads are unaffected by the primary being down.
+	if _, err := g.Histogram(ctx); err != nil {
+		t.Fatalf("read with primary down: %v", err)
+	}
+	if rep.reads.Load() == 0 {
+		t.Fatal("replica served no reads")
+	}
+}
+
+// TestRouterAgainstLiveFleet is the end-to-end acceptance path with real
+// servers: a durable primary, a real replicating follower, and a Router
+// over both. Reads keep serving while the primary is down, and
+// read-your-writes resumes when it comes back.
+func TestRouterAgainstLiveFleet(t *testing.T) {
+	// Primary on a hand-managed listener so it can die and return on the
+	// same address.
+	p := server.New(server.Options{
+		Workers: 1, Logf: t.Logf, DataDir: t.TempDir(), Metrics: obs.NewRegistry(),
+	})
+	p.Build("g", gen.PaperExample(), "inline")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs := &http.Server{Handler: p.Handler()}
+	go hs.Serve(ln)
+	primaryURL := "http://" + addr
+
+	// A real follower replicating from it.
+	fsrv := server.New(server.Options{
+		Workers: 1, Logf: t.Logf, DataDir: t.TempDir(), Metrics: obs.NewRegistry(),
+		Follow: primaryURL,
+	})
+	fl, err := replica.New(replica.Config{
+		Primary: primaryURL, Server: fsrv, Logf: t.Logf, Metrics: obs.NewRegistry(),
+		Refresh: 50 * time.Millisecond, Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flCtx, flCancel := context.WithCancel(context.Background())
+	defer flCancel()
+	go fl.Run(flCtx)
+	fts := httptest.NewServer(fsrv.Handler())
+	defer fts.Close()
+
+	r := newRouter(t, primaryURL, fts.URL)
+	g := r.Graph("g")
+	ctx := context.Background()
+
+	// Write through the router, then read: the floor forwards to the
+	// fleet and some endpoint at or past it answers.
+	res, err := g.InsertEdges(ctx, []truss.Edge{{U: 90, V: 91}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || r.Written("g") != 2 {
+		t.Fatalf("write acked version %d, floor %d, want 2/2", res.Version, r.Written("g"))
+	}
+	if _, _, err := g.TrussNumber(ctx, 90, 91); err != nil {
+		t.Fatalf("read-your-writes: %v", err)
+	}
+
+	// Let the follower catch up to version 2, then take the primary down.
+	waitForCondition(t, 15*time.Second, "follower at version 2", func() bool {
+		e, ok := fsrv.Lookup("g")
+		return ok && e.Version == 2
+	})
+	hs.Close()
+
+	// Reads — including floored ones — keep serving from the replica.
+	for i := 0; i < 3; i++ {
+		hist, err := g.Histogram(ctx)
+		if err != nil {
+			t.Fatalf("read %d with primary down: %v", i, err)
+		}
+		if len(hist) == 0 {
+			t.Fatalf("read %d: empty histogram", i)
+		}
+	}
+	// Mutations fail while the primary is down (and never touch the
+	// replica — its follower mode would 403 them anyway).
+	if _, err := g.InsertEdges(ctx, []truss.Edge{{U: 91, V: 92}}); err == nil {
+		t.Fatal("mutation with primary down should fail")
+	}
+
+	// The primary returns on the same address; writes resume and the
+	// floor advances past the replica until it catches up.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	hs2 := &http.Server{Handler: p.Handler()}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+
+	waitForCondition(t, 15*time.Second, "primary back up", func() bool {
+		_, err := g.InsertEdges(ctx, []truss.Edge{{U: 91, V: 92}})
+		return err == nil
+	})
+	if r.Written("g") != 3 {
+		t.Fatalf("floor after resumed write = %d, want 3", r.Written("g"))
+	}
+	// Immediately read at the new floor: whichever endpoint answers must
+	// be at version >= 3, so the truss number for the new edge exists.
+	k, found, err := g.TrussNumber(ctx, 91, 92)
+	if err != nil || !found || k < 2 {
+		t.Fatalf("read-your-writes after recovery: k=%d found=%v err=%v", k, found, err)
+	}
+	// And the follower eventually reaches the same version with the same
+	// answer.
+	waitForCondition(t, 15*time.Second, "follower at version 3", func() bool {
+		e, ok := fsrv.Lookup("g")
+		return ok && e.Version == 3
+	})
+
+	// The replica's HTTP surface rejects a direct mutation with a
+	// structured error naming the primary.
+	fc, err := client.New(fts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fc.Graph("g").InsertEdges(ctx, []truss.Edge{{U: 95, V: 96}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusForbidden || ae.Primary != primaryURL {
+		t.Fatalf("direct mutation on replica: err=%v, want 403 naming %s", err, primaryURL)
+	}
+}
+
+// waitForCondition polls cond until it holds or the deadline passes.
+func waitForCondition(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	truss "repro"
+	"repro/internal/replica"
 )
 
 // multiFlag collects a repeatable -load flag.
@@ -67,6 +68,9 @@ func serveMain(args []string) error {
 	ingestBatch := fs.Int("ingest-max-batch", 0, "max mutations group-committed per flush (0 = default)")
 	ingestQueue := fs.Int("ingest-queue", 0, "per-graph ingestion queue depth; full queues block producers (0 = default)")
 	parallelCutoff := fs.Int("region-parallel-cutoff", 0, "region size (edges) at which re-peels go parallel (0 = default, negative = always serial)")
+	follow := fs.String("follow", "", "run as a read-only follower replicating from this primary base URL (requires -data-dir)")
+	replicaLagMax := fs.Uint64("replica-lag-max", 0, "versions a followed graph may trail the primary before /readyz reports not ready (with -follow; 0 = exactly caught up)")
+	replicaRefresh := fs.Duration("replica-refresh", 0, "manifest poll interval in follower mode (0 = 2s)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable)")
 	fs.Usage = func() {
@@ -74,10 +78,19 @@ func serveMain(args []string) error {
 		fmt.Fprintln(os.Stderr, "                    [-metrics] [-pprof] [-max-inflight N] [-access-log dest]")
 		fmt.Fprintln(os.Stderr, "                    [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]")
 		fmt.Fprintln(os.Stderr, "                    [-ingest-flush-interval d] [-ingest-max-batch N] [-ingest-queue N] [-region-parallel-cutoff N]")
+		fmt.Fprintln(os.Stderr, "                    [-follow primary-url] [-replica-lag-max N] [-replica-refresh d]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" {
+		if *dataDir == "" {
+			return errors.New("-follow requires -data-dir: the follower's resumability rests on its own durable state")
+		}
+		if len(loads) > 0 {
+			return errors.New("-load cannot be combined with -follow: a follower's graphs come from its primary")
+		}
 	}
 
 	logger := log.New(os.Stderr, "trussd: ", log.LstdFlags)
@@ -98,6 +111,7 @@ func serveMain(args []string) error {
 		IngestMaxBatch:         *ingestBatch,
 		IngestMaxQueue:         *ingestQueue,
 		ParallelRegionCutoff:   *parallelCutoff,
+		Follow:                 *follow,
 	})
 	if *dataDir != "" {
 		// Restore persisted graphs before preloads: a -load of an already
@@ -140,6 +154,29 @@ func serveMain(args []string) error {
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var followerDone chan struct{}
+	if *follow != "" {
+		fl, err := replica.New(replica.Config{
+			Primary: *follow,
+			Server:  srv,
+			LagMax:  *replicaLagMax,
+			Refresh: *replicaRefresh,
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		// /readyz now additionally demands the replica be caught up within
+		// the lag bound, so a load balancer only admits traffic to a
+		// follower whose answers are current enough.
+		srv.SetReadyProbe(fl.Probe)
+		followerDone = make(chan struct{})
+		go func() {
+			defer close(followerDone)
+			_ = fl.Run(ctx)
+		}()
+		logger.Printf("follower mode: replicating from %s (lag max %d)", *follow, *replicaLagMax)
+	}
 	errc := make(chan error, 1)
 	logger.Printf("ops: metrics=%v pprof=%v max-inflight=%d access-log=%q", *metricsOn, *pprofOn, *maxInflight, *accessLog)
 	logger.Printf("listening on %s", ln.Addr())
@@ -156,6 +193,11 @@ func serveMain(args []string) error {
 		// its next peeling checkpoint.
 		if err := hs.Shutdown(shutCtx); err != nil {
 			return err
+		}
+		// The canceled lifecycle ctx is already unwinding the follower's
+		// tails; wait for them before tearing the registry down.
+		if followerDone != nil {
+			<-followerDone
 		}
 		if err := srv.Shutdown(shutCtx); err != nil {
 			return fmt.Errorf("aborting background builds: %w", err)

@@ -1,0 +1,509 @@
+// Package replica turns a server.Server into a read replica of a remote
+// primary. A Follower discovers the primary's graphs from its
+// replication manifest, hydrates each one by downloading and
+// mmap-opening its indexfile (a file copy, not a replay), then holds a
+// long-poll WAL tail open and applies committed mutation records
+// through the server's ApplyReplicated — the same dynamic.Update +
+// Patch path a local flush takes, at the same versions, so a follower's
+// answers at version V are bit-identical to the primary's at V.
+//
+// The protocol is resumable from both ends: records are idempotent by
+// version (redelivery after a reconnect is skipped, not double-applied)
+// and the follower persists its own WAL, so a restart recovers locally
+// and re-tails from its recovered version instead of re-downloading
+// anything. When contiguity genuinely breaks — the primary rebuilt the
+// graph, compacted past the follower's position, or was restored from
+// older state — the primary sends an explicit resync line and the
+// follower re-hydrates from the current snapshot.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Config configures a Follower.
+type Config struct {
+	// Primary is the primary's base URL (e.g. "http://primary:8080").
+	Primary string
+	// Server is the local registry the follower hydrates into and
+	// applies records against. It must have a data dir (Options.DataDir):
+	// the follower's resumability rests on its own durable WAL.
+	Server *server.Server
+	// LagMax is how many versions a graph may trail its primary target
+	// before Probe reports not ready (0 = must be exactly caught up).
+	LagMax uint64
+	// Refresh is the manifest poll interval (0 = 2s). The manifest is
+	// how new and removed graphs are discovered; version advancement
+	// flows through the WAL tails, not the poll.
+	Refresh time.Duration
+	// Backoff is the reconnect backoff floor after a dropped tail or a
+	// failed hydration (0 = 250ms, doubling to 5s).
+	Backoff time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+	// Metrics selects the registry for the follower's metric families
+	// (nil = obs.Default()).
+	Metrics *obs.Registry
+	// HTTPClient overrides the transport (default: no overall timeout —
+	// WAL tails are long-lived by design).
+	HTTPClient *http.Client
+}
+
+// graphState tracks one replicated graph. applied/target are guarded by
+// the Follower's mu; the tailer goroutine owns the stream itself.
+type graphState struct {
+	cancel  context.CancelFunc
+	applied uint64 // last version applied locally
+	target  uint64 // latest version the primary has advertised
+	done    chan struct{}
+}
+
+// Follower replicates a primary's graphs into a local server. Create
+// one with New, drive it with Run, and gate the local /readyz on Probe.
+type Follower struct {
+	cfg  Config
+	base *url.URL
+	hc   *http.Client
+	m    *metrics
+
+	mu         sync.Mutex
+	graphs     map[string]*graphState
+	manifestOK bool // at least one manifest fetch has succeeded
+}
+
+// metrics is the follower-side instrument panel.
+type metrics struct {
+	reg            *obs.Registry
+	hydrations     *obs.Counter
+	hydrationBytes *obs.Counter
+	hydrationDur   *obs.Histogram
+	reconnects     *obs.Counter
+	records        *obs.Counter
+	resyncs        *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		reg: reg,
+		hydrations: reg.Counter("truss_replica_hydrations_total",
+			"Snapshot hydrations completed (initial syncs plus resyncs)."),
+		hydrationBytes: reg.Counter("truss_replica_hydration_bytes_total",
+			"Snapshot bytes downloaded from the primary."),
+		hydrationDur: reg.Histogram("truss_replica_hydration_seconds",
+			"Snapshot download + mmap-open duration.", nil),
+		reconnects: reg.Counter("truss_replica_tail_reconnects_total",
+			"WAL tail streams re-established after a disconnect."),
+		records: reg.Counter("truss_replica_records_applied_total",
+			"Replicated mutation records applied locally."),
+		resyncs: reg.Counter("truss_replica_resyncs_total",
+			"Full re-hydrations forced by a primary resync signal or version gap."),
+	}
+}
+
+// lag returns the per-graph lag gauge; applied the per-graph applied
+// version. Cardinality is bounded by the primary's registry, which the
+// operator controls.
+func (m *metrics) lag(name string) *obs.Gauge {
+	return m.reg.Gauge("truss_replica_lag_versions",
+		"Versions this replica trails the primary, per graph.", "graph", name)
+}
+
+func (m *metrics) applied(name string) *obs.Gauge {
+	return m.reg.Gauge("truss_replica_applied_version",
+		"Last primary version applied locally, per graph.", "graph", name)
+}
+
+// New validates cfg and returns a Follower (no I/O yet; Run starts it).
+func New(cfg Config) (*Follower, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("replica: Config.Server is required")
+	}
+	u, err := url.Parse(cfg.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("replica: parsing primary URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replica: primary URL %q must be http or https", cfg.Primary)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	if cfg.Refresh <= 0 {
+		cfg.Refresh = 2 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{} // no overall timeout: WAL tails are long-lived
+	}
+	return &Follower{
+		cfg:    cfg,
+		base:   u,
+		hc:     hc,
+		m:      newMetrics(cfg.Metrics),
+		graphs: map[string]*graphState{},
+	}, nil
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the follower until ctx is done: an immediate manifest sync,
+// then one per refresh interval, with a per-graph tailer goroutine
+// holding each WAL tail open in between. It returns ctx.Err() after
+// every tailer has exited.
+func (f *Follower) Run(ctx context.Context) error {
+	t := time.NewTicker(f.cfg.Refresh)
+	defer t.Stop()
+	for {
+		f.syncManifest(ctx)
+		select {
+		case <-ctx.Done():
+			f.mu.Lock()
+			states := make([]*graphState, 0, len(f.graphs))
+			for _, st := range f.graphs {
+				st.cancel()
+				states = append(states, st)
+			}
+			f.mu.Unlock()
+			for _, st := range states {
+				<-st.done
+			}
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// manifest mirrors the primary's /v1/replication/manifest body.
+type manifest struct {
+	Graphs []server.ReplGraph `json:"graphs"`
+}
+
+// syncManifest reconciles the local graph set against the primary's:
+// new graphs get a tailer (which hydrates first), graphs gone from the
+// primary are removed locally, and every present graph's target version
+// is refreshed so lag stays honest even if its tail is wedged.
+func (f *Follower) syncManifest(ctx context.Context) {
+	var man manifest
+	if err := f.getJSON(ctx, &man, "v1", "replication", "manifest"); err != nil {
+		if ctx.Err() == nil {
+			f.logf("replica: manifest fetch failed: %v", err)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	f.mu.Lock()
+	f.manifestOK = true
+	for _, rg := range man.Graphs {
+		seen[rg.Name] = true
+		st, ok := f.graphs[rg.Name]
+		if !ok {
+			tctx, cancel := context.WithCancel(ctx)
+			st = &graphState{cancel: cancel, target: rg.Version, done: make(chan struct{})}
+			f.graphs[rg.Name] = st
+			go f.tail(tctx, rg.Name, st)
+		} else if rg.Version > st.target {
+			st.target = rg.Version
+			f.m.lag(rg.Name).Set(int64(st.target - min(st.applied, st.target)))
+		}
+	}
+	var dropped []string
+	for name, st := range f.graphs {
+		if !seen[name] {
+			st.cancel()
+			delete(f.graphs, name)
+			dropped = append(dropped, name)
+		}
+	}
+	f.mu.Unlock()
+	for _, name := range dropped {
+		f.cfg.Server.Remove(name)
+		f.logf("replica: graph %q removed (gone from primary)", name)
+	}
+}
+
+// note records an applied or advertised version for name and keeps the
+// lag gauge current.
+func (f *Follower) note(name string, st *graphState, applied, target uint64) {
+	f.mu.Lock()
+	if applied > st.applied {
+		st.applied = applied
+	}
+	if target > st.target {
+		st.target = target
+	}
+	appliedNow, targetNow := st.applied, st.target
+	f.mu.Unlock()
+	lag := uint64(0)
+	if targetNow > appliedNow {
+		lag = targetNow - appliedNow
+	}
+	f.m.applied(name).Set(int64(appliedNow))
+	f.m.lag(name).Set(int64(lag))
+}
+
+// errResync tells the tailer contiguity broke and only a fresh snapshot
+// recovers it; errGone tells it the graph no longer exists upstream.
+var (
+	errResync = errors.New("replica: primary signaled resync")
+	errGone   = errors.New("replica: graph gone on primary")
+)
+
+// tail is the per-graph replication loop: ensure the graph is resident
+// (hydrating if not), stream its WAL, and on any break either reconnect
+// (transient), re-hydrate (resync/gap), or exit (removed/ctx done).
+func (f *Follower) tail(ctx context.Context, name string, st *graphState) {
+	defer close(st.done)
+	backoff := f.cfg.Backoff
+	for ctx.Err() == nil {
+		e, resident := f.cfg.Server.Lookup(name)
+		if !resident || e.Index == nil {
+			if err := f.hydrate(ctx, name, st); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.logf("replica: graph %q hydration failed: %v", name, err)
+				if sleepCtx(ctx, backoff) != nil {
+					return
+				}
+				backoff = nextBackoff(backoff)
+			} else {
+				backoff = f.cfg.Backoff
+			}
+			continue
+		}
+		// A recovered graph is already serving at its restored version:
+		// account for it before the first record arrives, so a restarted
+		// caught-up follower reports ready immediately.
+		f.note(name, st, e.Version, 0)
+		err := f.streamWAL(ctx, name, st, e.Version)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, errGone):
+			f.cfg.Server.Remove(name)
+			f.logf("replica: graph %q removed (primary reports gone)", name)
+			// Leave the loop to the manifest sync: it deletes our state
+			// entry (or restarts us if the name reappears).
+			if sleepCtx(ctx, f.cfg.Refresh) != nil {
+				return
+			}
+		case errors.Is(err, errResync):
+			f.m.resyncs.Inc()
+			f.logf("replica: graph %q resyncing (lineage break)", name)
+			if err := f.hydrate(ctx, name, st); err != nil && ctx.Err() == nil {
+				f.logf("replica: graph %q re-hydration failed: %v", name, err)
+				if sleepCtx(ctx, backoff) != nil {
+					return
+				}
+				backoff = nextBackoff(backoff)
+			} else {
+				backoff = f.cfg.Backoff
+			}
+		default:
+			f.m.reconnects.Inc()
+			if err != nil {
+				f.logf("replica: graph %q tail dropped: %v", name, err)
+			}
+			if sleepCtx(ctx, backoff) != nil {
+				return
+			}
+			backoff = nextBackoff(backoff)
+		}
+	}
+}
+
+// hydrate downloads the primary's current snapshot of name and installs
+// it locally via Server.HydrateSnapshot (atomic write, full checksum
+// verify, mmap-open).
+func (f *Follower) hydrate(ctx context.Context, name string, st *graphState) error {
+	start := time.Now()
+	resp, err := f.get(ctx, "", "v1", "replication", "graphs", name, "indexfile")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: snapshot download: HTTP %d", resp.StatusCode)
+	}
+	epoch, _ := strconv.Atoi(resp.Header.Get("X-Truss-Epoch"))
+	e, n, err := f.cfg.Server.HydrateSnapshot(name, epoch, resp.Body)
+	f.m.hydrationBytes.Add(n)
+	if err != nil {
+		return err
+	}
+	f.m.hydrations.Inc()
+	f.m.hydrationDur.ObserveSince(start)
+	f.note(name, st, e.Version, e.Version)
+	f.logf("replica: graph %q hydrated at version %d (%d bytes, %s)",
+		name, e.Version, n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// streamWAL holds one WAL tail open from version from, applying records
+// as they arrive. It returns nil on a clean disconnect (reconnect),
+// errResync/errGone for the caller to act on, or a transport error.
+func (f *Follower) streamWAL(ctx context.Context, name string, st *graphState, from uint64) error {
+	resp, err := f.get(ctx, "from="+strconv.FormatUint(from, 10), "v1", "graphs", name, "wal")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: WAL tail: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec server.WALLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("replica: bad WAL line: %w", err)
+		}
+		switch {
+		case rec.Error != "":
+			if strings.Contains(rec.Error, "removed") {
+				return errGone
+			}
+			return fmt.Errorf("replica: primary reports: %s", rec.Error)
+		case rec.Resync:
+			return errResync
+		case rec.HB:
+			f.note(name, st, 0, rec.Version)
+		default:
+			err := f.cfg.Server.ApplyReplicated(ctx, name, rec.Version, toEdges(rec.Adds), toEdges(rec.Dels))
+			switch {
+			case errors.Is(err, server.ErrReplicaGap):
+				return errResync
+			case errors.Is(err, server.ErrNoGraph), errors.Is(err, server.ErrNotReady):
+				// Removed or replaced locally mid-stream; restart the loop
+				// so the residency check decides what to do.
+				return nil
+			case err != nil:
+				return err
+			}
+			f.m.records.Inc()
+			f.note(name, st, rec.Version, rec.Version)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Probe is the readiness gate for Server.SetReadyProbe: ready once the
+// manifest has been fetched at least once and every replicated graph is
+// within LagMax versions of its primary target. A primary outage after
+// the first sync does not drop readiness — the replica keeps serving
+// the last state it has, which is the point of having replicas.
+func (f *Follower) Probe() (bool, []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.manifestOK {
+		return false, []string{"replica: primary manifest not yet fetched"}
+	}
+	var pending []string
+	for name, st := range f.graphs {
+		lag := uint64(0)
+		if st.target > st.applied {
+			lag = st.target - st.applied
+		}
+		if lag > f.cfg.LagMax {
+			pending = append(pending, fmt.Sprintf("replica %q lag %d > %d", name, lag, f.cfg.LagMax))
+		}
+	}
+	sort.Strings(pending)
+	return len(pending) == 0, pending
+}
+
+// get issues one GET against the primary.
+func (f *Follower) get(ctx context.Context, query string, segments ...string) (*http.Response, error) {
+	u := f.base.JoinPath(segments...)
+	u.RawQuery = query
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.hc.Do(req)
+}
+
+// getJSON issues a GET and decodes a 200 JSON body into out.
+func (f *Follower) getJSON(ctx context.Context, out any, segments ...string) error {
+	resp, err := f.get(ctx, "", segments...)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: GET %s: HTTP %d", strings.Join(segments, "/"), resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// toEdges converts wire pairs to canonical graph edges.
+func toEdges(pairs [][2]uint32) []graph.Edge {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return out
+}
+
+// sleepCtx waits for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// nextBackoff doubles a delay up to a 5s ceiling.
+func nextBackoff(d time.Duration) time.Duration {
+	if d *= 2; d > 5*time.Second {
+		return 5 * time.Second
+	}
+	return d
+}

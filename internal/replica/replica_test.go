@@ -1,0 +1,266 @@
+package replica
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// newPrimary builds a durable primary with one ready graph "g" and
+// serves it over HTTP.
+func newPrimary(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	p := server.New(server.Options{
+		Workers: 1, Logf: t.Logf, DataDir: t.TempDir(), Metrics: obs.NewRegistry(),
+	})
+	p.Build("g", gen.PaperExample(), "inline")
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+// newFollower wires a fresh durable server to a Follower of primaryURL
+// with test-speed intervals and starts Run.
+func newFollower(t *testing.T, primaryURL, dataDir string) (*server.Server, *Follower, context.CancelFunc) {
+	t.Helper()
+	fsrv := server.New(server.Options{
+		Workers: 1, Logf: t.Logf, DataDir: dataDir, Metrics: obs.NewRegistry(),
+		Follow: primaryURL,
+	})
+	if err := fsrv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{
+		Primary: primaryURL,
+		Server:  fsrv,
+		Refresh: 50 * time.Millisecond,
+		Backoff: 10 * time.Millisecond,
+		Logf:    t.Logf,
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("follower Run did not exit")
+		}
+	})
+	return fsrv, f, cancel
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// atVersion reports whether s serves name at exactly version v.
+func atVersion(s *server.Server, name string, v uint64) bool {
+	e, ok := s.Lookup(name)
+	return ok && e.State == server.StateReady && e.Index != nil && e.Version == v
+}
+
+// phiMap flattens an entry's decomposition to (edge -> truss number),
+// keyed by endpoints so differing internal edge IDs cannot mask or fake
+// a divergence.
+func phiMap(t *testing.T, s *server.Server, name string) map[graph.Edge]int32 {
+	t.Helper()
+	e, ok := s.Lookup(name)
+	if !ok || e.Index == nil {
+		t.Fatalf("graph %q not resident", name)
+	}
+	out := make(map[graph.Edge]int32, e.Index.NumEdges())
+	for id, edge := range e.Index.Graph().Edges() {
+		out[edge] = e.Index.EdgeTruss(int32(id))
+	}
+	return out
+}
+
+// samePhi asserts two servers serve identical decompositions of name.
+func samePhi(t *testing.T, a, b *server.Server, name string) {
+	t.Helper()
+	pa, pb := phiMap(t, a, name), phiMap(t, b, name)
+	if len(pa) != len(pb) {
+		t.Fatalf("graph %q: %d edges on primary, %d on follower", name, len(pa), len(pb))
+	}
+	for e, phi := range pa {
+		if pb[e] != phi {
+			t.Fatalf("graph %q edge %v: primary phi %d, follower %d", name, e, phi, pb[e])
+		}
+	}
+}
+
+// TestFollowerHydratesTailsAndServes is the end-to-end happy path:
+// discover + hydrate from the manifest, apply live mutations through the
+// WAL tail at the primary's versions, answer identically, report ready,
+// and drop graphs the primary removes.
+func TestFollowerHydratesTailsAndServes(t *testing.T) {
+	p, ts := newPrimary(t)
+	fsrv, f, _ := newFollower(t, ts.URL, t.TempDir())
+
+	if ok, pending := f.Probe(); ok && len(pending) == 0 {
+		// Probe may legitimately already be ready if the first sync won
+		// the race; only a not-ready probe must explain itself.
+		t.Log("follower ready before explicit wait (fast first sync)")
+	}
+
+	waitFor(t, 15*time.Second, "initial hydration", func() bool { return atVersion(fsrv, "g", 1) })
+	samePhi(t, p, fsrv, "g")
+	if f.m.hydrations.Value() != 1 {
+		t.Fatalf("hydrations = %d, want 1", f.m.hydrations.Value())
+	}
+
+	// Live mutations flow through the tail, version by version.
+	ctx := context.Background()
+	if _, _, err := p.Mutate(ctx, "g", []graph.Edge{{U: 90, V: 91}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Mutate(ctx, "g", []graph.Edge{{U: 91, V: 92}, {U: 90, V: 92}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "tail to version 3", func() bool { return atVersion(fsrv, "g", 3) })
+	samePhi(t, p, fsrv, "g")
+	if f.m.hydrations.Value() != 1 {
+		t.Fatalf("hydrations after tailing = %d, want still 1 (records, not re-downloads)", f.m.hydrations.Value())
+	}
+	if f.m.records.Value() != 2 {
+		t.Fatalf("records applied = %d, want 2", f.m.records.Value())
+	}
+	waitFor(t, 15*time.Second, "ready probe", func() bool { ok, _ := f.Probe(); return ok })
+
+	// A graph the primary drops disappears from the follower too.
+	p.Remove("g")
+	waitFor(t, 15*time.Second, "removal to propagate", func() bool {
+		_, ok := fsrv.Lookup("g")
+		return !ok
+	})
+}
+
+// TestFollowerRestartResumes: a follower restarted on its own data dir
+// recovers locally and re-tails from its recovered version — zero
+// re-hydrations — because every applied record went through its own WAL.
+func TestFollowerRestartResumes(t *testing.T) {
+	p, ts := newPrimary(t)
+	ctx := context.Background()
+	if _, _, err := p.Mutate(ctx, "g", []graph.Edge{{U: 90, V: 91}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := t.TempDir()
+	fsrv1, f1, cancel1 := newFollower(t, ts.URL, fdir)
+	waitFor(t, 15*time.Second, "first life to catch up", func() bool { return atVersion(fsrv1, "g", 2) })
+	if f1.m.hydrations.Value() != 1 {
+		t.Fatalf("first life hydrations = %d, want 1", f1.m.hydrations.Value())
+	}
+	cancel1()
+	if err := fsrv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary moves on while the follower is down.
+	if _, _, err := p.Mutate(ctx, "g", []graph.Edge{{U: 91, V: 92}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life on the same data dir: recovery puts the graph back at
+	// version 2 before the Follower even connects, and the tail bridges
+	// 2 -> 3 with records alone.
+	fsrv2, f2, _ := newFollower(t, ts.URL, fdir)
+	if !atVersion(fsrv2, "g", 2) {
+		e, ok := fsrv2.Lookup("g")
+		t.Fatalf("recovered entry = %+v (ok=%v), want ready at version 2", e, ok)
+	}
+	waitFor(t, 15*time.Second, "second life to catch up", func() bool { return atVersion(fsrv2, "g", 3) })
+	samePhi(t, p, fsrv2, "g")
+	if f2.m.hydrations.Value() != 0 {
+		t.Fatalf("second life hydrations = %d, want 0 (resume, not re-download)", f2.m.hydrations.Value())
+	}
+}
+
+// TestFollowerResyncsAfterRebuild: a rebuild on the primary is a lineage
+// break — the tail gets an explicit resync and the follower re-hydrates
+// into the new epoch instead of patching across it.
+func TestFollowerResyncsAfterRebuild(t *testing.T) {
+	p, ts := newPrimary(t)
+	fsrv, f, _ := newFollower(t, ts.URL, t.TempDir())
+	waitFor(t, 15*time.Second, "initial hydration", func() bool { return atVersion(fsrv, "g", 1) })
+
+	// Replace the graph wholesale: new epoch, successor version, and a
+	// decomposition the old lineage's WAL cannot reach.
+	p.Build("g", gen.WithPlantedCliques(gen.ErdosRenyi(30, 90, 3), []int{5}, 3), "inline")
+	pe, _ := p.Lookup("g")
+	waitFor(t, 15*time.Second, "resync to new lineage", func() bool { return atVersion(fsrv, "g", pe.Version) })
+	samePhi(t, p, fsrv, "g")
+	if f.m.resyncs.Value() < 1 {
+		t.Fatalf("resyncs = %d, want >= 1", f.m.resyncs.Value())
+	}
+	if f.m.hydrations.Value() < 2 {
+		t.Fatalf("hydrations = %d, want >= 2 (initial + post-rebuild)", f.m.hydrations.Value())
+	}
+}
+
+// TestProbeLagAccounting: Probe gates readiness on the manifest having
+// been seen and on per-graph lag against LagMax.
+func TestProbeLagAccounting(t *testing.T) {
+	f, err := New(Config{
+		Primary: "http://127.0.0.1:1",
+		Server:  server.New(server.Options{Workers: 1, Metrics: obs.NewRegistry(), DataDir: t.TempDir()}),
+		Metrics: obs.NewRegistry(),
+		LagMax:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, pending := f.Probe(); ok || len(pending) == 0 {
+		t.Fatalf("probe before any manifest: ok=%v pending=%v, want not ready", ok, pending)
+	}
+	f.mu.Lock()
+	f.manifestOK = true
+	f.graphs["g"] = &graphState{applied: 5, target: 9}
+	f.mu.Unlock()
+	if ok, pending := f.Probe(); ok || len(pending) != 1 {
+		t.Fatalf("probe with lag 4 > 1: ok=%v pending=%v, want one pending line", ok, pending)
+	}
+	f.mu.Lock()
+	f.graphs["g"].applied = 8 // lag 1 == LagMax: within bound
+	f.mu.Unlock()
+	if ok, pending := f.Probe(); !ok {
+		t.Fatalf("probe with lag at the bound: pending=%v, want ready", pending)
+	}
+}
+
+// TestNewValidatesConfig: misconfiguration fails at New, not mid-Run.
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{Primary: "http://x"}); err == nil {
+		t.Error("New without a Server accepted")
+	}
+	srv := server.New(server.Options{Workers: 1, Metrics: obs.NewRegistry()})
+	for _, bad := range []string{"", "ftp://host", "://nope"} {
+		if _, err := New(Config{Primary: bad, Server: srv}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := New(Config{Primary: "http://localhost:9", Server: srv}); err != nil {
+		t.Errorf("New rejected a valid config: %v", err)
+	}
+}

@@ -35,12 +35,22 @@ import (
 //	GET    /v1/graphs/{name}/communities?k=&limit=   all k-truss communities at level k
 //	GET    /v1/graphs/{name}/histogram       class sizes |Phi_k| for all k
 //	GET    /v1/graphs/{name}/topclasses?t=&edges=1   top-t k-classes, optionally with edges
+//	GET    /v1/graphs/{name}/wal?from=       long-poll NDJSON tail of committed mutations (replication)
+//	GET    /v1/replication/manifest          graphs + snapshot metadata for followers
+//	GET    /v1/replication/graphs/{name}/indexfile   raw snapshot bytes for follower hydration
 //
 // Known paths hit with an unregistered method get a 405 with an Allow
 // header; body-bearing requests with a non-JSON Content-Type get a 415.
 // The mutation endpoints maintain the decomposition incrementally and
 // bump the graph's monotonic version counter; with -data-dir they are
 // durable (WAL + snapshot) and survive restarts.
+//
+// Every graph-scoped read response carries the answering entry's version
+// in an X-Truss-Version header, and a request may pin a consistency
+// floor with X-Truss-Min-Version: a server whose entry is older answers
+// 412 (the fan-out client.Router uses this for read-your-writes across
+// replicas — retry a lagging replica elsewhere instead of serving a
+// stale answer).
 //
 // The edges stream is one NDJSON object per line, in truss-number
 // descending order (so T_k prefixes arrive innermost-first):
@@ -134,6 +144,9 @@ func (s *Server) apiMux() *http.ServeMux {
 		{"GET", "/v1/graphs/{name}/communities", s.withIndex(s.handleCommunities)},
 		{"GET", "/v1/graphs/{name}/histogram", s.withIndex(s.handleHistogram)},
 		{"GET", "/v1/graphs/{name}/topclasses", s.withIndex(s.handleTopClasses)},
+		{"GET", "/v1/graphs/{name}/wal", s.handleWALTail},
+		{"GET", "/v1/replication/manifest", s.handleReplManifest},
+		{"GET", "/v1/replication/graphs/{name}/indexfile", s.handleReplIndexfile},
 	}
 	allowed := map[string][]string{}
 	for _, rt := range routes {
@@ -229,6 +242,9 @@ type loadRequest struct {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	if !requireJSON(w, r) {
 		return
 	}
@@ -305,6 +321,9 @@ type mutateRequest struct {
 // /v1/graphs/{name}/edges.
 func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.rejectReadOnly(w) {
+			return
+		}
 		if !requireJSON(w, r) {
 			return
 		}
@@ -383,6 +402,9 @@ func toEdges(pairs [][2]uint32) []graph.Edge {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if !s.Remove(name) {
 		writeError(w, http.StatusNotFound, "no graph %q", name)
@@ -391,13 +413,37 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
 }
 
-// withEntry resolves {name} to a registry entry.
+// versionHeader carries the answering entry's version on every
+// graph-scoped read response; minVersionHeader is the request-side
+// consistency floor (412 when the entry is older).
+const (
+	versionHeader    = "X-Truss-Version"
+	minVersionHeader = "X-Truss-Min-Version"
+)
+
+// withEntry resolves {name} to a registry entry, stamps the response
+// with the entry's version, and enforces the request's consistency
+// floor: a client that just wrote version V sends X-Truss-Min-Version: V
+// and a lagging replica answers 412 instead of a stale read (Retry-After
+// hints the lag is transient; the fan-out router fails over instead).
 func (s *Server) withEntry(fn func(http.ResponseWriter, *http.Request, *Entry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, ok := s.Lookup(r.PathValue("name"))
 		if !ok {
 			writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
 			return
+		}
+		w.Header().Set(versionHeader, strconv.FormatUint(e.Version, 10))
+		if raw := r.Header.Get(minVersionHeader); raw != "" {
+			if min, err := strconv.ParseUint(raw, 10, 64); err == nil && min > e.Version {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusPreconditionFailed, map[string]any{
+					"error": fmt.Sprintf("graph %q at version %d, below required %d",
+						e.Name, e.Version, min),
+					"version": e.Version,
+				})
+				return
+			}
 		}
 		fn(w, r, e)
 	}

@@ -66,6 +66,14 @@ type serverMetrics struct {
 	restartV2Replay *obs.Counter
 	restartV1Replay *obs.Counter
 
+	// Replication, primary side: live WAL tails, records streamed to
+	// followers, hydrations served, resync signals sent.
+	replTails          *obs.Gauge
+	replRecords        *obs.Counter
+	replHydrations     *obs.Counter
+	replHydrationBytes *obs.Counter
+	replResyncs        *obs.Counter
+
 	// Registry state.
 	graphsReady *obs.Gauge
 }
@@ -134,6 +142,17 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Recovered graphs by restart path: v2-open serves the mapped snapshot directly, "+
 				"v2-replay patches WAL batches over it, v1-replay rebuilds from a legacy snapshot (then migrates).",
 			"path", "v1-replay"),
+
+		replTails: reg.Gauge("truss_replication_tails_active",
+			"WAL tail streams currently held open by followers."),
+		replRecords: reg.Counter("truss_replication_records_streamed_total",
+			"Committed mutation records streamed to followers."),
+		replHydrations: reg.Counter("truss_replication_hydrations_served_total",
+			"Snapshot downloads served to hydrating followers."),
+		replHydrationBytes: reg.Counter("truss_replication_hydration_bytes_total",
+			"Snapshot bytes streamed to hydrating followers."),
+		replResyncs: reg.Counter("truss_replication_resyncs_signaled_total",
+			"WAL tails ended with a resync signal (rebuild, compaction past the follower, or version regression)."),
 
 		graphsReady: reg.Gauge("truss_graphs_ready", "Graphs currently resident and serving."),
 	}

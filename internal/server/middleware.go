@@ -229,10 +229,21 @@ type admission struct {
 }
 
 // exemptFromAdmission reports whether a path must never be shed:
-// operational probes and diagnostics stay reachable under overload.
+// operational probes and diagnostics stay reachable under overload, and
+// so does replication — WAL tails are long-lived streams that would
+// otherwise pin admission slots, and shedding a follower's hydration or
+// tail under load is exactly backwards (the replicas are the capacity
+// relief).
 func exemptFromAdmission(path string) bool {
 	switch path {
 	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	if len(path) >= 16 && path[:16] == "/v1/replication/" {
+		return true
+	}
+	if len(path) >= 4 && path[len(path)-4:] == "/wal" &&
+		len(path) >= 11 && path[:11] == "/v1/graphs/" {
 		return true
 	}
 	return len(path) >= 13 && path[:13] == "/debug/pprof/" || path == "/debug/pprof"

@@ -344,6 +344,79 @@ func (st *Store) Remove(name string) error {
 	return os.RemoveAll(st.graphDir(name))
 }
 
+// IndexPath returns the path of name's v2 snapshot (which may not exist
+// yet). The replication layer serves and replaces this file.
+func (st *Store) IndexPath(name string) string {
+	return filepath.Join(st.graphDir(name), indexFile)
+}
+
+// SnapshotInfo reports the version and size of name's on-disk v2
+// snapshot — what the replication manifest advertises to followers. The
+// open is O(sections + kmax) validation, no data read.
+func (st *Store) SnapshotInfo(name string) (version uint64, bytes int64, err error) {
+	f, err := indexfile.Open(st.IndexPath(name))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	return f.Meta().GraphVersion, f.MappedBytes(), nil
+}
+
+// WALRecordsAfter returns name's WAL records with versions strictly
+// greater than from, in order. The WAL tail endpoint re-reads it on
+// each wakeup; compaction keeps the file (and so this read) bounded.
+func (st *Store) WALRecordsAfter(name string, from uint64) ([]MutationRec, error) {
+	recs, err := readWAL(filepath.Join(st.graphDir(name), walFile))
+	if err != nil {
+		return nil, err
+	}
+	out := recs[:0]
+	for _, rec := range recs {
+		if rec.Version > from {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// ReceiveIndexSnapshot atomically installs snapshot bytes streamed from
+// a primary as name's index.tix, dropping any WAL or legacy v1 snapshot
+// of the lineage it replaces (temp file + fsync + rename + directory
+// fsync, same discipline as locally written snapshots). It returns the
+// byte count received; the caller validates the file by opening it.
+func (st *Store) ReceiveIndexSnapshot(name string, r io.Reader) (int64, error) {
+	dir := st.graphDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(dir, "hydrate-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	n, err := io.Copy(tmp, r)
+	if err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Close(); err != nil {
+		return n, err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, indexFile)); err != nil {
+		return n, err
+	}
+	for _, stale := range []string{walFile, snapshotFile} {
+		if err := os.Remove(filepath.Join(dir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return n, err
+		}
+	}
+	return n, indexfile.SyncDir(dir)
+}
+
 // LoadAll recovers every persisted graph in the data directory. Graphs
 // whose snapshot fails integrity checks are returned in broken with their
 // errors; a corrupt or truncated WAL tail only drops the tail.

@@ -149,6 +149,13 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
 	// because profiles expose internals no public endpoint should.
 	EnablePprof bool
+	// Follow, when non-empty, marks this server a read-only follower of
+	// the primary at that base URL: the mutation endpoints (load, delete,
+	// edge mutations, the firehose) answer 403 with a JSON body naming
+	// the primary, while the whole read surface keeps serving. The
+	// internal/replica package drives the actual hydration and WAL
+	// tailing; this option only flips the HTTP surface read-only.
+	Follow string
 }
 
 // Default request-hardening limits for Options zero values.
@@ -227,6 +234,12 @@ type Server struct {
 	// compaction in flight. Both guarded by mu.
 	pipes      map[string]*ingest.Pipeline
 	compacting map[string]bool
+	// repl wakes blocked WAL-tail streams whenever a graph's entry is
+	// republished (see replication.go).
+	repl replState
+	// readyProbe, when set (SetReadyProbe), is an extra gate Ready()
+	// consults — the follower's caught-up check. Guarded by mu.
+	readyProbe func() (ready bool, pending []string)
 }
 
 // lockTable is a set of named mutexes that evicts idle entries, so a
@@ -378,6 +391,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Ready() (ready bool, pending []string) {
 	s.mu.Lock()
 	down := s.down
+	probe := s.readyProbe
 	s.mu.Unlock()
 	if down {
 		return false, []string{"shutting down"}
@@ -385,6 +399,11 @@ func (s *Server) Ready() (ready bool, pending []string) {
 	for _, e := range s.Entries() {
 		if e.Index == nil && e.State == StateBuilding {
 			pending = append(pending, e.Name)
+		}
+	}
+	if probe != nil {
+		if ok, extra := probe(); !ok {
+			pending = append(pending, extra...)
 		}
 	}
 	sort.Strings(pending)
@@ -483,6 +502,10 @@ func (s *Server) storeLocked(name string, e *Entry) {
 		}
 	}
 	s.metrics.graphsReady.Set(ready)
+	// Wake WAL tails blocked on this graph: every registry publication —
+	// a committed flush, a rebuild, a removal — is a state change a
+	// follower must observe.
+	s.repl.publish(name)
 }
 
 // Lookup returns the entry for name from the current snapshot.

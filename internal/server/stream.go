@@ -63,6 +63,9 @@ type streamAck struct {
 
 // handleIngestStream serves the firehose.
 func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	e, ok := s.Lookup(name)
 	if !ok {

@@ -1,0 +1,215 @@
+package truss_test
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and releases it, so a server can
+// be started — and later restarted — on a known address.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestReplicationFleetCrashRecovery drives a primary + follower pair of
+// real trussd processes through both crash modes:
+//
+//   - kill -9 the primary mid-tail: the follower keeps serving reads,
+//     and when the primary returns on the same address and data dir the
+//     tail resumes with no gap and no double-apply (exact version match
+//     plus histogram parity).
+//   - kill -9 the follower: restarted on its own data dir it recovers
+//     locally and re-tails from its recovered version — the hydration
+//     counter stays at zero, proving resume rather than re-download.
+func TestReplicationFleetCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	primaryDir := filepath.Join(dir, "primary")
+	followerDir := filepath.Join(dir, "follower")
+
+	gpath := filepath.Join(dir, "square.txt")
+	// A triangle plus a pendant: truss(0,1) = 3 until the K4 completes.
+	if err := os.WriteFile(gpath, []byte("0 1\n1 2\n0 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	getBody := func(addr, path string, want int) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d (body %.200s)", path, resp.StatusCode, want, body)
+		}
+		return body
+	}
+	getJSON := func(addr, path string, want int) map[string]any {
+		t.Helper()
+		var out map[string]any
+		if err := json.Unmarshal(getBody(addr, path, want), &out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+	mutate := func(addr, body string) float64 {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/graphs/g/edges", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutation: status %d body %v", resp.StatusCode, out)
+		}
+		v, _ := out["version"].(float64)
+		return v
+	}
+	waitVersion := func(addr string, version float64) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/v1/graphs/g")
+			if err == nil {
+				var info map[string]any
+				dec := json.NewDecoder(resp.Body).Decode(&info)
+				resp.Body.Close()
+				if dec == nil && info["version"] == version {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("follower %s never reached version %v", addr, version)
+	}
+	waitReady := func(addr string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never reported ready", addr)
+	}
+
+	// The primary lives on a pre-reserved address so the follower's
+	// -follow URL survives the crash/restart cycle.
+	paddr := freeAddr(t)
+	_, stopPrimary := startServe(t, trussd,
+		"-addr", paddr, "-data-dir", primaryDir, "-load", "g="+gpath, "-wait")
+	faddr, stopFollower := startServe(t, trussd,
+		"-data-dir", followerDir, "-follow", "http://"+paddr, "-replica-refresh", "50ms")
+
+	// The follower hydrates, reports ready, and serves the same answers.
+	waitReady(faddr)
+	waitVersion(faddr, 1)
+	if body := getJSON(faddr, "/v1/graphs/g/truss?u=0&v=1", http.StatusOK); body["truss"] != float64(3) {
+		t.Fatalf("follower truss(0,1) = %v, want 3", body)
+	}
+
+	// Mutations stream through the tail: complete the K4, then grow it.
+	if v := mutate(paddr, `{"edges":[[0,3],[1,3]]}`); v != 2 {
+		t.Fatalf("first mutation acked version %v, want 2", v)
+	}
+	if v := mutate(paddr, `{"edges":[[4,5]]}`); v != 3 {
+		t.Fatalf("second mutation acked version %v, want 3", v)
+	}
+	waitVersion(faddr, 3)
+	wantHist := string(getBody(paddr, "/v1/graphs/g/histogram", http.StatusOK))
+	if got := string(getBody(faddr, "/v1/graphs/g/histogram", http.StatusOK)); got != wantHist {
+		t.Fatalf("histogram diverged:\nprimary:  %s\nfollower: %s", wantHist, got)
+	}
+	if body := getJSON(faddr, "/v1/graphs/g/truss?u=0&v=1", http.StatusOK); body["truss"] != float64(4) {
+		t.Fatalf("follower truss(0,1) after K4 = %v, want 4", body)
+	}
+
+	// Mutations sent to the follower bounce with the primary's address.
+	resp, err := http.Post("http://"+faddr+"/v1/graphs/g/edges", "application/json",
+		strings.NewReader(`{"edges":[[6,7]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reject map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&reject); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden || reject["primary"] != "http://"+paddr {
+		t.Fatalf("mutation on follower: status %d body %v, want 403 naming the primary",
+			resp.StatusCode, reject)
+	}
+
+	// Crash the primary mid-tail. The follower keeps answering reads.
+	stopPrimary(false)
+	if body := getJSON(faddr, "/v1/graphs/g/truss?u=0&v=1", http.StatusOK); body["truss"] != float64(4) {
+		t.Fatalf("follower read with primary dead = %v", body)
+	}
+
+	// The primary returns on the same address and data dir; the tail
+	// resumes: the next mutation is version 4 on both ends, with
+	// identical histograms — no gap, no double-apply.
+	_, stopPrimary = startServe(t, trussd, "-addr", paddr, "-data-dir", primaryDir)
+	if v := mutate(paddr, `{"edges":[[5,6]]}`); v != 4 {
+		t.Fatalf("post-restart mutation acked version %v, want 4", v)
+	}
+	waitVersion(faddr, 4)
+	wantHist = string(getBody(paddr, "/v1/graphs/g/histogram", http.StatusOK))
+	if got := string(getBody(faddr, "/v1/graphs/g/histogram", http.StatusOK)); got != wantHist {
+		t.Fatalf("histogram diverged after primary crash:\nprimary:  %s\nfollower: %s", wantHist, got)
+	}
+
+	// Crash the follower. Restarted on its own data dir it recovers to
+	// version 4 locally and re-tails — without downloading a snapshot.
+	stopFollower(false)
+	faddr, stopFollower = startServe(t, trussd,
+		"-data-dir", followerDir, "-follow", "http://"+paddr, "-replica-refresh", "50ms")
+	defer stopFollower(true)
+	defer stopPrimary(true)
+	waitReady(faddr)
+	waitVersion(faddr, 4)
+	if v := mutate(paddr, `{"edges":[[6,7]]}`); v != 5 {
+		t.Fatalf("mutation after follower restart acked version %v, want 5", v)
+	}
+	waitVersion(faddr, 5)
+	wantHist = string(getBody(paddr, "/v1/graphs/g/histogram", http.StatusOK))
+	if got := string(getBody(faddr, "/v1/graphs/g/histogram", http.StatusOK)); got != wantHist {
+		t.Fatalf("histogram diverged after follower crash:\nprimary:  %s\nfollower: %s", wantHist, got)
+	}
+	metrics := string(getBody(faddr, "/metrics", http.StatusOK))
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "truss_replica_hydrations_total") &&
+			!strings.HasSuffix(line, " 0") {
+			t.Fatalf("restarted follower re-hydrated: %s", line)
+		}
+	}
+}

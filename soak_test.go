@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	truss "repro"
 	"repro/client"
@@ -205,4 +207,225 @@ func TestSoakServeStorm(t *testing.T) {
 		"%d mutations group-committed in %g flushes\n",
 		trussReqs.Load()+queryReqs.Load()+histReqs.Load(),
 		trussReqs.Load(), queryReqs.Load(), histReqs.Load(), int64(streamed), flushes)
+}
+
+// TestSoakReplicaFleet is the nightly replication soak: one durable
+// primary and two followers, all real trussd processes, with an NDJSON
+// firehose mutating the primary while a Router fans a concurrent read
+// storm across the fleet. At the end the followers must sit at the
+// primary's exact version with byte-identical histograms, and the
+// replication telemetry on both ends must reconcile: one hydration and
+// zero resyncs per follower, zero lag, and per-version record counts
+// that add up.
+//
+// It runs only with TRUSS_SOAK=1 (the nightly CI workflow sets it).
+func TestSoakReplicaFleet(t *testing.T) {
+	if os.Getenv("TRUSS_SOAK") != "1" {
+		t.Skip("soak test: set TRUSS_SOAK=1 to run")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	graphgen := buildCmd(t, dir, "graphgen")
+
+	graphPath := filepath.Join(dir, "fleet.bin")
+	runCmd(t, graphgen, "-model", "rmat", "-scale", "16", "-factor", "8", "-seed", "11", "-out", graphPath)
+
+	paddr, stopPrimary := startServe(t, trussd,
+		"-data-dir", filepath.Join(dir, "primary"), "-load", "soak="+graphPath, "-wait")
+	defer stopPrimary(true)
+	base := "http://" + paddr
+	var fbases []string
+	for i := 0; i < 2; i++ {
+		faddr, stopF := startServe(t, trussd,
+			"-data-dir", filepath.Join(dir, fmt.Sprintf("follower%d", i)),
+			"-follow", base, "-replica-refresh", "100ms")
+		defer stopF(true)
+		fbases = append(fbases, "http://"+faddr)
+	}
+
+	scrape := func(base string) obs.Samples {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		samples, err := obs.ParseExposition(resp.Body)
+		if err != nil {
+			t.Fatalf("%s/metrics rejected by strict parser: %v", base, err)
+		}
+		return samples
+	}
+	graphInfo := func(base string) map[string]any {
+		resp, err := http.Get(base + "/v1/graphs/soak")
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		var info map[string]any
+		if json.NewDecoder(resp.Body).Decode(&info) != nil {
+			return nil
+		}
+		return info
+	}
+
+	// The firehose: unique absent edges streamed at the primary while the
+	// read storm runs against the whole fleet.
+	const streamed = 4096
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var b strings.Builder
+		for i := 0; i < streamed; i++ {
+			fmt.Fprintf(&b, `{"u":%d,"v":%d}`+"\n", 300000+2*i, 300001+2*i)
+		}
+		resp, err := http.Post(base+"/v1/graphs/soak/edges:stream",
+			"application/x-ndjson", strings.NewReader(b.String()))
+		if err != nil {
+			t.Errorf("firehose: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("firehose: status %d, drain err %v", resp.StatusCode, err)
+		}
+	}()
+
+	// The read storm rides the Router: reads rotate over the followers
+	// and fail over (404 before hydration, 412 behind the floor, dead
+	// endpoints) without a single surfaced error; interleaved writes go
+	// to the primary and raise the read-your-writes floor.
+	router, err := client.NewRouter(base, fbases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := router.Graph("soak")
+	ctx := context.Background()
+	const workers = 16
+	const perWorker = 100
+	var reads, writes, failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				u := uint32((w*perWorker + i) % 60000)
+				switch {
+				case w == 0 && i%10 == 0:
+					// One writer thread salts in router-path mutations:
+					// unique edges far above both ranges.
+					v := uint32(500000 + 2*(w*perWorker+i))
+					if _, err := rg.InsertEdges(ctx, []truss.Edge{{U: v, V: v + 1}}); err != nil {
+						failures.Add(1)
+						continue
+					}
+					writes.Add(1)
+				case i%2 == 0:
+					if _, _, err := rg.TrussNumber(ctx, u, u+1); err != nil {
+						failures.Add(1)
+						continue
+					}
+					reads.Add(1)
+				default:
+					if _, err := rg.Histogram(ctx); err != nil {
+						failures.Add(1)
+						continue
+					}
+					reads.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d fleet requests failed", failures.Load())
+	}
+
+	// Convergence: both followers reach the primary's final version.
+	pinfo := graphInfo(base)
+	if pinfo == nil {
+		t.Fatal("primary lost the graph")
+	}
+	finalVersion := pinfo["version"].(float64)
+	if finalVersion < 2 {
+		t.Fatalf("primary version %g, want the firehose on the books", finalVersion)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, fb := range fbases {
+		for {
+			if info := graphInfo(fb); info != nil && info["version"] == finalVersion {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %s never converged to version %g (at %v)",
+					fb, finalVersion, graphInfo(fb)["version"])
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Parity: byte-identical histograms across the fleet at the same
+	// version — the bit-identical-answers contract, reconciled end to end.
+	histOf := func(base string) string {
+		resp, err := http.Get(base + "/v1/graphs/soak/histogram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s histogram: status %d", base, resp.StatusCode)
+		}
+		return string(raw)
+	}
+	want := histOf(base)
+	for _, fb := range fbases {
+		if got := histOf(fb); got != want {
+			t.Fatalf("histogram diverged on %s:\nprimary:  %.200s\nfollower: %.200s", fb, want, got)
+		}
+	}
+
+	// Telemetry reconciliation. Each follower hydrated exactly once (at
+	// snapshot version 1), applied every later version as a record, never
+	// resynced, and reports zero lag; the primary served exactly those
+	// two hydrations and streamed at least one copy of every record.
+	recordsPerFollower := finalVersion - 1
+	for _, fb := range fbases {
+		fs := scrape(fb)
+		checks := []struct {
+			name string
+			want float64
+			got  float64
+		}{
+			{"hydrations", 1, fs.Value("truss_replica_hydrations_total")},
+			{"resyncs", 0, fs.Value("truss_replica_resyncs_total")},
+			{"records applied", recordsPerFollower, fs.Value("truss_replica_records_applied_total")},
+			{"lag", 0, fs.Value("truss_replica_lag_versions", "graph", "soak")},
+			{"applied version", finalVersion, fs.Value("truss_replica_applied_version", "graph", "soak")},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				t.Errorf("follower %s: %s = %g, want %g", fb, c.name, c.got, c.want)
+			}
+		}
+		if n := fs.Value("truss_replica_hydration_bytes_total"); n <= 0 {
+			t.Errorf("follower %s: hydration bytes = %g, want > 0", fb, n)
+		}
+	}
+	ps := scrape(base)
+	if n := ps.Value("truss_replication_hydrations_served_total"); n != 2 {
+		t.Errorf("primary hydrations served = %g, want 2", n)
+	}
+	if n := ps.Value("truss_replication_records_streamed_total"); n < 2*recordsPerFollower {
+		t.Errorf("primary records streamed = %g, want >= %g", n, 2*recordsPerFollower)
+	}
+	if n := ps.Value("truss_replication_resyncs_signaled_total"); n != 0 {
+		t.Errorf("primary resyncs signaled = %g, want 0", n)
+	}
+	fmt.Printf("fleet soak: version %g on all three nodes, %d router reads + %d writes, "+
+		"%g records per follower\n", finalVersion, reads.Load(), writes.Load(), recordsPerFollower)
 }
