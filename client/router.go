@@ -136,14 +136,28 @@ var _ truss.Querier = (*RouterGraph)(nil)
 // Name returns the graph's registry name.
 func (g *RouterGraph) Name() string { return g.name }
 
+// withFloor raises (never lowers) the context's consistency floor to
+// the Router's own read-your-writes floor: a caller that pinned a
+// higher version with WithMinVersion — the ShardRouter carrying a
+// cross-router token, a service replaying a handed-off version — keeps
+// its stricter demand.
+func (g *RouterGraph) withFloor(ctx context.Context) context.Context {
+	v := g.r.Written(g.name)
+	if cur, ok := minVersionFrom(ctx); ok && cur >= v {
+		return ctx
+	}
+	if v == 0 {
+		return ctx
+	}
+	return WithMinVersion(ctx, v)
+}
+
 // read runs op against each endpoint in this attempt's order until one
 // succeeds, pinning the graph's read-your-writes floor on the context.
 // The last endpoint's error surfaces when all fail; a non-failover
 // error (bad request, cancellation) surfaces immediately.
 func (g *RouterGraph) read(ctx context.Context, op func(context.Context, *Graph) error) error {
-	if v := g.r.Written(g.name); v > 0 {
-		ctx = WithMinVersion(ctx, v)
-	}
+	ctx = g.withFloor(ctx)
 	var lastErr error
 	for _, c := range g.r.readOrder() {
 		err := op(ctx, c.Graph(g.name))
@@ -234,10 +248,7 @@ func (g *RouterGraph) Communities(ctx context.Context, k int32) ([]truss.QueryCo
 // already consumed a prefix, and a restarted stream could repeat or
 // reorder it.
 func (g *RouterGraph) KTrussEdges(ctx context.Context, k int32) (iter.Seq2[truss.Edge, int32], func() error) {
-	rctx := ctx
-	if v := g.r.Written(g.name); v > 0 {
-		rctx = WithMinVersion(ctx, v)
-	}
+	rctx := g.withFloor(ctx)
 	var iterErr error
 	seq := func(yield func(truss.Edge, int32) bool) {
 		var lastErr error

@@ -1,0 +1,422 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"sync"
+
+	truss "repro"
+	"repro/internal/cluster"
+)
+
+// ShardRouter fans a truss workload out across a sharded cluster. It
+// bootstraps the shard membership from the coordinator once
+// (GET /v1/cluster/topology) and from then on computes each graph's
+// owner locally with the same rendezvous hash the coordinator uses,
+// talking straight to the owning shard: mutations go to that shard's
+// primary (and only it — never retried, never redirected, exactly the
+// Router contract), reads fan out over that shard's replicas with the
+// primary as backstop. The coordinator proxy is the fallback path, not
+// the fast path: it serves a read only when the whole owning shard
+// fails it, and a mutation only when the topology cannot be fetched at
+// all.
+//
+// Read-your-writes survives every path: the ShardRouter records the
+// version each mutation returns per graph and pins that floor on all of
+// its reads — including coordinator-fallback reads and reads issued
+// after a topology refresh rebuilt the per-shard Routers — via
+// X-Truss-Min-Version. Version tokens are per graph and never compared
+// across graphs, so they stay meaningful however graphs are placed.
+//
+//	sr, err := client.NewShardRouter("http://coordinator:8080")
+//	g := sr.Graph("social")
+//	g.InsertEdges(ctx, edges)              // owning shard's primary
+//	k, ok, err := g.TrussNumber(ctx, u, v) // owning shard's replicas
+//
+// The topology is refreshed conditionally (If-None-Match against the
+// coordinator's ETag) when a direct read fails over, so a static
+// membership costs one fetch per process and a changed one is picked up
+// the first time it matters.
+type ShardRouter struct {
+	coord *Client  // coordinator: topology source + proxy fallback
+	opts  []Option // applied to every per-shard Router endpoint
+
+	mu      sync.Mutex
+	topo    *cluster.Topology
+	etag    string
+	routers map[string]*Router // shard name -> Router over primary+replicas
+	written map[string]uint64  // graph -> read-your-writes floor
+}
+
+// NewShardRouter builds a ShardRouter against a coordinator base URL.
+// The topology is fetched lazily on first use, so constructing a
+// ShardRouter never blocks on the network. opts apply to every
+// per-endpoint Client (shard primaries, shard replicas, and the
+// coordinator alike); as with Router, internal retries default to zero
+// because the ShardRouter's own failover is the retry policy.
+func NewShardRouter(coordinatorURL string, opts ...Option) (*ShardRouter, error) {
+	base := append([]Option{WithRetries(0)}, opts...)
+	coord, err := New(coordinatorURL, base...)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardRouter{
+		coord:   coord,
+		opts:    base,
+		routers: map[string]*Router{},
+		written: map[string]uint64{},
+	}, nil
+}
+
+// Coordinator returns the coordinator's Client (cluster-level calls the
+// ShardRouter does not mediate: merged Graphs listings, Health).
+func (s *ShardRouter) Coordinator() *Client { return s.coord }
+
+// Written returns the highest version a mutation through this
+// ShardRouter has returned for name (0 before the first write).
+func (s *ShardRouter) Written(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written[name]
+}
+
+// noteWrite raises name's read-your-writes floor.
+func (s *ShardRouter) noteWrite(name string, version uint64) {
+	s.mu.Lock()
+	if version > s.written[name] {
+		s.written[name] = version
+	}
+	s.mu.Unlock()
+}
+
+// Topology returns the current membership, fetching it from the
+// coordinator if this ShardRouter has none yet.
+func (s *ShardRouter) Topology(ctx context.Context) (*cluster.Topology, error) {
+	s.mu.Lock()
+	t := s.topo
+	s.mu.Unlock()
+	if t != nil {
+		return t, nil
+	}
+	if _, err := s.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topo, nil
+}
+
+// Refresh re-fetches the topology, conditional on the last ETag, and
+// reports whether it changed. A 304 is the steady state and costs no
+// body; on change the per-shard Routers are rebuilt (Routers for
+// shards whose endpoints are unchanged are kept, preserving their
+// round-robin warmth).
+func (s *ShardRouter) Refresh(ctx context.Context) (changed bool, err error) {
+	s.mu.Lock()
+	etag := s.etag
+	s.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		s.coord.url("", "v1", "cluster", "topology"), nil)
+	if err != nil {
+		return false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := s.coord.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("client: fetching cluster topology: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return false, nil
+	case http.StatusOK:
+	default:
+		return false, &APIError{Status: resp.StatusCode,
+			Message: fmt.Sprintf("fetching cluster topology: HTTP %d", resp.StatusCode)}
+	}
+	topo := &cluster.Topology{}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(topo); err != nil {
+		return false, fmt.Errorf("client: decoding cluster topology: %w", err)
+	}
+	if err := topo.Validate(); err != nil {
+		return false, fmt.Errorf("client: coordinator served a bad topology: %w", err)
+	}
+	return s.install(topo, resp.Header.Get("ETag"))
+}
+
+// install swaps in a fetched topology, rebuilding the Router set.
+func (s *ShardRouter) install(topo *cluster.Topology, etag string) (changed bool, err error) {
+	routers := make(map[string]*Router, len(topo.Shards))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range topo.Shards {
+		if s.topo != nil {
+			if old, ok := s.topo.Shard(sh.Name); ok && sameShard(old, sh) {
+				routers[sh.Name] = s.routers[sh.Name]
+				continue
+			}
+		}
+		r, err := NewRouter(sh.Primary, sh.Replicas, s.opts...)
+		if err != nil {
+			return false, fmt.Errorf("client: shard %q: %w", sh.Name, err)
+		}
+		routers[sh.Name] = r
+	}
+	changed = s.topo == nil || s.topo.ETag() != topo.ETag()
+	s.topo, s.etag, s.routers = topo, etag, routers
+	return changed, nil
+}
+
+// sameShard reports whether two membership rows name identical
+// endpoints, so install can keep the old shard's Router (and its
+// round-robin state) across a refresh.
+func sameShard(a, b cluster.Shard) bool {
+	if a.Name != b.Name || a.Primary != b.Primary || len(a.Replicas) != len(b.Replicas) {
+		return false
+	}
+	for i := range a.Replicas {
+		if a.Replicas[i] != b.Replicas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// routerFor returns the Router over the shard owning name, resolving
+// the topology first if needed. ok is false when no topology is
+// available (the caller falls back to the coordinator).
+func (s *ShardRouter) routerFor(ctx context.Context, name string) (*Router, cluster.Shard, bool) {
+	topo, err := s.Topology(ctx)
+	if err != nil || topo == nil {
+		return nil, cluster.Shard{}, false
+	}
+	owner, ok := topo.Owner(name)
+	if !ok {
+		return nil, cluster.Shard{}, false
+	}
+	s.mu.Lock()
+	r := s.routers[owner.Name]
+	s.mu.Unlock()
+	return r, owner, r != nil
+}
+
+// Graph addresses one named graph across the cluster. The returned
+// ShardGraph satisfies truss.Querier.
+func (s *ShardRouter) Graph(name string) *ShardGraph { return &ShardGraph{s: s, name: name} }
+
+// ShardGraph is the cluster-wide view of one graph: reads against the
+// owning shard's fleet with the coordinator as fallback, mutations
+// against the owning shard's primary only.
+type ShardGraph struct {
+	s    *ShardRouter
+	name string
+}
+
+var _ truss.Querier = (*ShardGraph)(nil)
+
+// Name returns the graph's registry name.
+func (g *ShardGraph) Name() string { return g.name }
+
+// withFloor pins the ShardRouter's read-your-writes floor for this
+// graph on ctx, never lowering a stricter caller-set floor.
+func (g *ShardGraph) withFloor(ctx context.Context) context.Context {
+	v := g.s.Written(g.name)
+	if cur, ok := minVersionFrom(ctx); ok && cur >= v {
+		return ctx
+	}
+	if v == 0 {
+		return ctx
+	}
+	return WithMinVersion(ctx, v)
+}
+
+// read runs op against the owning shard first (replica fan-out via its
+// Router), then — only if the shard path fails with a failover-worthy
+// error — refreshes the topology conditionally and falls back to the
+// coordinator proxy. The floor rides on the context the whole way.
+func (g *ShardGraph) read(ctx context.Context, op func(context.Context, truss.Querier) error) error {
+	ctx = g.withFloor(ctx)
+	var shardErr error
+	if r, owner, ok := g.s.routerFor(ctx, g.name); ok {
+		shardErr = op(ctx, r.Graph(g.name))
+		if shardErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !failover(shardErr) {
+			return shardErr
+		}
+		// The whole owning shard failed the read. Membership may have
+		// changed under us — refresh (ETag-conditional, a 304 in the
+		// steady state) and, if the graph moved, try its new home
+		// before resorting to the proxy.
+		if changed, err := g.s.Refresh(ctx); err == nil && changed {
+			if r2, owner2, ok := g.s.routerFor(ctx, g.name); ok && owner2.Name != owner.Name {
+				if err := op(ctx, r2.Graph(g.name)); err == nil {
+					return nil
+				}
+			}
+		}
+	}
+	if err := op(ctx, g.s.coord.Graph(g.name)); err == nil {
+		return nil
+	} else if shardErr == nil {
+		return err
+	}
+	return shardErr
+}
+
+// Info fetches the graph's registry entry (owning shard, coordinator
+// fallback). Info is not part of truss.Querier, so it takes the same
+// two-path route explicitly.
+func (g *ShardGraph) Info(ctx context.Context) (GraphInfo, error) {
+	ctx = g.withFloor(ctx)
+	if r, _, ok := g.s.routerFor(ctx, g.name); ok {
+		info, err := r.Graph(g.name).Info(ctx)
+		if err == nil || ctx.Err() != nil || !failover(err) {
+			return info, err
+		}
+	}
+	return g.s.coord.Graph(g.name).Info(ctx)
+}
+
+// TrussNumber returns phi(u,v) and whether the edge exists.
+func (g *ShardGraph) TrussNumber(ctx context.Context, u, v uint32) (int32, bool, error) {
+	var k int32
+	var ok bool
+	err := g.read(ctx, func(ctx context.Context, q truss.Querier) error {
+		var err error
+		k, ok, err = q.TrussNumber(ctx, u, v)
+		return err
+	})
+	return k, ok, err
+}
+
+// TrussNumbers answers a batch of edge lookups in one round-trip.
+func (g *ShardGraph) TrussNumbers(ctx context.Context, pairs []truss.Edge) ([]truss.TrussAnswer, error) {
+	var out []truss.TrussAnswer
+	err := g.read(ctx, func(ctx context.Context, q truss.Querier) error {
+		var err error
+		out, err = q.TrussNumbers(ctx, pairs)
+		return err
+	})
+	return out, err
+}
+
+// Histogram returns |Phi_k| indexed by k.
+func (g *ShardGraph) Histogram(ctx context.Context) ([]int64, error) {
+	var out []int64
+	err := g.read(ctx, func(ctx context.Context, q truss.Querier) error {
+		var err error
+		out, err = q.Histogram(ctx)
+		return err
+	})
+	return out, err
+}
+
+// TopClasses returns the t highest non-empty k-classes.
+func (g *ShardGraph) TopClasses(ctx context.Context, t int) ([]truss.ClassSummary, error) {
+	var out []truss.ClassSummary
+	err := g.read(ctx, func(ctx context.Context, q truss.Querier) error {
+		var err error
+		out, err = q.TopClasses(ctx, t)
+		return err
+	})
+	return out, err
+}
+
+// Communities returns every k-truss community at level k.
+func (g *ShardGraph) Communities(ctx context.Context, k int32) ([]truss.QueryCommunity, error) {
+	var out []truss.QueryCommunity
+	err := g.read(ctx, func(ctx context.Context, q truss.Querier) error {
+		var err error
+		out, err = q.Communities(ctx, k)
+		return err
+	})
+	return out, err
+}
+
+// KTrussEdges streams the k-truss edge set from the owning shard,
+// falling back to the coordinator only when the shard stream fails
+// before yielding a row (the Router's own mid-stream rule applies
+// within the shard: a partially consumed stream is never silently
+// restarted).
+func (g *ShardGraph) KTrussEdges(ctx context.Context, k int32) (iter.Seq2[truss.Edge, int32], func() error) {
+	rctx := g.withFloor(ctx)
+	var iterErr error
+	seq := func(yield func(truss.Edge, int32) bool) {
+		var sources []truss.Querier
+		if r, _, ok := g.s.routerFor(rctx, g.name); ok {
+			sources = append(sources, r.Graph(g.name))
+		}
+		sources = append(sources, g.s.coord.Graph(g.name))
+		var lastErr error
+		for _, src := range sources {
+			yielded := false
+			inner, errf := src.KTrussEdges(rctx, k)
+			for e, phi := range inner {
+				yielded = true
+				if !yield(e, phi) {
+					return
+				}
+			}
+			err := errf()
+			if err == nil {
+				return
+			}
+			if yielded || rctx.Err() != nil || !failover(err) {
+				iterErr = err
+				return
+			}
+			lastErr = err
+		}
+		iterErr = lastErr
+	}
+	return seq, func() error { return iterErr }
+}
+
+// InsertEdges inserts a batch through the owning shard's primary. Never
+// retried; the coordinator proxy carries it only when no topology is
+// available.
+func (g *ShardGraph) InsertEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	if r, _, ok := g.s.routerFor(ctx, g.name); ok {
+		return g.noteResult(r.Graph(g.name).InsertEdges(ctx, edges))
+	}
+	return g.noteResult(g.s.coord.Graph(g.name).InsertEdges(ctx, edges))
+}
+
+// DeleteEdges deletes a batch through the owning shard's primary. Never
+// retried; coordinator only without a topology.
+func (g *ShardGraph) DeleteEdges(ctx context.Context, edges []truss.Edge) (*MutationResult, error) {
+	if r, _, ok := g.s.routerFor(ctx, g.name); ok {
+		return g.noteResult(r.Graph(g.name).DeleteEdges(ctx, edges))
+	}
+	return g.noteResult(g.s.coord.Graph(g.name).DeleteEdges(ctx, edges))
+}
+
+// Update applies a mixed batch through the owning shard's primary.
+// Never retried; coordinator only without a topology.
+func (g *ShardGraph) Update(ctx context.Context, adds, dels []truss.Edge) (*MutationResult, error) {
+	if r, _, ok := g.s.routerFor(ctx, g.name); ok {
+		return g.noteResult(r.Graph(g.name).Update(ctx, adds, dels))
+	}
+	return g.noteResult(g.s.coord.Graph(g.name).Update(ctx, adds, dels))
+}
+
+// noteResult records a successful mutation's version as the graph's
+// read-your-writes floor at the ShardRouter level — above any single
+// Router, so the floor survives topology refreshes rebuilding them.
+func (g *ShardGraph) noteResult(res *MutationResult, err error) (*MutationResult, error) {
+	if err == nil && res != nil {
+		g.s.noteWrite(g.name, res.Version)
+	}
+	return res, err
+}

@@ -1,0 +1,354 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	truss "repro"
+	"repro/internal/cluster"
+)
+
+// fakeShard is a minimal shard endpoint: answers truss lookups and
+// mutations for any graph, recording every request's path, method, and
+// min-version header.
+type fakeShard struct {
+	t *testing.T
+
+	mu       sync.Mutex
+	requests []fakeReq
+	version  uint64 // version returned by the next mutation
+	truss    int32  // truss number answered on lookups
+	fail     atomic.Bool
+	srv      *httptest.Server
+}
+
+type fakeReq struct {
+	method, path, minVersion string
+}
+
+func newFakeShard(t *testing.T, trussAnswer int32) *fakeShard {
+	f := &fakeShard{t: t, truss: trussAnswer, version: 1}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"injected failure"}`))
+			return
+		}
+		f.mu.Lock()
+		f.requests = append(f.requests, fakeReq{r.Method, r.URL.Path, r.Header.Get("X-Truss-Min-Version")})
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.Method == http.MethodGet: // truss lookup
+			w.Write([]byte(`{"found":true,"truss":` + strconv.Itoa(int(f.truss)) + `}`))
+		default: // mutation
+			f.mu.Lock()
+			f.version++
+			v := f.version
+			f.mu.Unlock()
+			w.Write([]byte(`{"version":` + strconv.FormatUint(v, 10) + `,"changed":1}`))
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// take drains the recorded requests.
+func (f *fakeShard) take() []fakeReq {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.requests
+	f.requests = nil
+	return out
+}
+
+// fakeCoordinator serves the topology document (ETag + 304) and proxies
+// nothing — graph requests against it are recorded and answered
+// directly, standing in for the proxy path.
+type fakeCoordinator struct {
+	topo *cluster.Topology
+
+	mu        sync.Mutex
+	fetches   int // topology requests that returned a body
+	notMods   int // topology requests answered 304
+	graphReqs []fakeReq
+	srv       *httptest.Server
+}
+
+func newFakeCoordinator(t *testing.T, topo *cluster.Topology) *fakeCoordinator {
+	f := &fakeCoordinator{topo: topo}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/topology", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		topo := f.topo
+		f.mu.Unlock()
+		etag := topo.ETag()
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			f.mu.Lock()
+			f.notMods++
+			f.mu.Unlock()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		f.mu.Lock()
+		f.fetches++
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = writeTopology(w, topo)
+	})
+	mux.HandleFunc("/v1/graphs/", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.graphReqs = append(f.graphReqs, fakeReq{r.Method, r.URL.Path, r.Header.Get("X-Truss-Min-Version")})
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"found":true,"truss":99}`))
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func writeTopology(w http.ResponseWriter, topo *cluster.Topology) error {
+	// Tiny hand-rolled encode to avoid importing encoding/json just for
+	// the fake — the production document shape is pinned by the cluster
+	// package's own tests.
+	_, err := w.Write(topoJSON(topo))
+	return err
+}
+
+func topoJSON(topo *cluster.Topology) []byte {
+	out := []byte(`{"shards":[`)
+	for i, s := range topo.Shards {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, []byte(`{"name":`+strconv.Quote(s.Name)+`,"primary":`+strconv.Quote(s.Primary))...)
+		if len(s.Replicas) > 0 {
+			out = append(out, []byte(`,"replicas":[`)...)
+			for j, r := range s.Replicas {
+				if j > 0 {
+					out = append(out, ',')
+				}
+				out = append(out, []byte(strconv.Quote(r))...)
+			}
+			out = append(out, ']')
+		}
+		out = append(out, '}')
+	}
+	return append(out, []byte(`]}`)...)
+}
+
+// pickGraphFor returns a graph name the topology places on the wanted
+// shard.
+func pickGraphFor(t *testing.T, topo *cluster.Topology, shard string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		g := "graph-" + strconv.Itoa(i)
+		if o, ok := topo.Owner(g); ok && o.Name == shard {
+			return g
+		}
+	}
+	t.Fatalf("no graph hashes to shard %s", shard)
+	return ""
+}
+
+// TestShardRouterRoutesToOwner: mutations land only on the owning
+// shard's primary, reads go to its replicas first, and the coordinator
+// sees exactly one topology fetch.
+func TestShardRouterRoutesToOwner(t *testing.T) {
+	shardA, shardB := newFakeShard(t, 4), newFakeShard(t, 5)
+	replicaA := newFakeShard(t, 4)
+	topo := &cluster.Topology{Shards: []cluster.Shard{
+		{Name: "a", Primary: shardA.srv.URL, Replicas: []string{replicaA.srv.URL}},
+		{Name: "b", Primary: shardB.srv.URL},
+	}}
+	coord := newFakeCoordinator(t, topo)
+	sr, err := NewShardRouter(coord.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	gA := pickGraphFor(t, topo, "a")
+	gB := pickGraphFor(t, topo, "b")
+
+	// Mutation on an a-owned graph: only shard A's primary sees it.
+	res, err := sr.Graph(gA).InsertEdges(ctx, []truss.Edge{{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs := shardA.take(); len(reqs) != 1 || reqs[0].method != http.MethodPost {
+		t.Fatalf("shard A saw %v, want one POST", reqs)
+	}
+	for name, f := range map[string]*fakeShard{"replica-a": replicaA, "shard-b": shardB} {
+		if reqs := f.take(); len(reqs) != 0 {
+			t.Fatalf("%s saw mutation traffic: %v", name, reqs)
+		}
+	}
+
+	// Read of the same graph: replica first, carrying the floor from the
+	// mutation above.
+	k, ok, err := sr.Graph(gA).TrussNumber(ctx, 1, 2)
+	if err != nil || !ok || k != 4 {
+		t.Fatalf("TrussNumber = %d,%v,%v", k, ok, err)
+	}
+	reqs := replicaA.take()
+	if len(reqs) != 1 {
+		t.Fatalf("replica A saw %v, want one read", reqs)
+	}
+	if want := strconv.FormatUint(res.Version, 10); reqs[0].minVersion != want {
+		t.Fatalf("read min-version header = %q, want %q (read-your-writes floor)", reqs[0].minVersion, want)
+	}
+	if reqs := shardA.take(); len(reqs) != 0 {
+		t.Fatalf("primary A saw a read that the replica served: %v", reqs)
+	}
+
+	// A b-owned graph routes to shard B (no replicas: primary serves
+	// reads), with no floor (nothing written to it through this router).
+	if _, _, err := sr.Graph(gB).TrussNumber(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	reqsB := shardB.take()
+	if len(reqsB) != 1 || reqsB[0].minVersion != "" {
+		t.Fatalf("shard B saw %v, want one floorless read", reqsB)
+	}
+
+	// Exactly one topology fetch bootstrapped all of the above.
+	coord.mu.Lock()
+	fetches, graphReqs := coord.fetches, len(coord.graphReqs)
+	coord.mu.Unlock()
+	if fetches != 1 {
+		t.Fatalf("coordinator served %d topology bodies, want 1", fetches)
+	}
+	if graphReqs != 0 {
+		t.Fatalf("coordinator proxied %d graph requests on the healthy path, want 0", graphReqs)
+	}
+}
+
+// TestShardRouterCoordinatorFallback: when the whole owning shard fails
+// a read, the ShardRouter refreshes the topology (a 304 against the
+// unchanged ETag) and falls back to the coordinator proxy — carrying
+// the same read-your-writes floor.
+func TestShardRouterCoordinatorFallback(t *testing.T) {
+	shardA := newFakeShard(t, 4)
+	topo := &cluster.Topology{Shards: []cluster.Shard{{Name: "a", Primary: shardA.srv.URL}}}
+	coord := newFakeCoordinator(t, topo)
+	sr, err := NewShardRouter(coord.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := pickGraphFor(t, topo, "a")
+
+	res, err := sr.Graph(g).InsertEdges(ctx, []truss.Edge{{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardA.take()
+	shardA.fail.Store(true)
+
+	k, ok, err := sr.Graph(g).TrussNumber(ctx, 1, 2)
+	if err != nil || !ok || k != 99 {
+		t.Fatalf("fallback TrussNumber = %d,%v,%v; want the coordinator's 99", k, ok, err)
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	if len(coord.graphReqs) != 1 {
+		t.Fatalf("coordinator saw %v, want exactly one fallback read", coord.graphReqs)
+	}
+	if want := strconv.FormatUint(res.Version, 10); coord.graphReqs[0].minVersion != want {
+		t.Fatalf("fallback read min-version = %q, want %q", coord.graphReqs[0].minVersion, want)
+	}
+	if coord.notMods != 1 {
+		t.Fatalf("failover refreshed the topology %d times via 304, want 1", coord.notMods)
+	}
+	if coord.fetches != 1 {
+		t.Fatalf("coordinator served %d topology bodies, want 1 (refresh must be conditional)", coord.fetches)
+	}
+}
+
+// TestShardRouterTopologyRefresh: when the membership changes, a
+// refresh triggered by a failing read picks up the new document and
+// re-routes to the graph's new owner directly.
+func TestShardRouterTopologyRefresh(t *testing.T) {
+	oldShard, newShard := newFakeShard(t, 4), newFakeShard(t, 7)
+	oldTopo := &cluster.Topology{Shards: []cluster.Shard{{Name: "old", Primary: oldShard.srv.URL}}}
+	newTopo := &cluster.Topology{Shards: []cluster.Shard{{Name: "new", Primary: newShard.srv.URL}}}
+	coord := newFakeCoordinator(t, oldTopo)
+	sr, err := NewShardRouter(coord.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, _, err := sr.Graph("g").TrussNumber(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if reqs := oldShard.take(); len(reqs) != 1 {
+		t.Fatalf("old shard saw %v, want the first read", reqs)
+	}
+
+	// Membership changes and the old shard starts failing.
+	coord.mu.Lock()
+	coord.topo = newTopo
+	coord.mu.Unlock()
+	oldShard.fail.Store(true)
+
+	k, ok, err := sr.Graph("g").TrussNumber(ctx, 1, 2)
+	if err != nil || !ok || k != 7 {
+		t.Fatalf("post-refresh TrussNumber = %d,%v,%v; want the new shard's 7", k, ok, err)
+	}
+	if reqs := newShard.take(); len(reqs) != 1 {
+		t.Fatalf("new shard saw %v, want the re-routed read", reqs)
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	if len(coord.graphReqs) != 0 {
+		t.Fatalf("coordinator proxied %v; the refreshed direct route should have served it", coord.graphReqs)
+	}
+}
+
+// TestShardRouterFloorComposition: a caller-set WithMinVersion above
+// the router's own floor must survive (the router never lowers it).
+func TestShardRouterFloorComposition(t *testing.T) {
+	shard := newFakeShard(t, 4)
+	topo := &cluster.Topology{Shards: []cluster.Shard{{Name: "a", Primary: shard.srv.URL}}}
+	coord := newFakeCoordinator(t, topo)
+	sr, err := NewShardRouter(coord.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := pickGraphFor(t, topo, "a")
+
+	// Router floor: version 2 (fake starts at 1, increments per write).
+	if _, err := sr.Graph(g).InsertEdges(ctx, []truss.Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	shard.take()
+
+	// Caller pins a floor above it: the higher value must win.
+	if _, _, err := sr.Graph(g).TrussNumber(WithMinVersion(ctx, 1000), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	reqs := shard.take()
+	if len(reqs) != 1 || reqs[0].minVersion != "1000" {
+		t.Fatalf("read with caller floor sent min-version %v, want 1000", reqs)
+	}
+
+	// And the router floor still applies when the caller's is lower.
+	if _, _, err := sr.Graph(g).TrussNumber(WithMinVersion(ctx, 1), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	reqs = shard.take()
+	if len(reqs) != 1 || reqs[0].minVersion != "2" {
+		t.Fatalf("read with stale caller floor sent min-version %v, want the router's 2", reqs)
+	}
+}

@@ -1,0 +1,463 @@
+package truss_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	truss "repro"
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// startTrussd launches an arbitrary trussd subcommand that serves HTTP
+// (serve or coordinator) on an ephemeral port and returns its address
+// and a stopper — the general form of startServe.
+func startTrussd(t *testing.T, trussd, sub string, args ...string) (addr string, stop func(graceful bool)) {
+	t.Helper()
+	cmd := exec.Command(trussd, append([]string{sub, "-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("trussd %s never reported its listen address", sub)
+	}
+	go io.Copy(io.Discard, stderr)
+	return addr, func(graceful bool) {
+		if graceful {
+			cmd.Process.Signal(os.Interrupt)
+		} else {
+			cmd.Process.Kill()
+		}
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// TestClusterE2E drives the whole sharded deployment with real
+// processes: a coordinator fronting two shard primaries (shard A with a
+// replicating follower), ten graphs placed by rendezvous hash. It
+// checks the acceptance criteria end to end — every graph served by
+// exactly one shard; mutations through the shard-aware client landing
+// only on the owning shard's primary; reads honoring per-graph
+// X-Truss-Min-Version; the NDJSON firehose passing through the
+// coordinator with incremental acks (first ack observed while the
+// request body is still open); /metrics reconciling across all four
+// processes; and one shard's death degrading — not downing — the rest.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+
+	getBody := func(base, path string, hdr map[string]string, want int) []byte {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d (body %.200s)", path, resp.StatusCode, want, body)
+		}
+		return body
+	}
+	getJSON := func(base, path string, hdr map[string]string, want int) map[string]any {
+		t.Helper()
+		var out map[string]any
+		if err := json.Unmarshal(getBody(base, path, hdr, want), &out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+	scrape := func(base string) obs.Samples {
+		t.Helper()
+		samples, err := obs.ParseExposition(strings.NewReader(string(getBody(base, "/metrics", nil, http.StatusOK))))
+		if err != nil {
+			t.Fatalf("parsing %s/metrics: %v", base, err)
+		}
+		return samples
+	}
+
+	// Shards first (the coordinator's -shards needs their addresses).
+	addrA, stopA := startTrussd(t, trussd, "serve", "-data-dir", filepath.Join(dir, "shard-a"))
+	defer stopA(true)
+	addrB, stopB := startTrussd(t, trussd, "serve", "-data-dir", filepath.Join(dir, "shard-b"))
+	baseA, baseB := "http://"+addrA, "http://"+addrB
+
+	// The test computes placement with the same exported hash the
+	// coordinator uses, so it can address owners directly.
+	topo := &cluster.Topology{Shards: []cluster.Shard{
+		{Name: "a", Primary: baseA},
+		{Name: "b", Primary: baseB},
+	}}
+
+	// Ten graphs, each loaded onto its owner: a triangle plus a pendant
+	// (truss(0,1) = 3 until a later mutation completes the K4).
+	const graphs = 10
+	edges := `{"edges":[[0,1],[1,2],[0,2],[2,3]]}`
+	owners := map[string]string{} // graph -> shard name
+	owned := map[string][]string{}
+	for i := 0; i < graphs; i++ {
+		g := fmt.Sprintf("g%d", i)
+		owner, _ := topo.Owner(g)
+		owners[g] = owner.Name
+		owned[owner.Name] = append(owned[owner.Name], g)
+		resp, err := http.Post(owner.Primary+"/v1/graphs/"+g, "application/json", strings.NewReader(edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("loading %s on shard %s: status %d", g, owner.Name, resp.StatusCode)
+		}
+	}
+	if len(owned["a"]) == 0 || len(owned["b"]) == 0 {
+		t.Fatalf("degenerate placement, all graphs on one shard: %v", owned)
+	}
+	t.Logf("placement: a=%v b=%v", owned["a"], owned["b"])
+	waitReady := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never became ready", base)
+	}
+	waitReady(baseA)
+	waitReady(baseB)
+
+	// A follower replicating shard A, then the coordinator fronting it
+	// all: shard A = primary + follower, shard B = primary only.
+	addrF, stopF := startTrussd(t, trussd, "serve",
+		"-data-dir", filepath.Join(dir, "follower-a"),
+		"-follow", baseA, "-replica-refresh", "100ms")
+	defer stopF(true)
+	baseF := "http://" + addrF
+	waitReady(baseF)
+	addrC, stopC := startTrussd(t, trussd, "coordinator",
+		"-shards", fmt.Sprintf("a=%s;%s,b=%s", baseA, baseF, baseB))
+	defer stopC(true)
+	baseC := "http://" + addrC
+
+	// Every graph is served by exactly one shard: its owner lists it and
+	// answers queries; the other shard 404s it. The coordinator's merged
+	// listing carries all ten, sorted.
+	listNames := func(base string) []string {
+		var body struct {
+			Graphs []struct {
+				Name string `json:"name"`
+			} `json:"graphs"`
+		}
+		if err := json.Unmarshal(getBody(base, "/v1/graphs", nil, http.StatusOK), &body); err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, 0, len(body.Graphs))
+		for _, g := range body.Graphs {
+			names = append(names, g.Name)
+		}
+		return names
+	}
+	haveA, haveB := listNames(baseA), listNames(baseB)
+	for g, owner := range owners {
+		other := baseB
+		own := haveA
+		if owner == "b" {
+			other = baseA
+			own = haveB
+		}
+		found := false
+		for _, n := range own {
+			found = found || n == g
+		}
+		if !found {
+			t.Fatalf("graph %s missing from its owner shard %s (listing %v)", g, owner, own)
+		}
+		getBody(other, "/v1/graphs/"+g, nil, http.StatusNotFound)
+	}
+	merged := listNames(baseC)
+	if len(merged) != graphs {
+		t.Fatalf("coordinator merged listing has %d graphs, want %d: %v", len(merged), graphs, merged)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1] >= merged[i] {
+			t.Fatalf("merged listing not sorted: %v", merged)
+		}
+	}
+
+	// Proxied reads: each graph answers through the coordinator from its
+	// owner (X-Truss-Shard names it), truss(0,1) = 3 pre-mutation.
+	proxied := map[string]int{}
+	for g, owner := range owners {
+		req, _ := http.NewRequest(http.MethodGet, baseC+"/v1/graphs/"+g+"/truss?u=0&v=1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("proxied truss read for %s: status %d (%.200s)", g, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Truss-Shard"); got != owner {
+			t.Fatalf("graph %s proxied to shard %q, owner is %q", g, got, owner)
+		}
+		if !strings.Contains(string(body), `"truss":3`) {
+			t.Fatalf("graph %s pre-mutation truss = %.100s, want 3", g, body)
+		}
+		proxied[owner]++
+	}
+
+	// The firehose through the coordinator, full duplex: stream a chunk
+	// of pendant-chain edges, then demand the first ack arrive while the
+	// request body is still open — the proxy buffering either direction
+	// would hold it back — then complete the K4 and close.
+	fireGraph := owned["a"][0]
+	fireVersion := uint64(0)
+	{
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest(http.MethodPost, baseC+"/v1/graphs/"+fireGraph+"/edges:stream", pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		respc := make(chan *http.Response, 1)
+		errc := make(chan error, 1)
+		go func() {
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errc <- err
+				return
+			}
+			respc <- resp
+		}()
+		// One full server-side chunk (512 records) of chain edges, so an
+		// ack becomes due while the stream stays open.
+		var chunk strings.Builder
+		for i := 0; i < 512; i++ {
+			fmt.Fprintf(&chunk, `{"op":"add","u":%d,"v":%d}`+"\n", 1000+i, 1001+i)
+		}
+		if _, err := io.WriteString(pw, chunk.String()); err != nil {
+			t.Fatal(err)
+		}
+		var resp *http.Response
+		select {
+		case resp = <-respc:
+		case err := <-errc:
+			t.Fatalf("firehose through coordinator: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("no firehose response headers while the request body is open")
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("firehose: status %d (%.200s)", resp.StatusCode, body)
+		}
+		acks := bufio.NewScanner(resp.Body)
+		type ackLine struct {
+			ok   bool
+			err  error
+			line map[string]any
+		}
+		ackc := make(chan ackLine, 1)
+		go func() {
+			if !acks.Scan() {
+				ackc <- ackLine{err: fmt.Errorf("ack stream ended: %v", acks.Err())}
+				return
+			}
+			var line map[string]any
+			err := json.Unmarshal(acks.Bytes(), &line)
+			ackc <- ackLine{ok: err == nil, err: err, line: line}
+		}()
+		select {
+		case a := <-ackc:
+			if a.err != nil {
+				t.Fatalf("first firehose ack: %v", a.err)
+			}
+			if ok, _ := a.line["ok"].(bool); !ok {
+				t.Fatalf("first ack not ok: %v", a.line)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("no firehose ack passed through the coordinator while the request body was still open: the proxy is buffering")
+		}
+		// Complete the K4 (adds edges 1-3 and 0-3) and close the stream.
+		if _, err := io.WriteString(pw, `{"op":"add","u":1,"v":3}`+"\n"+`{"op":"add","u":0,"v":3}`+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		pw.Close()
+		var done map[string]any
+		for acks.Scan() {
+			var line map[string]any
+			if err := json.Unmarshal(acks.Bytes(), &line); err != nil {
+				t.Fatalf("ack line %q: %v", acks.Text(), err)
+			}
+			if ok, _ := line["ok"].(bool); !ok {
+				t.Fatalf("firehose ack reported failure: %v", line)
+			}
+			if v, okv := line["version"].(float64); okv && uint64(v) > fireVersion {
+				fireVersion = uint64(v)
+			}
+			if d, _ := line["done"].(bool); d {
+				done = line
+			}
+		}
+		if done == nil {
+			t.Fatalf("firehose never sent its done summary: %v", acks.Err())
+		}
+		if acc, _ := done["accepted"].(float64); int(acc) != 514 {
+			t.Fatalf("firehose accepted %v records, want 514", done["accepted"])
+		}
+	}
+	// Read-your-writes through the proxy: pin the ack's version and
+	// expect the post-firehose truss number.
+	body := getBody(baseC, "/v1/graphs/"+fireGraph+"/truss?u=0&v=1",
+		map[string]string{"X-Truss-Min-Version": strconv.FormatUint(fireVersion, 10)}, http.StatusOK)
+	if !strings.Contains(string(body), `"truss":4`) {
+		t.Fatalf("post-firehose truss(0,1) = %.100s, want 4", body)
+	}
+	proxied["a"] += 2 // the firehose POST and this floor-pinned read
+
+	// The shard-aware Router storm: complete the K4 on the other nine
+	// graphs through ShardRouter mutations, then read each back at
+	// truss 4 under its read-your-writes floor.
+	ctx := context.Background()
+	sr, err := client.NewShardRouter(baseC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerMutations := map[string]int{}
+	for g, owner := range owners {
+		if g == fireGraph {
+			continue
+		}
+		if _, err := sr.Graph(g).InsertEdges(ctx, []truss.Edge{{U: 1, V: 3}, {U: 0, V: 3}}); err != nil {
+			t.Fatalf("router mutation on %s: %v", g, err)
+		}
+		routerMutations[owner]++
+	}
+	for g := range owners {
+		rctx := ctx
+		if g == fireGraph {
+			// The firehose bypassed the ShardRouter, so carry its
+			// version token explicitly.
+			rctx = client.WithMinVersion(ctx, fireVersion)
+		}
+		k, ok, err := sr.Graph(g).TrussNumber(rctx, 0, 1)
+		if err != nil || !ok || k != 4 {
+			t.Fatalf("router read of %s: truss=%d found=%v err=%v, want 4", g, k, ok, err)
+		}
+	}
+
+	// Per-graph min-version floors are honored by a lagging server: a
+	// future version on the follower is a 412, never a stale 200.
+	getBody(baseF, "/v1/graphs/"+fireGraph+"/truss?u=0&v=1",
+		map[string]string{"X-Truss-Min-Version": strconv.FormatUint(fireVersion+1000, 10)},
+		http.StatusPreconditionFailed)
+
+	// Metrics reconciliation across all four processes. The shard-side
+	// truss route (200s only) must sum to every successful truss read
+	// driven above — 10 proxied + 1 floor-pinned + 10 router reads — no
+	// matter how they split between the follower and the primaries; the
+	// unary mutation POSTs must sit exactly on the owning primaries; and
+	// the coordinator's proxy counters must equal the traffic it carried.
+	sA, sB, sF, sC := scrape(baseA), scrape(baseB), scrape(baseF), scrape(baseC)
+	trussRoute := "GET /v1/graphs/{name}/truss"
+	reads := sA.Value("truss_http_requests_total", "route", trussRoute, "code", "200") +
+		sB.Value("truss_http_requests_total", "route", trussRoute, "code", "200") +
+		sF.Value("truss_http_requests_total", "route", trussRoute, "code", "200")
+	if want := float64(graphs + 1 + graphs); reads != want {
+		t.Fatalf("fleet served %v successful truss reads, want %v", reads, want)
+	}
+	mutRoute := "POST /v1/graphs/{name}/edges"
+	for shard, samples := range map[string]obs.Samples{"a": sA, "b": sB} {
+		got := samples.Value("truss_http_requests_total", "route", mutRoute, "code", "200")
+		if got != float64(routerMutations[shard]) {
+			t.Fatalf("shard %s primary served %v unary mutations, want %v (mutations must land only on the owner's primary)",
+				shard, got, routerMutations[shard])
+		}
+	}
+	if got := sF.Value("truss_http_requests_total", "route", mutRoute, "code", "200"); got != 0 {
+		t.Fatalf("follower served %v mutations; it must serve none", got)
+	}
+	for shard, want := range proxied {
+		if got := sC.Value("truss_cluster_proxy_requests_total", "shard", shard, "code", "200"); got != float64(want) {
+			t.Fatalf("coordinator proxied %v requests to shard %s, want %v", got, shard, want)
+		}
+	}
+	for _, shard := range []string{"a", "b"} {
+		if up := sC.Value("truss_cluster_shard_up", "shard", shard); up != 1 {
+			t.Fatalf("coordinator reports shard %s up=%v before the kill, want 1", shard, up)
+		}
+	}
+
+	// Kill shard B outright. The coordinator must degrade, not die:
+	// /readyz stays 200 with degraded=true, shard A's graphs keep
+	// answering (proxied and via the ShardRouter), and only shard B's
+	// graphs turn into 502s at the proxy.
+	stopB(false)
+	ready := getJSON(baseC, "/readyz", nil, http.StatusOK)
+	if d, _ := ready["degraded"].(bool); !d {
+		t.Fatalf("coordinator /readyz after killing shard B = %v, want degraded=true", ready)
+	}
+	for _, g := range owned["a"] {
+		body := getBody(baseC, "/v1/graphs/"+g+"/truss?u=0&v=1", nil, http.StatusOK)
+		if !strings.Contains(string(body), `"truss":4`) {
+			t.Fatalf("graph %s unavailable after the other shard died: %.100s", g, body)
+		}
+		if k, ok, err := sr.Graph(g).TrussNumber(ctx, 0, 1); err != nil || !ok || k != 4 {
+			t.Fatalf("router read of %s after shard B died: truss=%d found=%v err=%v", g, k, ok, err)
+		}
+	}
+	getBody(baseC, "/v1/graphs/"+owned["b"][0]+"/truss?u=0&v=1", nil, http.StatusBadGateway)
+	if up := scrape(baseC).Value("truss_cluster_shard_up", "shard", "b"); up != 0 {
+		t.Fatalf("coordinator still reports dead shard b up=%v", up)
+	}
+}

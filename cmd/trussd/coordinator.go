@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	truss "repro"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// coordinatorMain runs the `trussd coordinator` subcommand: the cluster
+// front door. It owns no graphs — each graph lives on the shard that
+// rendezvous hashing assigns it — and proxies per-graph traffic to the
+// owner while serving the cluster-level endpoints (merged /v1/graphs,
+// aggregated /readyz, /v1/cluster/topology, its own /metrics) itself.
+func coordinatorMain(args []string) error {
+	fs := flag.NewFlagSet("trussd coordinator", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.String("shards", "", "cluster membership: comma-separated name=primary[;replica;...] (required)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-shard bound on /readyz and listing fan-out calls (0 = 3s)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slow-client guard on request headers (0 = 5s default, negative = disabled)")
+	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a full request incl. body (0 = 5m default, negative = disabled)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle bound (0 = 2m default, negative = disabled)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: trussd coordinator -shards a=http://host:8080;http://replica:8080,b=... [-addr :8080]")
+		fmt.Fprintln(os.Stderr, "                          [-probe-timeout d] [-read-header-timeout d] [-read-timeout d] [-idle-timeout d]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards == "" {
+		return errors.New("-shards is required: a coordinator with no shards serves nothing")
+	}
+	topo, err := cluster.ParseShards(*shards)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.NewCoordinator(topo, cluster.CoordinatorOptions{
+		Metrics:      obs.Default(),
+		ProbeTimeout: *probeTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "trussd: ", log.LstdFlags)
+	for _, s := range topo.Shards {
+		logger.Printf("shard %q: primary %s, %d replica(s)", s.Name, s.Primary, len(s.Replicas))
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := truss.NewHTTPServer(coord.Handler(), truss.HTTPTimeouts{
+		ReadHeader: *readHeaderTimeout,
+		Read:       *readTimeout,
+		Idle:       *idleTimeout,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	logger.Printf("coordinator for %d shards", len(topo.Shards))
+	logger.Printf("listening on %s", ln.Addr())
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

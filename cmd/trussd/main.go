@@ -12,6 +12,11 @@
 //
 //	trussd serve [-addr :8080] [-load name=path]... [-workers N] [-wait] [-data-dir dir]
 //
+// Cluster coordinator usage (fronts sharded `trussd serve` processes;
+// graphs are placed on shards by rendezvous hashing):
+//
+//	trussd coordinator -shards "a=http://p1:8080;http://r1:8081,b=http://p2:8080" [-addr :8080]
+//
 // Query usage (against a running `trussd serve`, via the client package):
 //
 //	trussd query -graph name [-server http://host:8080] \
@@ -68,6 +73,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "query" {
 		if err := queryMain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "trussd query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "coordinator" {
+		if err := coordinatorMain(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "trussd coordinator: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,183 @@
+// Package cluster shards the graph registry across machines: a static
+// membership list of shards (each one an ordinary trussd primary, with
+// optional PR-9 followers behind it), rendezvous hashing to place each
+// graph name on exactly one shard, and a Coordinator that proxies the
+// whole per-graph HTTP surface to the owning shard while serving the
+// cluster-level endpoints itself (merged listings, aggregated readiness,
+// the topology document clients bootstrap from).
+//
+// Placement is rendezvous (highest-random-weight) hashing: a graph lives
+// on the shard maximizing hash(shard, graph). Unlike a ring of virtual
+// nodes there is no data structure to maintain or rebalance — membership
+// is just the list — and it has the minimal-movement property consistent
+// hashing is used for: removing one of N shards relocates only the ~1/N
+// of graphs that shard owned, and every relocated graph moves to its
+// second-highest scorer, never shuffling graphs between surviving shards.
+//
+// Sharding composes with replication rather than replacing it: each
+// shard remains a full PR-9 primary, so the per-graph monotonic version
+// counter — the consistency token behind X-Truss-Version — is scoped to
+// the owning shard and keeps exactly its single-primary semantics.
+// Nothing cluster-wide ever compares versions across graphs.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Shard is one member of the cluster: a primary base URL and the base
+// URLs of any read replicas following it. The Name is the hashing
+// identity — it, not the URL, is what placement is computed from, so an
+// operator can move a shard to new hardware (new URL, same name)
+// without relocating a single graph.
+type Shard struct {
+	Name     string   `json:"name"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Topology is the cluster membership document: the static shard list the
+// coordinator is started with, served to clients on
+// GET /v1/cluster/topology so they can route directly.
+type Topology struct {
+	Shards []Shard `json:"shards"`
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a folds s into an FNV-1a 64-bit running hash.
+func fnv1a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: FNV alone correlates nearby keys
+// (sequential graph names differ in one byte), and HRW needs the full
+// 64-bit spread to keep the per-shard load ratio tight.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Score is the rendezvous weight of placing graph on shard: the graph
+// lives on the shard with the highest score. Exported so the shard-aware
+// client computes the same placement the coordinator does.
+func Score(shard, graph string) uint64 {
+	// The NUL separator keeps (shard="a", graph="bc") and (shard="ab",
+	// graph="c") from hashing identically.
+	return mix64(fnv1a(fnv1a(fnvOffset, shard)^fnvPrime, graph+"\x00"+shard))
+}
+
+// Owner returns the shard owning graph — the highest-random-weight
+// member — and false when the topology is empty. Ties (astronomically
+// unlikely with 64-bit scores) break toward the lexically smaller shard
+// name so every participant agrees.
+func (t *Topology) Owner(graph string) (Shard, bool) {
+	if len(t.Shards) == 0 {
+		return Shard{}, false
+	}
+	best := 0
+	bestScore := Score(t.Shards[0].Name, graph)
+	for i := 1; i < len(t.Shards); i++ {
+		s := Score(t.Shards[i].Name, graph)
+		if s > bestScore || (s == bestScore && t.Shards[i].Name < t.Shards[best].Name) {
+			best, bestScore = i, s
+		}
+	}
+	return t.Shards[best], true
+}
+
+// Shard returns the member with the given name.
+func (t *Topology) Shard(name string) (Shard, bool) {
+	for _, s := range t.Shards {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// ETag returns a strong entity tag over the canonical topology encoding.
+// Clients cache the topology against it (If-None-Match → 304), so a
+// static membership costs one fetch per client process.
+func (t *Topology) ETag() string {
+	blob, _ := json.Marshal(t)
+	sum := sha256.Sum256(blob)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// Validate checks the topology is servable: at least one shard, no
+// duplicate names, and every URL well-formed http(s).
+func (t *Topology) Validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("cluster: topology has no shards")
+	}
+	seen := map[string]bool{}
+	for _, s := range t.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("cluster: shard with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+		for _, u := range append([]string{s.Primary}, s.Replicas...) {
+			p, err := url.Parse(u)
+			if err != nil || (p.Scheme != "http" && p.Scheme != "https") || p.Host == "" {
+				return fmt.Errorf("cluster: shard %q: bad base URL %q", s.Name, u)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseShards parses the -shards flag syntax: a comma-separated list of
+// name=primary[;replica;...] members,
+//
+//	a=http://10.0.0.1:8080;http://10.0.0.2:8080,b=http://10.0.1.1:8080
+//
+// Shard order is normalized by name so the served topology (and its
+// ETag) is independent of flag order.
+func ParseShards(spec string) (*Topology, error) {
+	t := &Topology{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(part, "=")
+		if !ok || name == "" || urls == "" {
+			return nil, fmt.Errorf("cluster: bad shard %q: want name=primary[;replica...]", part)
+		}
+		endpoints := strings.Split(urls, ";")
+		s := Shard{Name: name, Primary: strings.TrimSuffix(endpoints[0], "/")}
+		for _, r := range endpoints[1:] {
+			if r = strings.TrimSpace(r); r != "" {
+				s.Replicas = append(s.Replicas, strings.TrimSuffix(r, "/"))
+			}
+		}
+		t.Shards = append(t.Shards, s)
+	}
+	sort.Slice(t.Shards, func(i, j int) bool { return t.Shards[i].Name < t.Shards[j].Name })
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

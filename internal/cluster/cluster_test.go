@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardSet builds an n-shard topology with loopback endpoints.
+func shardSet(n int) *Topology {
+	t := &Topology{}
+	for i := 0; i < n; i++ {
+		t.Shards = append(t.Shards, Shard{
+			Name:    fmt.Sprintf("shard-%c", 'a'+i),
+			Primary: fmt.Sprintf("http://127.0.0.1:%d", 9000+i),
+		})
+	}
+	return t
+}
+
+// TestHRWBalance drives 10k graph names over 5 shards and demands the
+// placement stay tight: the most-loaded shard holds at most 1.3x the
+// least-loaded one's count. This is the property the splitmix64
+// finalizer in Score exists for — raw FNV over near-identical names
+// (graph-0001, graph-0002, ...) correlates and skews.
+func TestHRWBalance(t *testing.T) {
+	const names, shards = 10000, 5
+	topo := shardSet(shards)
+	counts := map[string]int{}
+	for i := 0; i < names; i++ {
+		owner, ok := topo.Owner(fmt.Sprintf("graph-%04d", i))
+		if !ok {
+			t.Fatal("Owner returned no shard for a non-empty topology")
+		}
+		counts[owner.Name]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("placement used %d of %d shards: %v", len(counts), shards, counts)
+	}
+	min, max := names, 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	ratio := float64(max) / float64(min)
+	t.Logf("counts=%v max/min=%.3f", counts, ratio)
+	if ratio > 1.3 {
+		t.Fatalf("placement imbalance: max/min = %.3f > 1.3 (counts %v)", ratio, counts)
+	}
+}
+
+// TestHRWMinimalMovement removes one of N shards and verifies the two
+// halves of the rendezvous minimal-movement guarantee: every graph the
+// removed shard did not own keeps its owner exactly, and the relocated
+// fraction is ~1/N (the removed shard's share), not a wholesale
+// reshuffle the way a naive hash-mod-N placement would move (N-1)/N.
+func TestHRWMinimalMovement(t *testing.T) {
+	const names, shards = 10000, 5
+	full := shardSet(shards)
+	for removed := 0; removed < shards; removed++ {
+		reduced := &Topology{}
+		reduced.Shards = append(reduced.Shards, full.Shards[:removed]...)
+		reduced.Shards = append(reduced.Shards, full.Shards[removed+1:]...)
+		removedName := full.Shards[removed].Name
+		moved := 0
+		for i := 0; i < names; i++ {
+			g := fmt.Sprintf("graph-%04d", i)
+			before, _ := full.Owner(g)
+			after, _ := reduced.Owner(g)
+			if before.Name == removedName {
+				moved++
+				continue
+			}
+			if after.Name != before.Name {
+				t.Fatalf("removing %s moved %q from surviving shard %s to %s",
+					removedName, g, before.Name, after.Name)
+			}
+		}
+		frac := float64(moved) / names
+		t.Logf("removing %s relocates %d/%d names (%.3f, ideal %.3f)",
+			removedName, moved, names, frac, 1.0/shards)
+		// The relocated share is exactly the removed shard's holding;
+		// balance bounds it near 1/N. Allow the same slack the balance
+		// test allows.
+		if frac < 0.7/shards || frac > 1.3/shards {
+			t.Fatalf("removing %s relocated %.3f of names; want ~%.3f",
+				removedName, frac, 1.0/shards)
+		}
+	}
+}
+
+// TestOwnerDeterministic pins that placement is a pure function of
+// (membership names, graph name) — independent of shard order and of
+// the endpoints behind the names.
+func TestOwnerDeterministic(t *testing.T) {
+	a := &Topology{Shards: []Shard{
+		{Name: "a", Primary: "http://h1:1"}, {Name: "b", Primary: "http://h2:1"}, {Name: "c", Primary: "http://h3:1"},
+	}}
+	b := &Topology{Shards: []Shard{ // same names, shuffled order, different endpoints
+		{Name: "c", Primary: "http://x3:9"}, {Name: "a", Primary: "http://x1:9"}, {Name: "b", Primary: "http://x2:9"},
+	}}
+	for i := 0; i < 1000; i++ {
+		g := fmt.Sprintf("g%d", i)
+		oa, _ := a.Owner(g)
+		ob, _ := b.Owner(g)
+		if oa.Name != ob.Name {
+			t.Fatalf("owner of %q depends on shard order: %s vs %s", g, oa.Name, ob.Name)
+		}
+	}
+	if _, ok := (&Topology{}).Owner("g"); ok {
+		t.Fatal("empty topology claimed an owner")
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	topo, err := ParseShards("b=http://p2:8080, a=http://p1:8080;http://r1:8081;http://r2:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Shards) != 2 || topo.Shards[0].Name != "a" || topo.Shards[1].Name != "b" {
+		t.Fatalf("want shards [a b] sorted by name, got %+v", topo.Shards)
+	}
+	if got := topo.Shards[0].Replicas; len(got) != 2 || got[0] != "http://r1:8081" {
+		t.Fatalf("shard a replicas = %v", got)
+	}
+	if topo.Shards[1].Primary != "http://p2:8080" || len(topo.Shards[1].Replicas) != 0 {
+		t.Fatalf("shard b = %+v", topo.Shards[1])
+	}
+
+	for _, bad := range []string{
+		"",                            // no shards
+		"a=",                          // empty endpoints
+		"http://p1:8080",              // missing name=
+		"a=ftp://p1:21",               // non-http scheme
+		"a=http://p1:1,a=http://p2:2", // duplicate name
+		"=http://p1:8080",             // empty name
+	} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+// TestTopologyETag pins that the ETag is stable for equal topologies,
+// differs when membership differs, and is quoted (a valid strong ETag).
+func TestTopologyETag(t *testing.T) {
+	t1, _ := ParseShards("a=http://p1:1,b=http://p2:2")
+	t2, _ := ParseShards("b=http://p2:2,a=http://p1:1") // same set, flag order swapped
+	t3, _ := ParseShards("a=http://p1:1,b=http://p2:2,c=http://p3:3")
+	if t1.ETag() != t2.ETag() {
+		t.Fatalf("ETag depends on flag order: %s vs %s", t1.ETag(), t2.ETag())
+	}
+	if t1.ETag() == t3.ETag() {
+		t.Fatal("different memberships share an ETag")
+	}
+	if !strings.HasPrefix(t1.ETag(), `"`) || !strings.HasSuffix(t1.ETag(), `"`) {
+		t.Fatalf("ETag %s is not quoted", t1.ETag())
+	}
+}

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Coordinator fronts a sharded cluster: per-graph traffic is proxied to
+// the HRW owner with streaming passthrough, and the cluster-level
+// endpoints — merged listings, aggregated readiness, the topology
+// document — are answered locally.
+//
+//	GET  /healthz                    coordinator liveness
+//	GET  /readyz                     aggregated shard readiness (degraded ≠ down)
+//	GET  /metrics                    coordinator metrics (Prometheus text)
+//	GET  /v1/cluster/topology        shard membership, ETag + If-None-Match
+//	GET  /v1/graphs                  listing merged across all shards
+//	*    /v1/graphs/{name}...        proxied to the owning shard
+//	GET  /v1/replication/graphs/{name}/indexfile   proxied to the owner
+//
+// The proxy never buffers: every response flushes as the upstream
+// writes (ReverseProxy FlushInterval -1), so the NDJSON firehose acks,
+// the edges?k= stream, and the long-poll WAL tail all pass through with
+// the same incremental delivery they have against a shard directly.
+type Coordinator struct {
+	topo    *Topology
+	etag    string
+	metrics *clusterMetrics
+	client  *http.Client // fan-out probes and listing merges
+
+	// One reverse proxy per shard, built once: ReverseProxy is stateless
+	// per request, and sharing one instance per target keeps its
+	// transport's connection pool warm across requests.
+	proxies map[string]*httputil.ReverseProxy
+
+	// probeTimeout bounds each per-shard readiness / listing fan-out
+	// call; a hung shard must not hang the aggregate.
+	probeTimeout time.Duration
+}
+
+// clusterMetrics is the coordinator's instrument panel, on the same
+// internal/obs registry machinery the shards use so one scrape config
+// covers the whole fleet.
+type clusterMetrics struct {
+	reg      *obs.Registry
+	proxyDur map[string]*obs.Histogram // shard -> proxy latency
+	shardUp  map[string]*obs.Gauge     // shard -> last probe result (1/0)
+	proxyErr map[string]*obs.Counter   // shard -> upstream dial/transport failures
+
+	// (shard, code) request counters, resolved lazily like the server's
+	// per-route series.
+	mu         sync.Mutex
+	proxyCount map[string]*obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry, t *Topology) *clusterMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &clusterMetrics{
+		reg:        reg,
+		proxyDur:   make(map[string]*obs.Histogram, len(t.Shards)),
+		shardUp:    make(map[string]*obs.Gauge, len(t.Shards)),
+		proxyErr:   make(map[string]*obs.Counter, len(t.Shards)),
+		proxyCount: make(map[string]*obs.Counter),
+	}
+	for _, s := range t.Shards {
+		m.proxyDur[s.Name] = reg.Histogram("truss_cluster_proxy_seconds",
+			"Proxied request latency by owning shard.", nil, "shard", s.Name)
+		m.shardUp[s.Name] = reg.Gauge("truss_cluster_shard_up",
+			"1 when the shard's last readiness probe succeeded, else 0.", "shard", s.Name)
+		m.proxyErr[s.Name] = reg.Counter("truss_cluster_proxy_errors_total",
+			"Proxied requests that failed before an upstream response (dial/transport).", "shard", s.Name)
+	}
+	return m
+}
+
+// request records one proxied request's outcome.
+func (m *clusterMetrics) request(shard string, code int, elapsed time.Duration) {
+	key := shard + "\x00" + codeLabel(code)
+	m.mu.Lock()
+	c, ok := m.proxyCount[key]
+	if !ok {
+		c = m.reg.Counter("truss_cluster_proxy_requests_total",
+			"Requests proxied to shards, by shard and status code.",
+			"shard", shard, "code", codeLabel(code))
+		m.proxyCount[key] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+	if h := m.proxyDur[shard]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+}
+
+func codeLabel(code int) string {
+	if code < 100 || code >= 1000 {
+		return "000"
+	}
+	return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+}
+
+// CoordinatorOptions configures NewCoordinator. The zero value of every
+// field selects a sensible default.
+type CoordinatorOptions struct {
+	// Metrics is the registry coordinator families register on;
+	// nil uses obs.Default().
+	Metrics *obs.Registry
+	// ProbeTimeout bounds each per-shard call during /readyz and
+	// /v1/graphs fan-out; zero means 3s.
+	ProbeTimeout time.Duration
+}
+
+// NewCoordinator builds a coordinator over a validated topology.
+func NewCoordinator(t *Topology, opts CoordinatorOptions) (*Coordinator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 3 * time.Second
+	}
+	c := &Coordinator{
+		topo:         t,
+		etag:         t.ETag(),
+		metrics:      newClusterMetrics(opts.Metrics, t),
+		client:       &http.Client{},
+		proxies:      make(map[string]*httputil.ReverseProxy, len(t.Shards)),
+		probeTimeout: opts.ProbeTimeout,
+	}
+	for _, s := range t.Shards {
+		target, err := url.Parse(s.Primary)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %q: %w", s.Name, err)
+		}
+		shard := s.Name
+		c.proxies[shard] = &httputil.ReverseProxy{
+			Rewrite: func(pr *httputil.ProxyRequest) {
+				pr.SetURL(target)
+				pr.SetXForwarded()
+			},
+			// Negative FlushInterval flushes after every upstream write:
+			// the proxied surface includes three incremental streams
+			// (firehose acks, edges NDJSON, WAL long-poll) where
+			// buffering would stall the far side.
+			FlushInterval: -1,
+			ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+				c.metrics.proxyErr[shard].Inc()
+				c.metrics.shardUp[shard].Set(0)
+				// 502 with the API's uniform error shape; the
+				// shard-aware client treats it as failover-worthy.
+				server.WriteError(w, http.StatusBadGateway,
+					"shard %s unreachable: %v", shard, err)
+			},
+		}
+	}
+	return c, nil
+}
+
+// Topology returns the membership the coordinator was built with.
+func (c *Coordinator) Topology() *Topology { return c.topo }
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		server.WriteJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": len(c.topo.Shards)})
+	})
+	mux.HandleFunc("GET /readyz", c.handleReady)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.metrics.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /v1/cluster/topology", c.handleTopology)
+	mux.HandleFunc("GET /v1/graphs", c.handleList)
+	mux.HandleFunc("/v1/graphs/{name}", c.proxyGraph)
+	mux.HandleFunc("/v1/graphs/{name}/", c.proxyGraph)
+	// Follower hydration for a specific graph can ride through the
+	// coordinator too (a follower attached to a shard usually talks to
+	// its primary directly, but tooling that only knows the coordinator
+	// still gets the bytes).
+	mux.HandleFunc("GET /v1/replication/graphs/{name}/indexfile", c.proxyGraph)
+	return mux
+}
+
+// proxyGraph routes one graph-scoped request to the HRW owner of the
+// {name} path segment, with streaming passthrough.
+func (c *Coordinator) proxyGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// The mux pattern /v1/graphs/{name}/ makes {name} greedy over the
+	// rest of the path; the owner is keyed on the first segment only.
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		server.WriteError(w, http.StatusBadRequest, "missing graph name")
+		return
+	}
+	owner, ok := c.topo.Owner(name)
+	if !ok {
+		server.WriteError(w, http.StatusServiceUnavailable, "cluster topology has no shards")
+		return
+	}
+	w.Header().Set("X-Truss-Shard", owner.Name)
+	if r.Body != nil && r.Body != http.NoBody {
+		// The firehose is full duplex: the shard streams acks while the
+		// client is still streaming records. Without this, the HTTP/1
+		// server stops the proxy's upstream body copy at the first ack
+		// write, stalling the session. Best-effort: HTTP/2 is already
+		// duplex and returns an error here, which is fine to ignore.
+		_ = http.NewResponseController(w).EnableFullDuplex()
+	}
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	c.proxies[owner.Name].ServeHTTP(rec, r)
+	code := rec.status
+	if code == 0 {
+		code = http.StatusOK
+	}
+	if code < http.StatusBadGateway { // upstream answered, whatever it said
+		c.metrics.shardUp[owner.Name].Set(1)
+	}
+	c.metrics.request(owner.Name, code, time.Since(start))
+}
+
+// statusRecorder captures the proxied status code. Unwrap keeps
+// http.ResponseController working through it — ReverseProxy's
+// per-write flushing depends on reaching the real writer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// handleTopology serves the membership document with a strong ETag so a
+// client refresh against an unchanged topology is one 304, no body.
+func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("ETag", c.etag)
+	for _, cand := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		if strings.TrimSpace(cand) == c.etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, c.topo)
+}
+
+// shardStatus is one shard's row in the /readyz aggregate.
+type shardStatus struct {
+	Shard string `json:"shard"`
+	Ready bool   `json:"ready"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleReady aggregates shard readiness. Semantics are deliberately
+// "degraded, not down": 200 with degraded=false when every shard is
+// ready, 200 with degraded=true when at least one (but not all) is —
+// the cluster still serves every graph the live shards own — and 503
+// only when no shard is ready at all.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	statuses := fanout(c, r.Context(), "/readyz", func(s Shard, resp *http.Response, err error) shardStatus {
+		st := shardStatus{Shard: s.Name}
+		switch {
+		case err != nil:
+			st.Error = err.Error()
+		case resp.StatusCode != http.StatusOK:
+			st.Error = fmt.Sprintf("readyz: HTTP %d", resp.StatusCode)
+		default:
+			st.Ready = true
+		}
+		return st
+	})
+	ready := 0
+	for _, st := range statuses {
+		up := int64(0)
+		if st.Ready {
+			up = 1
+			ready++
+		}
+		c.metrics.shardUp[st.Shard].Set(up)
+	}
+	code := http.StatusOK
+	if ready == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	server.WriteJSON(w, code, map[string]any{
+		"ready":    ready == len(statuses),
+		"degraded": ready > 0 && ready < len(statuses),
+		"shards":   statuses,
+	})
+}
+
+// handleList merges GET /v1/graphs across every shard. A down shard
+// degrades the listing (its graphs are omitted and its name reported)
+// rather than failing the whole call.
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	type listResult struct {
+		shard  string
+		graphs []server.GraphInfo
+		err    error
+	}
+	results := fanout(c, r.Context(), "/v1/graphs", func(s Shard, resp *http.Response, err error) listResult {
+		lr := listResult{shard: s.Name, err: err}
+		if err != nil {
+			return lr
+		}
+		if resp.StatusCode != http.StatusOK {
+			lr.err = fmt.Errorf("HTTP %d", resp.StatusCode)
+			return lr
+		}
+		var body struct {
+			Graphs []server.GraphInfo `json:"graphs"`
+		}
+		lr.err = json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&body)
+		lr.graphs = body.Graphs
+		return lr
+	})
+	merged := []server.GraphInfo{} // never null on the wire, like a shard's own listing
+	var missing []string
+	for _, lr := range results {
+		if lr.err != nil {
+			missing = append(missing, lr.shard)
+			continue
+		}
+		merged = append(merged, lr.graphs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	body := map[string]any{"graphs": merged}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		body["unavailable_shards"] = missing
+	}
+	server.WriteJSON(w, http.StatusOK, body)
+}
+
+// fanout issues GET path to every shard primary concurrently, bounded by
+// probeTimeout, and maps each response through fn. Results keep shard
+// order. fn owns interpreting err/resp; fanout closes the body.
+func fanout[T any](c *Coordinator, ctx context.Context, path string, fn func(Shard, *http.Response, error) T) []T {
+	out := make([]T, len(c.topo.Shards))
+	var wg sync.WaitGroup
+	for i, s := range c.topo.Shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, s.Primary+path, nil)
+			var resp *http.Response
+			if err == nil {
+				resp, err = c.client.Do(req)
+			}
+			out[i] = fn(s, resp, err)
+			if resp != nil {
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// newCoordinator builds a Coordinator over the given shards on a fresh
+// metrics registry, served from an httptest.Server.
+func newCoordinator(t *testing.T, topo *Topology) (*Coordinator, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(topo, CoordinatorOptions{Metrics: reg, ProbeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	return coord, ts, reg
+}
+
+// TestProxyStreamingPassthrough is the no-buffering proof: an upstream
+// shard writes one NDJSON line, flushes, and then blocks; the client
+// must observe that first line through the coordinator while the
+// upstream response is still open. A proxy that buffers the body (any
+// non-negative FlushInterval without flush-on-write) fails this by
+// timeout.
+func TestProxyStreamingPassthrough(t *testing.T) {
+	release := make(chan struct{})
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/graphs/g/edges" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"u":1,"v":2,"truss":3}`)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-release // hold the stream open: the proxy must not wait for EOF
+		fmt.Fprintln(w, `{"u":2,"v":3,"truss":3}`)
+	}))
+	defer upstream.Close()
+	defer close(release)
+
+	_, ts, _ := newCoordinator(t, &Topology{Shards: []Shard{{Name: "a", Primary: upstream.URL}}})
+	resp, err := http.Get(ts.URL + "/v1/graphs/g/edges?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Truss-Shard"); got != "a" {
+		t.Fatalf("X-Truss-Shard = %q, want %q", got, "a")
+	}
+
+	type line struct {
+		s   string
+		err error
+	}
+	first := make(chan line, 1)
+	go func() {
+		s, err := bufio.NewReader(resp.Body).ReadString('\n')
+		first <- line{s, err}
+	}()
+	select {
+	case l := <-first:
+		if l.err != nil {
+			t.Fatalf("reading first streamed line: %v", l.err)
+		}
+		if !strings.Contains(l.s, `"u":1`) {
+			t.Fatalf("first line = %q", l.s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first NDJSON line did not pass through the proxy while the upstream stream was still open: the coordinator is buffering")
+	}
+}
+
+// TestProxyRoutesToOwner boots two recording upstreams and checks every
+// graph-scoped request lands on its HRW owner — and nowhere else.
+func TestProxyRoutesToOwner(t *testing.T) {
+	hits := make(map[string]chan string)
+	mk := func(name string) *httptest.Server {
+		ch := make(chan string, 64)
+		hits[name] = ch
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ch <- r.URL.Path
+			server.WriteJSON(w, http.StatusOK, map[string]any{"name": "x"})
+		}))
+		t.Cleanup(s.Close)
+		return s
+	}
+	ua, ub := mk("a"), mk("b")
+	topo := &Topology{Shards: []Shard{{Name: "a", Primary: ua.URL}, {Name: "b", Primary: ub.URL}}}
+	_, ts, _ := newCoordinator(t, topo)
+
+	for i := 0; i < 20; i++ {
+		g := fmt.Sprintf("graph-%d", i)
+		owner, _ := topo.Owner(g)
+		resp, err := http.Get(ts.URL + "/v1/graphs/" + g + "/histogram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Truss-Shard"); got != owner.Name {
+			t.Fatalf("graph %s: X-Truss-Shard = %q, owner = %q", g, got, owner.Name)
+		}
+		select {
+		case p := <-hits[owner.Name]:
+			if want := "/v1/graphs/" + g + "/histogram"; p != want {
+				t.Fatalf("owner %s saw path %q, want %q", owner.Name, p, want)
+			}
+		default:
+			t.Fatalf("graph %s: owner %s saw no request", g, owner.Name)
+		}
+		for name, ch := range hits {
+			select {
+			case p := <-ch:
+				t.Fatalf("graph %s: non-owner %s saw %q", g, name, p)
+			default:
+			}
+		}
+	}
+}
+
+// TestReadyAggregation covers the degraded-not-down readiness ladder:
+// all shards ready → 200 ready; one of two down → 200 degraded (the
+// cluster still serves the live shard's graphs); all down → 503.
+func TestReadyAggregation(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		server.WriteJSON(w, http.StatusOK, map[string]any{"ready": true})
+	}))
+	defer up.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		server.WriteError(w, http.StatusServiceUnavailable, "not ready")
+	}))
+	defer down.Close()
+
+	check := func(t *testing.T, topo *Topology, wantCode int, wantReady, wantDegraded bool) {
+		t.Helper()
+		_, ts, reg := newCoordinator(t, topo)
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("readyz status = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var body struct {
+			Ready    bool          `json:"ready"`
+			Degraded bool          `json:"degraded"`
+			Shards   []shardStatus `json:"shards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Ready != wantReady || body.Degraded != wantDegraded {
+			t.Fatalf("readyz = ready:%v degraded:%v, want ready:%v degraded:%v (%+v)",
+				body.Ready, body.Degraded, wantReady, wantDegraded, body.Shards)
+		}
+		// The probe also feeds truss_cluster_shard_up.
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "truss_cluster_shard_up") {
+			t.Fatal("metrics missing truss_cluster_shard_up after a readiness probe")
+		}
+	}
+
+	t.Run("all-ready", func(t *testing.T) {
+		check(t, &Topology{Shards: []Shard{{Name: "a", Primary: up.URL}, {Name: "b", Primary: up.URL}}},
+			http.StatusOK, true, false)
+	})
+	t.Run("degraded", func(t *testing.T) {
+		check(t, &Topology{Shards: []Shard{{Name: "a", Primary: up.URL}, {Name: "b", Primary: down.URL}}},
+			http.StatusOK, false, true)
+	})
+	t.Run("all-down", func(t *testing.T) {
+		check(t, &Topology{Shards: []Shard{{Name: "a", Primary: down.URL}, {Name: "b", Primary: down.URL}}},
+			http.StatusServiceUnavailable, false, false)
+	})
+}
+
+// TestTopologyEndpoint pins the ETag contract: a fresh GET carries the
+// document and tag; a conditional GET with the same tag is a 304.
+func TestTopologyEndpoint(t *testing.T) {
+	up := httptest.NewServer(http.NotFoundHandler())
+	defer up.Close()
+	topo := &Topology{Shards: []Shard{{Name: "a", Primary: up.URL, Replicas: []string{up.URL}}}}
+	_, ts, _ := newCoordinator(t, topo)
+
+	resp, err := http.Get(ts.URL + "/v1/cluster/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag != topo.ETag() {
+		t.Fatalf("ETag = %q, want %q", etag, topo.ETag())
+	}
+	var got Topology
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shards) != 1 || got.Shards[0].Name != "a" || len(got.Shards[0].Replicas) != 1 {
+		t.Fatalf("topology on the wire = %+v", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/cluster/topology", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET = %d, want 304", resp2.StatusCode)
+	}
+}
+
+// TestListMerge checks GET /v1/graphs merges shard listings sorted by
+// name, and that a down shard degrades the listing (reported in
+// unavailable_shards) instead of failing it.
+func TestListMerge(t *testing.T) {
+	mk := func(names ...string) *httptest.Server {
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var infos []server.GraphInfo
+			for _, n := range names {
+				infos = append(infos, server.GraphInfo{Name: n, State: "ready"})
+			}
+			server.WriteJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+		}))
+		t.Cleanup(s.Close)
+		return s
+	}
+	ua, ub := mk("zeta", "alpha"), mk("mid")
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+
+	_, ts, _ := newCoordinator(t, &Topology{Shards: []Shard{
+		{Name: "a", Primary: ua.URL}, {Name: "b", Primary: ub.URL}, {Name: "c", Primary: dead.URL},
+	}})
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Graphs      []server.GraphInfo `json:"graphs"`
+		Unavailable []string           `json:"unavailable_shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, g := range body.Graphs {
+		names = append(names, g.Name)
+	}
+	if want := []string{"alpha", "mid", "zeta"}; fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("merged listing = %v, want %v", names, want)
+	}
+	if len(body.Unavailable) != 1 || body.Unavailable[0] != "c" {
+		t.Fatalf("unavailable_shards = %v, want [c]", body.Unavailable)
+	}
+}
+
+// TestProxyMetrics checks the proxied-request counters land in the
+// coordinator's /metrics exposition with shard and code labels, and
+// that an unreachable shard increments the error counter and drops its
+// up-gauge.
+func TestProxyMetrics(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		server.WriteJSON(w, http.StatusOK, map[string]any{"name": "g"})
+	}))
+	defer up.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	topo := &Topology{Shards: []Shard{{Name: "a", Primary: up.URL}, {Name: "b", Primary: dead.URL}}}
+	_, ts, _ := newCoordinator(t, topo)
+
+	// One graph per shard: find a name owned by each.
+	byShard := map[string]string{}
+	for i := 0; len(byShard) < 2; i++ {
+		g := fmt.Sprintf("m-%d", i)
+		o, _ := topo.Owner(g)
+		if _, ok := byShard[o.Name]; !ok {
+			byShard[o.Name] = g
+		}
+	}
+	for _, g := range byShard {
+		resp, err := http.Get(ts.URL + "/v1/graphs/" + g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	samples, err := obs.ParseExposition(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("coordinator /metrics does not parse: %v", err)
+	}
+	if v := samples.Value("truss_cluster_proxy_requests_total", "shard", "a", "code", "200"); v != 1 {
+		t.Fatalf("proxy_requests_total{shard=a,code=200} = %v, want 1", v)
+	}
+	if v := samples.Value("truss_cluster_proxy_errors_total", "shard", "b"); v != 1 {
+		t.Fatalf("proxy_errors_total{shard=b} = %v, want 1", v)
+	}
+	if v := samples.Value("truss_cluster_shard_up", "shard", "b"); v != 0 {
+		t.Fatalf("shard_up{shard=b} = %v, want 0", v)
+	}
+}
+
+// TestProxyFirehoseDuplex proves the proxy is bidirectionally
+// unbuffered: a firehose-shaped upstream acknowledges each NDJSON
+// record as it arrives, and the client must observe the first ack
+// while its request body is still open. This is the session shape of
+// POST /v1/graphs/{name}/edges:stream, where the server streams
+// per-chunk acks against a still-uploading body.
+func TestProxyFirehoseDuplex(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = http.NewResponseController(w).EnableFullDuplex()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			fmt.Fprintf(w, `{"ok":true,"echo":%q}`+"\n", sc.Text())
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	}))
+	defer upstream.Close()
+
+	_, ts, _ := newCoordinator(t, &Topology{Shards: []Shard{{Name: "a", Primary: upstream.URL}}})
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/g/edges:stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+	if _, err := io.WriteString(pw, `{"op":"add","u":1,"v":2}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	select {
+	case resp = <-respc:
+	case err := <-errc:
+		t.Fatalf("duplex request through proxy: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response headers while the request body is open: the proxy (or server) is not duplex")
+	}
+	defer resp.Body.Close()
+	lines := make(chan string, 1)
+	go func() {
+		s, _ := bufio.NewReader(resp.Body).ReadString('\n')
+		lines <- s
+	}()
+	select {
+	case l := <-lines:
+		if !strings.Contains(l, `"ok":true`) {
+			t.Fatalf("first ack = %q", l)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ack passed through while the request body was still open: the proxy is buffering the duplex stream")
+	}
+	pw.Close()
+}

@@ -127,7 +127,7 @@ func (s *Server) apiMux() *http.ServeMux {
 	}
 	routes := []route{
 		{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
+			WriteJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": len(s.Entries())})
 		}},
 		{"GET", "/readyz", s.handleReady},
 		{"GET", "/v1/graphs", s.handleList},
@@ -167,7 +167,7 @@ func (s *Server) apiMux() *http.ServeMux {
 		allow := strings.Join(methods, ", ")
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (allow: %s)", r.Method, allow)
+			WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed (allow: %s)", r.Method, allow)
 		})
 	}
 	if s.opts.EnablePprof {
@@ -189,11 +189,11 @@ func (s *Server) apiMux() *http.ServeMux {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	ready, pending := s.Ready()
 	if ready {
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		WriteJSON(w, http.StatusOK, map[string]any{"ready": true})
 		return
 	}
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "pending": pending})
+	WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "pending": pending})
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -217,7 +217,7 @@ func requireJSON(w http.ResponseWriter, r *http.Request) bool {
 		(mt == "application/json" || strings.HasSuffix(mt, "+json")) {
 		return true
 	}
-	writeError(w, http.StatusUnsupportedMediaType,
+	WriteError(w, http.StatusUnsupportedMediaType,
 		"unsupported Content-Type %q: send application/json", ct)
 	return false
 }
@@ -229,7 +229,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, e := range entries {
 		infos[i] = entryInfo(e)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	WriteJSON(w, http.StatusOK, map[string]any{"graphs": infos})
 }
 
 // loadRequest is the body of POST /v1/graphs/{name}. Exactly one of Path
@@ -259,12 +259,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, "bad request body: %v", err)
+		WriteError(w, status, "bad request body: %v", err)
 		return
 	}
 	switch {
 	case req.Path != "" && req.Edges != nil:
-		writeError(w, http.StatusBadRequest, "set exactly one of path and edges")
+		WriteError(w, http.StatusBadRequest, "set exactly one of path and edges")
 		return
 	case req.Path != "":
 		if err := s.LoadFileAsync(name, req.Path); err != nil {
@@ -273,9 +273,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			// not leak to network clients. The detail goes to the log.
 			s.logf("loading %q from %s: %v", name, req.Path, err)
 			if errors.Is(err, fs.ErrNotExist) {
-				writeError(w, http.StatusBadRequest, "loading %s: file not found", req.Path)
+				WriteError(w, http.StatusBadRequest, "loading %s: file not found", req.Path)
 			} else {
-				writeError(w, http.StatusBadRequest, "loading %s: not a readable graph file (see server log)", req.Path)
+				WriteError(w, http.StatusBadRequest, "loading %s: not a readable graph file (see server log)", req.Path)
 			}
 			return
 		}
@@ -283,7 +283,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		if limit := s.opts.maxInlineVertexID(); limit > 0 {
 			for _, e := range req.Edges {
 				if int64(e[0]) > limit || int64(e[1]) > limit {
-					writeError(w, http.StatusBadRequest,
+					WriteError(w, http.StatusBadRequest,
 						"inline vertex ID %d exceeds the limit %d (load large graphs by path)",
 						max(e[0], e[1]), limit)
 					return
@@ -296,7 +296,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 		s.BuildAsync(name, b.Build(), "inline")
 	default:
-		writeError(w, http.StatusBadRequest, "set exactly one of path and edges")
+		WriteError(w, http.StatusBadRequest, "set exactly one of path and edges")
 		return
 	}
 	// The entry can already be gone again if a DELETE raced the load;
@@ -305,7 +305,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if e, ok := s.Lookup(name); ok {
 		info = entryInfo(e)
 	}
-	writeJSON(w, http.StatusAccepted, info)
+	WriteJSON(w, http.StatusAccepted, info)
 }
 
 // mutateRequest is the body of the mutation endpoints. POST treats Edges
@@ -338,13 +338,13 @@ func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 			if errors.As(err, &tooLarge) {
 				status = http.StatusRequestEntityTooLarge
 			}
-			writeError(w, status, "bad request body: %v", err)
+			WriteError(w, status, "bad request body: %v", err)
 			return
 		}
 		var adds, dels [][2]uint32
 		if deleteMode {
 			if req.Adds != nil || req.Dels != nil {
-				writeError(w, http.StatusBadRequest, "DELETE takes only edges (use POST for mixed batches)")
+				WriteError(w, http.StatusBadRequest, "DELETE takes only edges (use POST for mixed batches)")
 				return
 			}
 			dels = req.Edges
@@ -353,7 +353,7 @@ func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 			dels = req.Dels
 		}
 		if len(adds) == 0 && len(dels) == 0 {
-			writeError(w, http.StatusBadRequest, "empty mutation batch")
+			WriteError(w, http.StatusBadRequest, "empty mutation batch")
 			return
 		}
 		if limit := s.opts.maxInlineVertexID(); limit > 0 {
@@ -361,7 +361,7 @@ func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 			// edges are no-ops and need no cap.
 			for _, e := range adds {
 				if int64(e[0]) > limit || int64(e[1]) > limit {
-					writeError(w, http.StatusBadRequest,
+					WriteError(w, http.StatusBadRequest,
 						"vertex ID %d exceeds the limit %d", max(e[0], e[1]), limit)
 					return
 				}
@@ -370,18 +370,18 @@ func (s *Server) handleMutate(deleteMode bool) http.HandlerFunc {
 		entry, res, err := s.Mutate(r.Context(), name, toEdges(adds), toEdges(dels))
 		switch {
 		case errors.Is(err, ErrNoGraph):
-			writeError(w, http.StatusNotFound, "no graph %q", name)
+			WriteError(w, http.StatusNotFound, "no graph %q", name)
 			return
 		case errors.Is(err, ErrNotReady):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "graph %q still building", name)
+			WriteError(w, http.StatusServiceUnavailable, "graph %q still building", name)
 			return
 		case err != nil:
-			writeError(w, http.StatusConflict, "mutating %q: %v", name, err)
+			WriteError(w, http.StatusConflict, "mutating %q: %v", name, err)
 			return
 		}
 		info := entryInfo(entry)
-		writeJSON(w, http.StatusOK, map[string]any{
+		WriteJSON(w, http.StatusOK, map[string]any{
 			"graph":      info,
 			"version":    entry.Version,
 			"changed":    res.Stats.Changed,
@@ -407,10 +407,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	if !s.Remove(name) {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
+		WriteError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+	WriteJSON(w, http.StatusOK, map[string]any{"removed": name})
 }
 
 // versionHeader carries the answering entry's version on every
@@ -430,14 +430,14 @@ func (s *Server) withEntry(fn func(http.ResponseWriter, *http.Request, *Entry)) 
 	return func(w http.ResponseWriter, r *http.Request) {
 		e, ok := s.Lookup(r.PathValue("name"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
+			WriteError(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
 			return
 		}
 		w.Header().Set(versionHeader, strconv.FormatUint(e.Version, 10))
 		if raw := r.Header.Get(minVersionHeader); raw != "" {
 			if min, err := strconv.ParseUint(raw, 10, 64); err == nil && min > e.Version {
 				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusPreconditionFailed, map[string]any{
+				WriteJSON(w, http.StatusPreconditionFailed, map[string]any{
 					"error": fmt.Sprintf("graph %q at version %d, below required %d",
 						e.Name, e.Version, min),
 					"version": e.Version,
@@ -456,10 +456,10 @@ func (s *Server) withIndex(fn func(http.ResponseWriter, *http.Request, *index.Tr
 		if e.Index == nil {
 			switch e.State {
 			case StateFailed:
-				writeError(w, http.StatusInternalServerError, "graph %q failed: %s", e.Name, e.Err)
+				WriteError(w, http.StatusInternalServerError, "graph %q failed: %s", e.Name, e.Err)
 			default:
 				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, "graph %q still building", e.Name)
+				WriteError(w, http.StatusServiceUnavailable, "graph %q still building", e.Name)
 			}
 			return
 		}
@@ -468,7 +468,7 @@ func (s *Server) withIndex(fn func(http.ResponseWriter, *http.Request, *index.Tr
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request, e *Entry) {
-	writeJSON(w, http.StatusOK, entryInfo(e))
+	WriteJSON(w, http.StatusOK, entryInfo(e))
 }
 
 func (s *Server) handleTruss(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
@@ -481,7 +481,7 @@ func (s *Server) handleTruss(w http.ResponseWriter, r *http.Request, ix *index.T
 	if found {
 		resp["truss"] = k
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
@@ -491,7 +491,7 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request, ix *ind
 	}
 	k64, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
 	if err != nil || k64 < 3 {
-		writeError(w, http.StatusBadRequest, "k must be an integer >= 3")
+		WriteError(w, http.StatusBadRequest, "k must be an integer >= 3")
 		return
 	}
 	k := int32(k64)
@@ -502,7 +502,7 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request, ix *ind
 		resp["edges"] = edgePairs(ix, edges)
 		resp["vertices"] = ix.Vertices(edges)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // edgePairs expands edge IDs into [u,v] endpoint pairs for JSON output.
@@ -523,7 +523,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request, ix *ind
 			classes[strconv.Itoa(k)] = n
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"kmax":    ix.KMax(),
 		"edges":   ix.NumEdges(),
 		"classes": classes,
@@ -535,7 +535,7 @@ func (s *Server) handleTopClasses(w http.ResponseWriter, r *http.Request, ix *in
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "t must be a non-negative integer")
+			WriteError(w, http.StatusBadRequest, "t must be a non-negative integer")
 			return
 		}
 		t = v
@@ -554,7 +554,7 @@ func (s *Server) handleTopClasses(w http.ResponseWriter, r *http.Request, ix *in
 			out[i].Edges = edgePairs(ix, c.Edges)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"kmax": ix.KMax(), "classes": out})
+	WriteJSON(w, http.StatusOK, map[string]any{"kmax": ix.KMax(), "classes": out})
 }
 
 // handleEdgesStream serves GET /v1/graphs/{name}/edges: the k-truss edge
@@ -570,7 +570,7 @@ func (s *Server) handleEdgesStream(w http.ResponseWriter, r *http.Request, ix *i
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		v, err := strconv.ParseInt(raw, 10, 32)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "k must be a non-negative integer")
+			WriteError(w, http.StatusBadRequest, "k must be a non-negative integer")
 			return
 		}
 		k = v
@@ -618,11 +618,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ix *index.T
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, "bad request body: %v", err)
+		WriteError(w, status, "bad request body: %v", err)
 		return
 	}
 	if len(req.Pairs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty pairs batch")
+		WriteError(w, http.StatusBadRequest, "empty pairs batch")
 		return
 	}
 	type answer struct {
@@ -640,7 +640,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ix *index.T
 			found++
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"count": len(results), "found": found, "results": results,
 	})
 }
@@ -651,7 +651,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ix *index.T
 func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request, ix *index.TrussIndex) {
 	k64, err := strconv.ParseInt(r.URL.Query().Get("k"), 10, 32)
 	if err != nil || k64 < 3 {
-		writeError(w, http.StatusBadRequest, "k must be an integer >= 3")
+		WriteError(w, http.StatusBadRequest, "k must be an integer >= 3")
 		return
 	}
 	k := int32(k64)
@@ -659,7 +659,7 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request, ix *i
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			WriteError(w, http.StatusBadRequest, "limit must be a non-negative integer")
 			return
 		}
 		limit = v
@@ -683,7 +683,7 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request, ix *i
 			Vertices: ix.Vertices(ids),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"k": k, "count": total, "communities": comms,
 	})
 }
@@ -694,13 +694,15 @@ func edgeParams(w http.ResponseWriter, r *http.Request) (u, v uint32, ok bool) {
 	pu, err1 := strconv.ParseUint(q.Get("u"), 10, 32)
 	pv, err2 := strconv.ParseUint(q.Get("v"), 10, 32)
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, "u and v must be uint32 query parameters")
+		WriteError(w, http.StatusBadRequest, "u and v must be uint32 query parameters")
 		return 0, 0, false
 	}
 	return uint32(pu), uint32(pv), true
 }
 
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// WriteJSON writes body as a JSON response. Exported so the cluster
+// coordinator answers in the same shape as the shards it fronts.
+func WriteJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -708,6 +710,7 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// WriteError writes the API's uniform error shape: {"error": "..."}.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

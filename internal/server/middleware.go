@@ -261,7 +261,7 @@ func (a *admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// retries — readers back off a beat and come back; mutations
 		// surface the 429 to their caller unretried.
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		WriteError(w, http.StatusTooManyRequests,
 			"server at capacity (%d requests in flight): retry shortly", a.limit)
 		return
 	}

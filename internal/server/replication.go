@@ -116,7 +116,7 @@ func (r *replState) publish(name string) {
 // data dir there is no indexfile to hydrate from and no WAL to tail.
 func (s *Server) requireStore(w http.ResponseWriter) bool {
 	if s.store == nil {
-		writeError(w, http.StatusNotImplemented,
+		WriteError(w, http.StatusNotImplemented,
 			"replication requires a primary started with -data-dir")
 		return false
 	}
@@ -141,7 +141,7 @@ func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
 		}
 		graphs = append(graphs, rg)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": graphs})
+	WriteJSON(w, http.StatusOK, map[string]any{"graphs": graphs})
 }
 
 // handleReplIndexfile serves GET /v1/replication/graphs/{name}/indexfile:
@@ -157,23 +157,23 @@ func (s *Server) handleReplIndexfile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.Lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
+		WriteError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}
 	f, err := os.Open(s.store.IndexPath(name))
 	if errors.Is(err, os.ErrNotExist) {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "graph %q has no snapshot yet", name)
+		WriteError(w, http.StatusServiceUnavailable, "graph %q has no snapshot yet", name)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "opening snapshot: %v", err)
+		WriteError(w, http.StatusInternalServerError, "opening snapshot: %v", err)
 		return
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "statting snapshot: %v", err)
+		WriteError(w, http.StatusInternalServerError, "statting snapshot: %v", err)
 		return
 	}
 	h := w.Header()
@@ -203,14 +203,14 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.Lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
+		WriteError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}
 	last := uint64(0)
 	if raw := r.URL.Query().Get("from"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "from must be a uint64 version")
+			WriteError(w, http.StatusBadRequest, "from must be a uint64 version")
 			return
 		}
 		last = v
@@ -445,7 +445,7 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
 	if s.opts.Follow == "" {
 		return false
 	}
-	writeJSON(w, http.StatusForbidden, map[string]string{
+	WriteJSON(w, http.StatusForbidden, map[string]string{
 		"error":   "read-only replica: mutations must go to the primary",
 		"primary": s.opts.Follow,
 	})

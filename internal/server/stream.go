@@ -69,29 +69,36 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.Lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no graph %q", name)
+		WriteError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}
 	if e.State != StateReady || e.Index == nil {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "graph %q still building", name)
+		WriteError(w, http.StatusServiceUnavailable, "graph %q still building", name)
 		return
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" &&
 		!strings.HasPrefix(ct, "application/x-ndjson") && !strings.HasPrefix(ct, "application/json") {
-		writeError(w, http.StatusUnsupportedMediaType,
+		WriteError(w, http.StatusUnsupportedMediaType,
 			"unsupported Content-Type %q: send application/x-ndjson", ct)
 		return
 	}
 	p, err := s.pipeline(name)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 
+	// The firehose is full duplex by design: acks stream back while the
+	// client is still uploading records. Go's HTTP/1 server otherwise
+	// aborts request-body reads once the response begins, which would
+	// stall any client that paces its uploads on the acks (including the
+	// cluster coordinator's streaming proxy). Best-effort: HTTP/2 is
+	// already duplex and returns an error here, which is fine to ignore.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
 	// The writer goroutine drains in-flight chunks in submission order,
@@ -119,8 +126,13 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 				sum.Version = out.Applied.Version
 			}
 			ack.OK = out.Err == nil
-			if enc.Encode(ack) == nil && flusher != nil {
-				flusher.Flush()
+			if enc.Encode(ack) == nil {
+				// rc.Flush, not w.(http.Flusher): the observation
+				// middleware's recorder only exposes Flush through the
+				// ResponseController Unwrap chain. A bare type assertion
+				// fails there, and unflushed acks deadlock any client
+				// that paces its uploads on them.
+				_ = rc.Flush()
 			}
 		}
 		writerDone <- sum
@@ -186,7 +198,5 @@ decode:
 	}
 	sum.OK = streamErr == "" && sum.Failed == 0
 	_ = enc.Encode(sum)
-	if flusher != nil {
-		flusher.Flush()
-	}
+	_ = rc.Flush()
 }

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFirehoseDuplex pins the firehose's full-duplex contract at the
+// shard level: a client that streams records and paces on acks must see
+// the first ack while its request body is still open. Two regressions
+// hide here — Go's HTTP/1 server aborting body reads once the response
+// begins (EnableFullDuplex), and ack flushes silently no-opping through
+// the observation middleware's recorder (Flush via ResponseController,
+// not a bare type assertion). Earlier tests missed both because they
+// uploaded complete bodies, so acks could sit buffered until the
+// handler returned.
+func TestFirehoseDuplex(t *testing.T) {
+	s := New(Options{DataDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/graphs/g", "application/json",
+		strings.NewReader(`{"edges":[[0,1],[1,2],[0,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r2, err := http.Get(ts.URL + "/v1/graphs/g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if r2.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("graph never became ready (last status %d)", r2.StatusCode)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/g/edges:stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- r
+	}()
+	// Exactly one full chunk: enough to force an ack, nothing extra to
+	// mask a stalled flush.
+	for i := 0; i < streamChunk; i++ {
+		if _, err := io.WriteString(pw, `{"op":"add","u":100,"v":101}`+"\n"); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	select {
+	case r := <-respc:
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", r.StatusCode)
+		}
+		line, err := bufio.NewReader(r.Body).ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading first ack: %v", err)
+		}
+		if !strings.Contains(line, `"ok":true`) {
+			t.Fatalf("first ack = %q", line)
+		}
+		pw.Close()
+		io.Copy(io.Discard, r.Body)
+	case err := <-errc:
+		t.Fatalf("firehose request: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no ack while the request body was still open: the firehose is not duplex")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	truss "repro"
 	"repro/client"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -428,4 +429,204 @@ func TestSoakReplicaFleet(t *testing.T) {
 	}
 	fmt.Printf("fleet soak: version %g on all three nodes, %d router reads + %d writes, "+
 		"%g records per follower\n", finalVersion, reads.Load(), writes.Load(), recordsPerFollower)
+}
+
+// TestSoakShardedFleet is the nightly sharded-cluster soak: two trussd
+// shard primaries behind a cluster coordinator serve a fleet of graphs
+// placed by rendezvous hashing, while a single-node control server
+// holds the same graphs. The shard-aware Router drives an identical
+// mutation + query workload against both deployments — per-graph
+// NDJSON firehoses through the coordinator's duplex proxy, unary
+// mutations routed directly to each graph's owning shard, and a
+// read storm pinned behind the read-your-writes floor. At the end
+// every graph's histogram through the coordinator must be
+// byte-identical to the control's: sharding may move graphs around,
+// but it must never change an answer.
+func TestSoakShardedFleet(t *testing.T) {
+	if os.Getenv("TRUSS_SOAK") != "1" {
+		t.Skip("soak test: set TRUSS_SOAK=1 to run")
+	}
+	dir := t.TempDir()
+	trussd := buildCmd(t, dir, "trussd")
+	graphgen := buildCmd(t, dir, "graphgen")
+
+	// Three seed graphs reused across twelve names: placement is keyed
+	// on the graph NAME, so identical payloads land on different shards.
+	const graphs = 12
+	var seedPaths [3]string
+	for i := range seedPaths {
+		seedPaths[i] = filepath.Join(dir, fmt.Sprintf("seed%d.bin", i))
+		runCmd(t, graphgen, "-model", "rmat", "-scale", "13", "-factor", "8",
+			"-seed", fmt.Sprint(21+i), "-out", seedPaths[i])
+	}
+	names := make([]string, graphs)
+	for i := range names {
+		names[i] = fmt.Sprintf("fleet%d", i)
+	}
+
+	// Ownership is a pure function of shard and graph names, so the
+	// per-shard preload lists are computable before any process starts.
+	planTopo := &cluster.Topology{Shards: []cluster.Shard{{Name: "a"}, {Name: "b"}}}
+	loadArgs := map[string][]string{}
+	var controlLoad []string
+	for i, g := range names {
+		owner, _ := planTopo.Owner(g)
+		pair := g + "=" + seedPaths[i%len(seedPaths)]
+		loadArgs[owner.Name] = append(loadArgs[owner.Name], "-load", pair)
+		controlLoad = append(controlLoad, "-load", pair)
+	}
+	if len(loadArgs["a"]) == 0 || len(loadArgs["b"]) == 0 {
+		t.Fatalf("degenerate placement: %v", loadArgs)
+	}
+
+	startShard := func(name string, extra []string) string {
+		args := append([]string{"-data-dir", filepath.Join(dir, name), "-wait"}, extra...)
+		addr, stop := startServe(t, trussd, args...)
+		t.Cleanup(func() { stop(true) })
+		return "http://" + addr
+	}
+	baseA := startShard("shard-a", loadArgs["a"])
+	baseB := startShard("shard-b", loadArgs["b"])
+	baseControl := startShard("control", controlLoad)
+
+	coordAddr, stopCoord := startTrussd(t, trussd, "coordinator",
+		"-shards", "a="+baseA+",b="+baseB)
+	defer stopCoord(true)
+	baseCoord := "http://" + coordAddr
+
+	// The workload, applied identically to the cluster and the control.
+	// Edge IDs are disjoint per graph index so a record misrouted to the
+	// wrong graph shows up as a histogram mismatch, not a silent no-op.
+	firehoseBody := func(gi int) string {
+		var b strings.Builder
+		for i := 0; i < 2048; i++ {
+			fmt.Fprintf(&b, `{"u":%d,"v":%d}`+"\n", 1000000+gi*100000+2*i, 1000001+gi*100000+2*i)
+		}
+		return b.String()
+	}
+	firehose := func(base, g string, body string) error {
+		resp, err := http.Post(base+"/v1/graphs/"+g+"/edges:stream",
+			"application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("firehose %s/%s: status %d", base, g, resp.StatusCode)
+		}
+		return nil
+	}
+
+	router, err := client.NewShardRouter(baseCoord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := client.New(baseControl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var reads atomic.Int64
+	for gi, g := range names {
+		wg.Add(1)
+		go func(gi int, g string) {
+			defer wg.Done()
+			body := firehoseBody(gi)
+			// Cluster side: firehose through the coordinator's proxy.
+			if err := firehose(baseCoord, g, body); err != nil {
+				t.Error(err)
+				failures.Add(1)
+				return
+			}
+			// Control side: same records, same protocol.
+			if err := firehose(baseControl, g, body); err != nil {
+				t.Error(err)
+				failures.Add(1)
+				return
+			}
+			// Unary mutations ride the shard-aware Router (owner primary,
+			// direct) and a plain client against the control.
+			rg := router.Graph(g)
+			cg := control.Graph(g)
+			for i := 0; i < 32; i++ {
+				u := uint32(2000000 + gi*100000 + 2*i)
+				edges := []truss.Edge{{U: u, V: u + 1}}
+				if _, err := rg.InsertEdges(ctx, edges); err != nil {
+					t.Errorf("router insert %s: %v", g, err)
+					failures.Add(1)
+					return
+				}
+				if _, err := cg.InsertEdges(ctx, edges); err != nil {
+					t.Errorf("control insert %s: %v", g, err)
+					failures.Add(1)
+					return
+				}
+				// Reads through the Router sit behind the graph's
+				// read-your-writes floor, so they observe this insert.
+				if _, _, err := rg.TrussNumber(ctx, u, u+1); err != nil {
+					t.Errorf("router read %s: %v", g, err)
+					failures.Add(1)
+					return
+				}
+				reads.Add(1)
+			}
+			if _, err := rg.Histogram(ctx); err != nil {
+				t.Errorf("router histogram %s: %v", g, err)
+				failures.Add(1)
+			}
+			reads.Add(1)
+		}(gi, g)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d sharded-fleet operations failed", failures.Load())
+	}
+
+	// Parity: per-graph histograms through the coordinator byte-identical
+	// to the single-node control.
+	histOf := func(base, g string) string {
+		resp, err := http.Get(base + "/v1/graphs/" + g + "/histogram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/%s histogram: status %d", base, g, resp.StatusCode)
+		}
+		return string(raw)
+	}
+	for _, g := range names {
+		want := histOf(baseControl, g)
+		if got := histOf(baseCoord, g); got != want {
+			t.Fatalf("graph %s diverged:\ncontrol: %.200s\ncluster: %.200s", g, want, got)
+		}
+	}
+
+	// Every graph lives on exactly one shard, and the coordinator's
+	// merged listing sees them all.
+	resp, err := http.Get(baseCoord + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Graphs) != graphs {
+		t.Fatalf("coordinator lists %d graphs, want %d", len(listing.Graphs), graphs)
+	}
+	fmt.Printf("sharded soak: %d graphs over 2 shards, %d router reads, histograms byte-identical to control\n",
+		graphs, reads.Load())
 }
